@@ -1,0 +1,178 @@
+//! Weakly connected components by min-label propagation.
+//!
+//! Every node starts labeled with its own id; each round, labels propagate
+//! across edges (in both directions — weak connectivity) taking the minimum.
+//! The fixpoint assigns every node the smallest node id in its component, a
+//! canonical labeling independent of execution order — which makes the
+//! parallel version trivially comparable to the sequential one.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use rayon::prelude::*;
+
+use parcsr::Csr;
+use parcsr_graph::NodeId;
+
+/// Sequential reference: BFS-based component labeling with min-id labels.
+pub fn connected_components_sequential(csr: &Csr) -> Vec<NodeId> {
+    let n = csr.num_nodes();
+    // Build an undirected view once.
+    let mut undirected: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for u in 0..n as NodeId {
+        for &v in csr.neighbors(u) {
+            undirected[u as usize].push(v);
+            undirected[v as usize].push(u);
+        }
+    }
+    let mut label = vec![NodeId::MAX; n];
+    for start in 0..n as NodeId {
+        if label[start as usize] != NodeId::MAX {
+            continue;
+        }
+        // `start` is the smallest unvisited id, hence its component's min.
+        let mut stack = vec![start];
+        label[start as usize] = start;
+        while let Some(u) = stack.pop() {
+            for &v in &undirected[u as usize] {
+                if label[v as usize] == NodeId::MAX {
+                    label[v as usize] = start;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Parallel min-label propagation. Converges in O(diameter) rounds; each
+/// round relaxes every edge in parallel with atomic `fetch_min`.
+pub fn connected_components_parallel(csr: &Csr) -> Vec<NodeId> {
+    let n = csr.num_nodes();
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    loop {
+        let changed = (0..n as NodeId)
+            .into_par_iter()
+            .map(|u| {
+                let mut changed = false;
+                let lu = labels[u as usize].load(Ordering::Relaxed);
+                for &v in csr.neighbors(u) {
+                    let lv = labels[v as usize].load(Ordering::Relaxed);
+                    if lv < lu {
+                        changed |= labels[u as usize].fetch_min(lv, Ordering::Relaxed) > lv;
+                    } else if lu < lv {
+                        changed |= labels[v as usize].fetch_min(lu, Ordering::Relaxed) > lu;
+                    }
+                }
+                changed
+            })
+            .reduce(|| false, |a, b| a | b);
+        if !changed {
+            break;
+        }
+    }
+    // Min-label propagation alone converges to the component minimum only if
+    // labels can flow through every node; pointer-jump to the fixpoint:
+    // label[u] <- label[label[u]] until stable.
+    loop {
+        let changed = (0..n)
+            .into_par_iter()
+            .map(|u| {
+                let l = labels[u].load(Ordering::Relaxed);
+                let ll = labels[l as usize].load(Ordering::Relaxed);
+                if ll < l {
+                    labels[u].fetch_min(ll, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            })
+            .reduce(|| false, |a, b| a | b);
+        if !changed {
+            // One more edge-relaxation round may be needed after jumps.
+            let edge_changed = (0..n as NodeId)
+                .into_par_iter()
+                .map(|u| {
+                    let mut changed = false;
+                    let lu = labels[u as usize].load(Ordering::Relaxed);
+                    for &v in csr.neighbors(u) {
+                        let lv = labels[v as usize].load(Ordering::Relaxed);
+                        if lv < lu {
+                            changed |= labels[u as usize].fetch_min(lv, Ordering::Relaxed) > lv;
+                        } else if lu < lv {
+                            changed |= labels[v as usize].fetch_min(lu, Ordering::Relaxed) > lu;
+                        }
+                    }
+                    changed
+                })
+                .reduce(|| false, |a, b| a | b);
+            if !edge_changed {
+                break;
+            }
+        }
+    }
+    labels.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcsr::CsrBuilder;
+    use parcsr_graph::gen::{erdos_renyi, rmat, ErParams, RmatParams};
+    use parcsr_graph::EdgeList;
+
+    fn csr_of(edges: Vec<(u32, u32)>, n: usize) -> Csr {
+        CsrBuilder::new().build(&EdgeList::new(n, edges))
+    }
+
+    #[test]
+    fn two_components_and_an_isolate() {
+        let csr = csr_of(vec![(0, 1), (1, 2), (4, 3)], 6);
+        let want = vec![0, 0, 0, 3, 3, 5];
+        assert_eq!(connected_components_sequential(&csr), want);
+        assert_eq!(connected_components_parallel(&csr), want);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // 0 -> 1 <- 2: weakly connected despite no directed path 0 -> 2.
+        let csr = csr_of(vec![(0, 1), (2, 1)], 3);
+        assert_eq!(connected_components_parallel(&csr), [0, 0, 0]);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_random_graphs() {
+        for seed in 0..5u64 {
+            let g = erdos_renyi(ErParams::new(400, 500, seed)); // sparse => many components
+            let csr = CsrBuilder::new().build(&g);
+            assert_eq!(
+                connected_components_parallel(&csr),
+                connected_components_sequential(&csr),
+                "seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_rmat() {
+        let g = rmat(RmatParams::new(1 << 10, 1 << 13, 17));
+        let csr = CsrBuilder::new().build(&g);
+        assert_eq!(
+            connected_components_parallel(&csr),
+            connected_components_sequential(&csr)
+        );
+    }
+
+    #[test]
+    fn long_path_converges() {
+        // A 500-node path stresses the pointer-jumping phase.
+        let edges: Vec<(u32, u32)> = (0..499).map(|i| (i + 1, i)).collect();
+        let csr = csr_of(edges, 500);
+        assert_eq!(connected_components_parallel(&csr), vec![0; 500]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = csr_of(vec![], 0);
+        assert!(connected_components_parallel(&csr).is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Single-source shortest paths over the weighted CSR (`vA` array).
+//!
+//! Two implementations: binary-heap Dijkstra as the sequential ground truth,
+//! and a round-synchronous parallel Bellmann–Ford-style relaxation (all
+//! edges relaxed per round with atomic distance minima) whose fixpoint is
+//! the same distance vector — a deterministic parallel counterpart, the same
+//! relax-until-stable shape as the components algorithm.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rayon::prelude::*;
+
+use parcsr::WeightedCsr;
+use parcsr_graph::NodeId;
+
+/// Distance value for unreachable nodes.
+pub const INF: u64 = u64::MAX;
+
+/// Sequential Dijkstra. `O((n + m) log n)`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn dijkstra(graph: &WeightedCsr, source: NodeId) -> Vec<u64> {
+    let n = graph.num_nodes();
+    assert!((source as usize) < n, "source {source} out of range");
+    let mut dist = vec![INF; n];
+    dist[source as usize] = 0;
+    // Max-heap of (Reverse(distance), node).
+    let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, NodeId)> = BinaryHeap::new();
+    heap.push((std::cmp::Reverse(0), source));
+    while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        let (targets, weights) = graph.neighbors_weighted(u);
+        for (&v, &w) in targets.iter().zip(weights) {
+            let nd = d + u64::from(w);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push((std::cmp::Reverse(nd), v));
+            }
+        }
+    }
+    dist
+}
+
+/// Parallel round-synchronous relaxation: every round relaxes all out-edges
+/// of every node in parallel (`fetch_min` on the target's distance) until no
+/// distance changes. Terminates within `n` rounds (no negative weights are
+/// representable) at Dijkstra's fixpoint.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn parallel_sssp(graph: &WeightedCsr, source: NodeId) -> Vec<u64> {
+    let n = graph.num_nodes();
+    assert!((source as usize) < n, "source {source} out of range");
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+    loop {
+        let changed = (0..n as NodeId)
+            .into_par_iter()
+            .map(|u| {
+                let du = dist[u as usize].load(Ordering::Relaxed);
+                if du == INF {
+                    return false;
+                }
+                let (targets, weights) = graph.neighbors_weighted(u);
+                let mut changed = false;
+                for (&v, &w) in targets.iter().zip(weights) {
+                    let nd = du + u64::from(w);
+                    if nd < dist[v as usize].load(Ordering::Relaxed) {
+                        changed |= dist[v as usize].fetch_min(nd, Ordering::Relaxed) > nd;
+                    }
+                }
+                changed
+            })
+            .reduce(|| false, |a, b| a | b);
+        if !changed {
+            break;
+        }
+    }
+    dist.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcsr_graph::gen::{rmat, RmatParams};
+    use parcsr_graph::WeightedEdgeList;
+
+    fn wcsr(n: usize, edges: Vec<(u32, u32, u32)>) -> WeightedCsr {
+        WeightedCsr::from_edge_list(&WeightedEdgeList::new(n, edges), 2)
+    }
+
+    #[test]
+    fn textbook_example() {
+        // 0 -> 1 (4), 0 -> 2 (1), 2 -> 1 (2), 1 -> 3 (1), 2 -> 3 (5).
+        let g = wcsr(4, vec![(0, 1, 4), (0, 2, 1), (2, 1, 2), (1, 3, 1), (2, 3, 5)]);
+        let want = vec![0, 3, 1, 4];
+        assert_eq!(dijkstra(&g, 0), want);
+        assert_eq!(parallel_sssp(&g, 0), want);
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_inf() {
+        let g = wcsr(4, vec![(0, 1, 1)]);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d, [0, 1, INF, INF]);
+        assert_eq!(parallel_sssp(&g, 0), d);
+    }
+
+    #[test]
+    fn shorter_multi_hop_beats_direct_edge() {
+        let g = wcsr(3, vec![(0, 2, 10), (0, 1, 2), (1, 2, 3)]);
+        assert_eq!(dijkstra(&g, 0)[2], 5);
+    }
+
+    #[test]
+    fn parallel_equals_dijkstra_on_random_graphs() {
+        for seed in 0..4u64 {
+            let base = rmat(RmatParams::new(256, 3_000, seed));
+            let weighted = WeightedEdgeList::from_unweighted(&base, 100);
+            let g = WeightedCsr::from_edge_list(&weighted, 4);
+            for source in [0u32, 17, 200] {
+                assert_eq!(
+                    parallel_sssp(&g, source),
+                    dijkstra(&g, source),
+                    "seed={seed} source={source}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_loops_are_harmless() {
+        let g = wcsr(2, vec![(0, 0, 5), (0, 1, 1)]);
+        assert_eq!(dijkstra(&g, 0), [0, 1]);
+        assert_eq!(parallel_sssp(&g, 0), [0, 1]);
+    }
+
+    #[test]
+    fn parallel_edges_use_the_cheapest() {
+        let g = wcsr(2, vec![(0, 1, 9), (0, 1, 2), (0, 1, 5)]);
+        assert_eq!(dijkstra(&g, 0)[1], 2);
+        assert_eq!(parallel_sssp(&g, 0)[1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source() {
+        let g = wcsr(2, vec![(0, 1, 1)]);
+        dijkstra(&g, 9);
+    }
+}

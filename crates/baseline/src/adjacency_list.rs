@@ -1,0 +1,117 @@
+//! Adjacency list: one owned, sorted neighbor vector per node.
+//!
+//! The familiar structure CSR flattens. Functionally identical query results,
+//! but per-row heap allocations cost pointer indirection and allocator
+//! overhead — the benches measure both against the CSR family.
+
+use rayon::prelude::*;
+
+use parcsr_graph::{EdgeList, NodeId};
+
+use crate::GraphStore;
+
+/// `Vec<Vec<NodeId>>` with sorted rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjacencyList {
+    rows: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl AdjacencyList {
+    /// Builds from an edge list (duplicates preserved, rows sorted).
+    pub fn from_edge_list(graph: &EdgeList) -> Self {
+        let mut rows: Vec<Vec<NodeId>> = vec![Vec::new(); graph.num_nodes()];
+        for &(u, v) in graph.edges() {
+            rows[u as usize].push(v);
+        }
+        rows.par_iter_mut().for_each(|r| r.sort_unstable());
+        AdjacencyList {
+            rows,
+            num_edges: graph.num_edges(),
+        }
+    }
+
+    /// Direct slice access to a row (what the flattened CSR also offers).
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.rows[u as usize]
+    }
+}
+
+impl GraphStore for AdjacencyList {
+    fn num_nodes(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        self.rows[u as usize].len()
+    }
+
+    fn row_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(&self.rows[u as usize]);
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.rows[u as usize].binary_search(&v).is_ok()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        // Outer vector of (ptr, len, cap) triples plus each row's buffer.
+        self.rows.len() * std::mem::size_of::<Vec<NodeId>>()
+            + self
+                .rows
+                .iter()
+                .map(|r| r.capacity() * std::mem::size_of::<NodeId>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AdjacencyList {
+        AdjacencyList::from_edge_list(&EdgeList::new(
+            4,
+            vec![(0, 3), (0, 1), (2, 0), (0, 1)],
+        ))
+    }
+
+    #[test]
+    fn rows_sorted_with_duplicates() {
+        let a = sample();
+        assert_eq!(a.neighbors(0), [1, 1, 3]);
+        assert_eq!(a.neighbors(2), [0]);
+        assert!(a.neighbors(3).is_empty());
+        assert_eq!(a.num_edges(), 4);
+    }
+
+    #[test]
+    fn queries() {
+        let a = sample();
+        assert!(a.has_edge(0, 3));
+        assert!(!a.has_edge(3, 0));
+        assert_eq!(a.degree(0), 3);
+        let mut row = Vec::new();
+        a.row_into(0, &mut row);
+        assert_eq!(row, [1, 1, 3]);
+    }
+
+    #[test]
+    fn heap_bytes_counts_rows() {
+        let a = sample();
+        // 4 Vec headers (24 bytes each on 64-bit) + at least 4 u32 elements.
+        assert!(a.heap_bytes() >= 4 * 24 + 4 * 4);
+    }
+
+    #[test]
+    fn empty() {
+        let a = AdjacencyList::from_edge_list(&EdgeList::new(0, vec![]));
+        assert_eq!(a.num_nodes(), 0);
+        assert_eq!(a.heap_bytes(), 0);
+    }
+}

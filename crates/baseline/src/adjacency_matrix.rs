@@ -1,0 +1,137 @@
+//! Bit adjacency matrix: `n²` bits, O(1) edge queries.
+//!
+//! The structure the introduction rules out at scale (Friendster at 65M
+//! nodes would need petabytes as a dense matrix) but the natural correctness
+//! oracle and query-speed ceiling for small graphs.
+
+use parcsr_graph::{EdgeList, NodeId};
+
+use crate::GraphStore;
+
+/// Dense boolean adjacency matrix packed one bit per cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjacencyMatrix {
+    n: usize,
+    num_edges: usize,
+    bits: Vec<u64>,
+}
+
+impl AdjacencyMatrix {
+    /// Builds the matrix from an edge list. Duplicate edges collapse (a bit
+    /// is a bit); `num_edges` reports the number of *set bits*.
+    pub fn from_edge_list(graph: &EdgeList) -> Self {
+        let n = graph.num_nodes();
+        let words = (n * n).div_ceil(64);
+        let mut bits = vec![0u64; words];
+        for &(u, v) in graph.edges() {
+            let idx = u as usize * n + v as usize;
+            bits[idx / 64] |= 1 << (idx % 64);
+        }
+        let num_edges = bits.iter().map(|w| w.count_ones() as usize).sum();
+        AdjacencyMatrix { n, num_edges, bits }
+    }
+
+    #[inline]
+    fn bit(&self, u: usize, v: usize) -> bool {
+        let idx = u * self.n + v;
+        (self.bits[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+}
+
+impl GraphStore for AdjacencyMatrix {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        assert!(u < self.n, "node {u} out of range");
+        let mut row = Vec::new();
+        self.row_into(u as NodeId, &mut row);
+        row.len()
+    }
+
+    fn row_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        let u = u as usize;
+        assert!(u < self.n, "node {u} out of range");
+        out.clear();
+        for v in 0..self.n {
+            if self.bit(u, v) {
+                out.push(v as NodeId);
+            }
+        }
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (u, v) = (u as usize, v as usize);
+        assert!(u < self.n && v < self.n, "edge ({u}, {v}) out of range");
+        self.bit(u, v)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AdjacencyMatrix {
+        AdjacencyMatrix::from_edge_list(&EdgeList::new(4, vec![(0, 1), (1, 2), (3, 3), (0, 1)]))
+    }
+
+    #[test]
+    fn membership() {
+        let m = sample();
+        assert!(m.has_edge(0, 1));
+        assert!(m.has_edge(3, 3));
+        assert!(!m.has_edge(1, 0));
+        assert!(!m.has_edge(2, 2));
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        assert_eq!(sample().num_edges(), 3);
+    }
+
+    #[test]
+    fn rows_are_sorted() {
+        let m = AdjacencyMatrix::from_edge_list(&EdgeList::new(5, vec![(2, 4), (2, 0), (2, 3)]));
+        let mut row = Vec::new();
+        m.row_into(2, &mut row);
+        assert_eq!(row, [0, 3, 4]);
+        assert_eq!(m.degree(2), 3);
+    }
+
+    #[test]
+    fn quadratic_memory() {
+        let g = EdgeList::new(1024, vec![(0, 1)]);
+        let m = AdjacencyMatrix::from_edge_list(&g);
+        // 1024² bits = 128 KiB regardless of the single edge.
+        assert_eq!(m.heap_bytes(), 1024 * 1024 / 8);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = AdjacencyMatrix::from_edge_list(&EdgeList::new(0, vec![]));
+        assert_eq!(m.num_nodes(), 0);
+        assert_eq!(m.num_edges(), 0);
+        assert_eq!(m.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn bit_layout_crosses_words() {
+        // n = 9 makes rows straddle 64-bit word boundaries.
+        let edges: Vec<(u32, u32)> = (0..9).map(|i| (i, (i * 2) % 9)).collect();
+        let m = AdjacencyMatrix::from_edge_list(&EdgeList::new(9, edges.clone()));
+        for &(u, v) in &edges {
+            assert!(m.has_edge(u, v), "({u}, {v})");
+        }
+        assert_eq!(m.num_edges(), edges.len());
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Baseline graph stores the paper compares against (Sections I, II, VI):
+//! the adjacency matrix, the adjacency list, and the flat edge list. All
+//! three expose the same query surface as the CSR structures so the benches
+//! can measure identical workloads, and all three report their memory
+//! footprint for the size columns of Table II.
+//!
+//! * [`AdjacencyMatrix`] — a bit matrix (`n²` bits). The representation the
+//!   introduction's Friendster example shows to be hopeless at scale
+//!   (O(1) edge queries, quadratic memory).
+//! * [`AdjacencyList`] — `Vec<Vec<NodeId>>` with sorted rows. The common
+//!   in-memory structure; per-row allocations cost pointer-chasing and heap
+//!   overhead that CSR avoids.
+//! * [`EdgeListStore`] — the sorted flat edge list queried by binary search.
+//!   Cheapest to build (the paper's fourth column), slowest to query per
+//!   neighborhood.
+
+pub mod adjacency_list;
+pub mod adjacency_matrix;
+pub mod edge_list_store;
+
+pub use adjacency_list::AdjacencyList;
+pub use adjacency_matrix::AdjacencyMatrix;
+pub use edge_list_store::EdgeListStore;
+
+use parcsr_graph::NodeId;
+
+/// The query surface shared by every baseline, mirroring the core crate's
+/// `NeighborSource` so benches can template over both.
+pub trait GraphStore {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+    /// Number of directed edges.
+    fn num_edges(&self) -> usize;
+    /// Out-degree of `u`.
+    fn degree(&self, u: NodeId) -> usize;
+    /// Sorted neighbor row of `u`, decoded into `out`.
+    fn row_into(&self, u: NodeId, out: &mut Vec<NodeId>);
+    /// Edge existence.
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool;
+    /// Heap bytes the structure occupies.
+    fn heap_bytes(&self) -> usize;
+}

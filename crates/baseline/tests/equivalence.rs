@@ -1,0 +1,67 @@
+//! Cross-baseline equivalence: every store must answer every query
+//! identically on arbitrary graphs, and the CSR from the core crate must
+//! agree with all of them.
+
+use proptest::prelude::*;
+
+use parcsr::{CsrBuilder, NeighborSource};
+use parcsr_baseline::{AdjacencyList, AdjacencyMatrix, EdgeListStore, GraphStore};
+use parcsr_graph::EdgeList;
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    prop::collection::vec((0u32..60, 0u32..60), 0..200)
+        .prop_map(|edges| {
+            let n = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(1);
+            EdgeList::new(n as usize, edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_stores_agree(g in arb_graph()) {
+        let deduped = g.deduped(); // the matrix collapses duplicates
+        let list = AdjacencyList::from_edge_list(&deduped);
+        let matrix = AdjacencyMatrix::from_edge_list(&deduped);
+        let flat = EdgeListStore::from_edge_list(&deduped);
+        let csr = CsrBuilder::new().build(&deduped);
+
+        prop_assert_eq!(list.num_edges(), matrix.num_edges());
+        prop_assert_eq!(flat.num_edges(), csr.num_edges());
+
+        let n = deduped.num_nodes() as u32;
+        let mut r1 = Vec::new();
+        let mut r2 = Vec::new();
+        let mut r3 = Vec::new();
+        for u in 0..n {
+            GraphStore::row_into(&list, u, &mut r1);
+            GraphStore::row_into(&matrix, u, &mut r2);
+            GraphStore::row_into(&flat, u, &mut r3);
+            prop_assert_eq!(&r1, &r2, "list vs matrix, node {}", u);
+            prop_assert_eq!(&r1, &r3, "list vs flat, node {}", u);
+            prop_assert_eq!(&r1[..], csr.neighbors(u), "list vs csr, node {}", u);
+            prop_assert_eq!(GraphStore::degree(&list, u), NeighborSource::degree(&csr, u));
+            for v in 0..n {
+                let want = GraphStore::has_edge(&matrix, u, v);
+                prop_assert_eq!(GraphStore::has_edge(&list, u, v), want);
+                prop_assert_eq!(GraphStore::has_edge(&flat, u, v), want);
+                prop_assert_eq!(csr.has_edge(u, v), want);
+            }
+        }
+    }
+
+    #[test]
+    fn size_ordering_holds_on_sparse_graphs(
+        edges in prop::collection::vec((0u32..2000, 0u32..2000), 200..400)
+    ) {
+        // For sparse graphs (m << n²/64) the matrix must dwarf both list
+        // structures.
+        let g = EdgeList::new(2000, edges);
+        let matrix = AdjacencyMatrix::from_edge_list(&g);
+        let list = AdjacencyList::from_edge_list(&g);
+        let flat = EdgeListStore::from_edge_list(&g);
+        prop_assert!(matrix.heap_bytes() > list.heap_bytes());
+        prop_assert!(matrix.heap_bytes() > flat.heap_bytes());
+    }
+}

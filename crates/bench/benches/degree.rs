@@ -1,0 +1,41 @@
+//! Degree-computation microbench: the paper's side-array design
+//! (Algorithms 2–3) across processor counts, against the atomic
+//! fetch-add-per-edge ablation (DESIGN.md ablation "boundary side-array").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use parcsr::{degrees_atomic, degrees_parallel, with_processors};
+use parcsr_graph::gen::{rmat, RmatParams};
+use parcsr_graph::Edge;
+
+fn sorted_edges() -> (Vec<Edge>, usize) {
+    let g = rmat(RmatParams::new(1 << 15, 1 << 19, 42)).sorted_by_source();
+    let n = g.num_nodes();
+    (g.into_edges(), n)
+}
+
+fn bench_degree(c: &mut Criterion) {
+    let (edges, n) = sorted_edges();
+    let mut group = c.benchmark_group("degree");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.sample_size(20);
+
+    for &p in &[1usize, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("side-array", p), &edges, |b, edges| {
+            with_processors(p, || {
+                b.iter(|| black_box(degrees_parallel(edges, n, p)));
+            });
+        });
+    }
+
+    group.bench_with_input(BenchmarkId::new("atomic", "pool"), &edges, |b, edges| {
+        b.iter(|| black_box(degrees_atomic(edges, n)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_degree);
+criterion_main!(benches);

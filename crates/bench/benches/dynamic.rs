@@ -1,0 +1,104 @@
+//! Dynamic-structure microbench: PMA-backed edge updates vs. rebuilding the
+//! static CSR — quantifying the trade the related work (PCSR) makes and the
+//! paper declines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use parcsr::CsrBuilder;
+use parcsr_dynamic::{DynamicCsr, Pma};
+use parcsr_graph::gen::{rmat, RmatParams};
+use parcsr_graph::EdgeList;
+
+fn bench_pma_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pma_insert");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[10_000usize, 50_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("random", n), &n, |b, &n| {
+            let keys: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % (4 * n as u64)).collect();
+            b.iter(|| {
+                let mut pma = Pma::new();
+                for &k in &keys {
+                    pma.insert(k);
+                }
+                black_box(pma.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ascending", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pma = Pma::new();
+                for k in 0..n as u64 {
+                    pma.insert(k);
+                }
+                black_box(pma.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_vs_rebuild(c: &mut Criterion) {
+    // The headline comparison: apply k edge updates to (a) a dynamic PCSR,
+    // (b) a static CSR by full rebuild.
+    let base = rmat(RmatParams::new(1 << 13, 1 << 16, 42)).deduped();
+    let updates: Vec<(u32, u32)> = (0..1_000u32)
+        .map(|i| ((i * 48271) % (1 << 13), (i * 16807) % (1 << 13)))
+        .collect();
+
+    let mut group = c.benchmark_group("updates_1000");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    group.bench_function("pcsr-dynamic", |b| {
+        let loaded = DynamicCsr::from_edge_list(&base);
+        b.iter(|| {
+            let mut g = loaded.clone();
+            for &(u, v) in &updates {
+                g.insert_edge(u, v);
+            }
+            black_box(g.num_edges())
+        });
+    });
+    group.bench_function("static-rebuild", |b| {
+        b.iter(|| {
+            let mut edges = base.edges().to_vec();
+            edges.extend_from_slice(&updates);
+            let g = EdgeList::new(base.num_nodes(), edges);
+            black_box(CsrBuilder::new().build(&g).num_edges())
+        });
+    });
+    group.finish();
+}
+
+fn bench_dynamic_queries(c: &mut Criterion) {
+    let base = rmat(RmatParams::new(1 << 13, 1 << 16, 42)).deduped();
+    let dynamic = DynamicCsr::from_edge_list(&base);
+    let csr = CsrBuilder::new().build(&base);
+    let mut group = c.benchmark_group("neighbor_query");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("pcsr-dynamic", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for u in (0..1 << 13).step_by(37) {
+                total += black_box(dynamic.neighbors(u as u32)).len();
+            }
+            total
+        });
+    });
+    group.bench_function("static-csr", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for u in (0..1 << 13).step_by(37) {
+                total += black_box(csr.neighbors(u as u32)).len();
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pma_inserts, bench_update_vs_rebuild, bench_dynamic_queries);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Temporal-structure comparison bench: the differential TCSR vs. the
+//! related-work log structures (EveLog, EdgeLog) on identical workloads —
+//! build time, compressed size, and the point-query cost that motivates
+//! moving beyond sequential log scans.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use parcsr_graph::gen::{temporal_toggles, TemporalParams};
+use parcsr_graph::TemporalEdgeList;
+use parcsr_temporal::{EdgeLog, EveLog, TcsrBuilder};
+
+fn workload() -> TemporalEdgeList {
+    temporal_toggles(TemporalParams::new(1 << 11, 1 << 15, 48, 42))
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let events = workload();
+    let mut group = c.benchmark_group("temporal_build");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    group.bench_function("tcsr", |b| {
+        let builder = TcsrBuilder::new();
+        b.iter(|| black_box(builder.build(&events)));
+    });
+    group.bench_function("evelog", |b| b.iter(|| black_box(EveLog::build(&events))));
+    group.bench_function("edgelog", |b| b.iter(|| black_box(EdgeLog::build(&events))));
+
+    let tcsr = TcsrBuilder::new().build(&events);
+    let eve = EveLog::build(&events);
+    let edge = EdgeLog::build(&events);
+    eprintln!(
+        "temporal sizes: tcsr={} B, evelog={} B, edgelog={} B ({} events, {} frames)",
+        tcsr.packed_bytes(),
+        eve.packed_bytes(),
+        edge.packed_bytes(),
+        events.num_events(),
+        events.num_frames()
+    );
+    group.finish();
+}
+
+fn bench_point_queries(c: &mut Criterion) {
+    let events = workload();
+    let tcsr = TcsrBuilder::new().build(&events);
+    let eve = EveLog::build(&events);
+    let edge = EdgeLog::build(&events);
+    let t = (events.num_frames() - 1) as u32;
+    // Query the busiest vertex (longest log — EveLog's worst case).
+    let u = (0..events.num_nodes() as u32)
+        .max_by_key(|&u| events.events().iter().filter(|e| e.u == u).count())
+        .unwrap();
+    let v = events.events().iter().find(|e| e.u == u).unwrap().v;
+
+    let mut group = c.benchmark_group("temporal_point_query");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("tcsr", |b| b.iter(|| black_box(tcsr.edge_active_at(u, v, t))));
+    group.bench_function("evelog-scan", |b| b.iter(|| black_box(eve.edge_active_at(u, v, t))));
+    group.bench_function("edgelog-intervals", |b| {
+        b.iter(|| black_box(edge.edge_active_at(u, v, t)))
+    });
+    group.finish();
+}
+
+fn bench_neighborhood_queries(c: &mut Criterion) {
+    let events = workload();
+    let tcsr = TcsrBuilder::new().build(&events);
+    let eve = EveLog::build(&events);
+    let edge = EdgeLog::build(&events);
+    let t = (events.num_frames() / 2) as u32;
+    let nodes: Vec<u32> = (0..256).map(|i| (i * 8) as u32).collect();
+
+    let mut group = c.benchmark_group("temporal_neighbors");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    group.bench_function("tcsr", |b| {
+        b.iter(|| {
+            for &u in &nodes {
+                black_box(tcsr.neighbors_at(u, t));
+            }
+        })
+    });
+    group.bench_function("evelog", |b| {
+        b.iter(|| {
+            for &u in &nodes {
+                black_box(eve.neighbors_at(u, t));
+            }
+        })
+    });
+    group.bench_function("edgelog", |b| {
+        b.iter(|| {
+            for &u in &nodes {
+                black_box(edge.neighbors_at(u, t));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds, bench_point_queries, bench_neighborhood_queries);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates Figure 7: speed-up percentage gained from multiprocessing,
+//! one series per dataset (CSV plus a terminal bar plot).
+//!
+//! ```text
+//! cargo run -p parcsr-bench --release --bin fig7 -- [--scale 1.0]
+//! ```
+
+use parcsr_bench::{print_fig7, run_experiment, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    eprintln!(
+        "fig7: scale={} procs={:?} reps={} seed={}",
+        opts.scale, opts.processors, opts.reps, opts.seed
+    );
+    let results = run_experiment(&opts);
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&results).expect("results serialize"));
+    } else {
+        print!("{}", print_fig7(&results));
+    }
+}

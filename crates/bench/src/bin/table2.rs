@@ -1,0 +1,26 @@
+//! Regenerates Table II: compression results per dataset and processor
+//! count, with the paper's published numbers alongside.
+//!
+//! ```text
+//! cargo run -p parcsr-bench --release --bin table2 -- [--scale 1.0] [--procs 1,4,8,16,64]
+//! ```
+
+use parcsr_bench::{print_table2, run_experiment, Options};
+
+fn main() {
+    let opts = Options::from_env();
+    eprintln!(
+        "table2: scale={} procs={:?} reps={} seed={} (host parallelism: {})",
+        opts.scale,
+        opts.processors,
+        opts.reps,
+        opts.seed,
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+    let results = run_experiment(&opts);
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&results).expect("results serialize"));
+    } else {
+        print!("{}", print_table2(&results));
+    }
+}

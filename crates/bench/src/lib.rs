@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness regenerating the paper's evaluation (Section VI).
+//!
+//! Three binaries print the paper's artifacts:
+//!
+//! * `table2` — Table II: per dataset, edge-list size, packed-CSR size, and
+//!   construction time/speed-up for each processor count;
+//! * `fig6` — Figure 6: construction time vs. processor count series;
+//! * `fig7` — Figure 7: speed-up percentage vs. processor count series.
+//!
+//! The `benches/` directory holds Criterion microbenches per pipeline stage
+//! plus the ablations listed in DESIGN.md §4.
+//!
+//! By default the harness synthesizes profile-matched stand-ins at 1/16 of
+//! the published sizes (laptop-friendly); `--scale 1.0` reproduces full-size
+//! runs, and `--data <dir>` reads real SNAP files named `<dataset>.txt`
+//! instead of synthesizing.
+
+pub mod experiment;
+pub mod options;
+pub mod report;
+
+pub use experiment::{run_experiment, DatasetResult, ProcessorSample};
+pub use options::Options;
+pub use report::{format_bytes, print_fig6, print_fig7, print_table2};

@@ -1,0 +1,130 @@
+//! Gap (difference) coding for sorted sequences.
+//!
+//! A CSR row is a sorted neighbor list, so consecutive differences ("gaps")
+//! are much smaller than the node ids themselves; packing gaps instead of
+//! absolute ids shrinks the dominant `jA` array. This is the standard
+//! web-graph trick (WebGraph, Ligra+) and matches the paper's reliance on the
+//! bit-packing scheme of \[7\] for the column array.
+//!
+//! Encoding convention: the first element is kept absolute; every later
+//! element is replaced by `x[i] - x[i-1]`. The input must be non-decreasing
+//! (CSR rows may contain duplicates when the input graph is a multigraph, so
+//! zero gaps are legal).
+
+/// Gap-encodes a non-decreasing slice into a new vector.
+///
+/// # Panics
+///
+/// Panics if the input is not sorted (non-decreasing).
+pub fn encode_gaps(sorted: &[u64]) -> Vec<u64> {
+    let mut out = sorted.to_vec();
+    encode_gaps_in_place(&mut out);
+    out
+}
+
+/// Gap-encodes in place.
+///
+/// # Panics
+///
+/// Panics if the input is not sorted (non-decreasing).
+pub fn encode_gaps_in_place(sorted: &mut [u64]) {
+    for i in (1..sorted.len()).rev() {
+        assert!(
+            sorted[i] >= sorted[i - 1],
+            "gap coding requires a sorted input: x[{}]={} < x[{}]={}",
+            i,
+            sorted[i],
+            i - 1,
+            sorted[i - 1]
+        );
+        sorted[i] -= sorted[i - 1];
+    }
+}
+
+/// Decodes a gap-encoded slice into a new vector.
+pub fn decode_gaps(gaps: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    decode_gaps_into(gaps, &mut out);
+    out
+}
+
+/// Decodes into `out` (cleared first). Decoding is a prefix sum — the same
+/// operation the scan crate parallelizes.
+pub fn decode_gaps_into(gaps: &[u64], out: &mut Vec<u64>) {
+    out.clear();
+    out.reserve(gaps.len());
+    let mut acc = 0u64;
+    for (i, &g) in gaps.iter().enumerate() {
+        acc = if i == 0 { g } else { acc + g };
+        out.push(acc);
+    }
+}
+
+/// The largest gap in a non-decreasing slice (0 for empty or singleton
+/// slices). Determines the pack width for the gap-coded tail of a row.
+pub fn max_gap(sorted: &[u64]) -> u64 {
+    sorted.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let sorted = vec![3u64, 7, 7, 10, 100, 101];
+        let gaps = encode_gaps(&sorted);
+        assert_eq!(gaps, [3, 4, 0, 3, 90, 1]);
+        assert_eq!(decode_gaps(&gaps), sorted);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(encode_gaps(&[]), Vec::<u64>::new());
+        assert_eq!(decode_gaps(&[]), Vec::<u64>::new());
+        assert_eq!(encode_gaps(&[42]), vec![42]);
+        assert_eq!(decode_gaps(&[42]), vec![42]);
+    }
+
+    #[test]
+    fn in_place_matches_copying() {
+        let sorted: Vec<u64> = (0..50).map(|i| i * 3).collect();
+        let mut in_place = sorted.clone();
+        encode_gaps_in_place(&mut in_place);
+        assert_eq!(in_place, encode_gaps(&sorted));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a sorted input")]
+    fn unsorted_panics() {
+        encode_gaps(&[5, 3]);
+    }
+
+    #[test]
+    fn max_gap_cases() {
+        assert_eq!(max_gap(&[]), 0);
+        assert_eq!(max_gap(&[9]), 0);
+        assert_eq!(max_gap(&[1, 2, 3]), 1);
+        assert_eq!(max_gap(&[1, 100, 101]), 99);
+        assert_eq!(max_gap(&[7, 7, 7]), 0);
+    }
+
+    #[test]
+    fn decode_into_reuses_buffer() {
+        let mut out = Vec::with_capacity(100);
+        decode_gaps_into(&[5, 1, 1], &mut out);
+        assert_eq!(out, [5, 6, 7]);
+        decode_gaps_into(&[2], &mut out);
+        assert_eq!(out, [2]);
+    }
+
+    #[test]
+    fn gaps_shrink_widths_on_clustered_data() {
+        use crate::fixed::bits_needed;
+        // Neighbors clustered near 1e6: absolute ids need 20 bits, gaps 4.
+        let sorted: Vec<u64> = (0..100).map(|i| 1_000_000 + i * 10).collect();
+        let abs_width = bits_needed(*sorted.iter().max().unwrap());
+        let gap_width = bits_needed(max_gap(&sorted));
+        assert!(gap_width * 4 <= abs_width);
+    }
+}

@@ -1,0 +1,132 @@
+//! LEB128 variable-length integers.
+//!
+//! The byte-aligned comparison codec: the related-work log structures
+//! (EveLog/EdgeLog) gap-compress with byte-oriented variable-length codes.
+//! The benches use this module to show where fixed-width bit packing wins
+//! (uniform small values) and where varints win (heavy-tailed gaps).
+
+/// Appends the LEB128 encoding of `value` to `out`; returns the number of
+/// bytes written (1..=10).
+pub fn varint_encode(mut value: u64, out: &mut Vec<u8>) -> usize {
+    let mut n = 0;
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        n += 1;
+        if value == 0 {
+            out.push(byte);
+            return n;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 value from `bytes` starting at `pos`.
+/// Returns `(value, new_pos)`.
+///
+/// # Panics
+///
+/// Panics on truncated input or on encodings longer than 10 bytes
+/// (which cannot arise from [`varint_encode`]).
+pub fn varint_decode(bytes: &[u8], mut pos: usize) -> (u64, usize) {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        assert!(pos < bytes.len(), "truncated varint at byte {pos}");
+        assert!(shift < 70, "varint longer than 10 bytes");
+        let byte = bytes[pos];
+        pos += 1;
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return (value, pos);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes a whole slice; returns the byte stream.
+pub fn varint_encode_stream(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len());
+    for &v in values {
+        varint_encode(v, &mut out);
+    }
+    out
+}
+
+/// Decodes a stream produced by [`varint_encode_stream`].
+///
+/// # Panics
+///
+/// Panics if the stream is truncated.
+pub fn varint_decode_stream(bytes: &[u8]) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let (v, next) = varint_decode(bytes, pos);
+        out.push(v);
+        pos = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_byte_values() {
+        for v in 0u64..128 {
+            let mut buf = Vec::new();
+            assert_eq!(varint_encode(v, &mut buf), 1);
+            assert_eq!(varint_decode(&buf, 0), (v, 1));
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        let cases: [(u64, usize); 6] = [
+            (127, 1),
+            (128, 2),
+            (16_383, 2),
+            (16_384, 3),
+            (u64::MAX, 10),
+            (0, 1),
+        ];
+        for (v, len) in cases {
+            let mut buf = Vec::new();
+            assert_eq!(varint_encode(v, &mut buf), len, "v={v}");
+            assert_eq!(buf.len(), len);
+            assert_eq!(varint_decode(&buf, 0).0, v);
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let values: Vec<u64> = (0..1000).map(|i| (i * i * 31) % 1_000_003).collect();
+        let bytes = varint_encode_stream(&values);
+        assert_eq!(varint_decode_stream(&bytes), values);
+    }
+
+    #[test]
+    fn stream_of_small_gaps_is_one_byte_each() {
+        let gaps = vec![1u64; 500];
+        assert_eq!(varint_encode_stream(&gaps).len(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_input_panics() {
+        varint_decode(&[0x80], 0);
+    }
+
+    #[test]
+    fn decode_at_offset() {
+        let mut buf = Vec::new();
+        varint_encode(300, &mut buf); // 2 bytes
+        varint_encode(7, &mut buf); // 1 byte
+        let (v1, p1) = varint_decode(&buf, 0);
+        assert_eq!((v1, p1), (300, 2));
+        let (v2, p2) = varint_decode(&buf, p1);
+        assert_eq!((v2, p2), (7, 3));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! `parcsr` command-line tool: the operational wrapper around the library —
+//! generate a synthetic social network, compress a SNAP file into the packed
+//! CSR format, inspect the result, and query it, all without writing Rust.
+//!
+//! ```text
+//! parcsr generate --model rmat --nodes 65536 --edges 1048576 --out g.txt
+//! parcsr stats g.txt
+//! parcsr compress g.txt --out g.pcsr --mode gap
+//! parcsr info g.pcsr
+//! parcsr query g.pcsr --neighbors 0,1,2
+//! parcsr query g.pcsr --edge 0,42
+//! ```
+//!
+//! Every command is a pure function from arguments to a report string, so
+//! the whole surface is unit-testable; `main` only prints.
+
+pub mod commands;
+pub mod parse;
+
+pub use commands::execute;
+pub use parse::{Command, ParseError};
+
+/// Parses and executes an argument list, returning the report to print.
+pub fn run<I>(args: I) -> Result<String, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let command = Command::parse(args).map_err(|e| e.to_string())?;
+    execute(&command).map_err(|e| e.to_string())
+}

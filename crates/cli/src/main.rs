@@ -1,0 +1,11 @@
+//! `parcsr` binary entry point: parse, execute, print.
+
+fn main() {
+    match parcsr_cli::run(std::env::args().skip(1)) {
+        Ok(report) => println!("{report}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Parallel CSR construction (Section III).
+//!
+//! Pipeline: sort the edge list by source (precondition of Algorithm 2) →
+//! compute the degree array in parallel (Algorithms 2–3) → prefix-sum the
+//! degrees into row offsets (Algorithm 1 / any scan in `parcsr-scan`) →
+//! fill the column array in parallel. Because the edge list is sorted by
+//! `(source, target)`, the column array *is* the target column of the sorted
+//! list, so the fill is a parallel copy and every row comes out sorted —
+//! which the query algorithms exploit for binary search.
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use parcsr_graph::{EdgeList, NodeId};
+use parcsr_scan::{ScanAlgorithm, Scanner};
+
+use crate::degree::degrees_parallel;
+
+/// A Compressed Sparse Row graph: `offsets` (the paper's `iA`, as row start
+/// indices) and `targets` (the paper's `jA`). Unweighted, so there is no
+/// value array (`vA`) — "an unweighted array is also a boolean array".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    num_nodes: usize,
+    /// `num_nodes + 1` row offsets; row `u` occupies
+    /// `targets[offsets[u]..offsets[u+1]]`.
+    offsets: Vec<u64>,
+    /// Concatenated neighbor lists, each sorted ascending.
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Sequential reference constructor (counting sort). The `p = 1` ground
+    /// truth the parallel builder is verified against.
+    pub fn from_edge_list_sequential(graph: &EdgeList) -> Csr {
+        let n = graph.num_nodes();
+        let degrees = graph.degrees_sequential();
+        let mut offsets = vec![0u64; n + 1];
+        for u in 0..n {
+            offsets[u + 1] = offsets[u] + u64::from(degrees[u]);
+        }
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![0 as NodeId; graph.num_edges()];
+        for &(u, v) in graph.edges() {
+            let slot = cursor[u as usize];
+            targets[slot as usize] = v;
+            cursor[u as usize] += 1;
+        }
+        // Counting sort preserves input order within a row; sort each row so
+        // all constructors agree on a canonical CSR.
+        for u in 0..n {
+            let (s, e) = (offsets[u] as usize, offsets[u + 1] as usize);
+            targets[s..e].sort_unstable();
+        }
+        Csr {
+            num_nodes: n,
+            offsets,
+            targets,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        assert!(u < self.num_nodes, "node {u} out of range");
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// The sorted neighbor list of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let i = u as usize;
+        assert!(i < self.num_nodes, "node {u} out of range");
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Edge-existence via binary search on the sorted row. `O(log deg(u))`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// The row offset array (`iA`).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The column array (`jA`).
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Heap bytes of the uncompressed structure (offsets + targets).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u64>()
+            + self.targets.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// The transposed CSR (every edge reversed): in-neighbor queries on the
+    /// original graph become out-neighbor queries on the transpose. Built
+    /// with the parallel pipeline.
+    pub fn transposed(&self) -> Csr {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for u in 0..self.num_nodes as NodeId {
+            edges.extend(self.neighbors(u).iter().map(|&v| (v, u)));
+        }
+        CsrBuilder::new().build(&EdgeList::new(self.num_nodes, edges))
+    }
+
+    /// Internal consistency check: offsets monotone, bounds meet the edge
+    /// count, rows sorted, targets in range. Used by tests and debug
+    /// assertions; `O(n + m)`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.len() != self.num_nodes + 1 {
+            return Err(format!(
+                "offsets length {} != num_nodes + 1 = {}",
+                self.offsets.len(),
+                self.num_nodes + 1
+            ));
+        }
+        if self.offsets.first() != Some(&0) {
+            return Err("offsets must start at 0".into());
+        }
+        if *self.offsets.last().unwrap() != self.targets.len() as u64 {
+            return Err(format!(
+                "last offset {} != edge count {}",
+                self.offsets.last().unwrap(),
+                self.targets.len()
+            ));
+        }
+        for w in self.offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("offsets must be non-decreasing".into());
+            }
+        }
+        for u in 0..self.num_nodes {
+            let row = &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize];
+            if !row.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(format!("row {u} is not sorted"));
+            }
+            if let Some(&bad) = row.iter().find(|&&v| v as usize >= self.num_nodes) {
+                return Err(format!("row {u} references out-of-range node {bad}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock milliseconds per construction stage — what Figure 6's curves
+/// decompose into.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BuildTimings {
+    /// Parallel sort of the edge list (0 when the input was pre-sorted).
+    pub sort_ms: f64,
+    /// Parallel degree computation (Algorithms 2–3).
+    pub degree_ms: f64,
+    /// Prefix-sum of the degree array (Algorithm 1).
+    pub scan_ms: f64,
+    /// Parallel column-array fill.
+    pub fill_ms: f64,
+}
+
+impl BuildTimings {
+    /// Total construction time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.sort_ms + self.degree_ms + self.scan_ms + self.fill_ms
+    }
+}
+
+/// Configurable parallel CSR builder.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrBuilder {
+    processors: usize,
+    scan: ScanAlgorithm,
+}
+
+impl CsrBuilder {
+    /// Builder with the paper's defaults: chunked scan, one chunk per
+    /// current rayon thread.
+    pub fn new() -> Self {
+        CsrBuilder {
+            processors: rayon::current_num_threads(),
+            scan: ScanAlgorithm::Chunked,
+        }
+    }
+
+    /// Sets the logical processor count (number of chunks).
+    pub fn processors(mut self, p: usize) -> Self {
+        self.processors = p.max(1);
+        self
+    }
+
+    /// Sets the scan algorithm used for the offset array.
+    pub fn scan_algorithm(mut self, alg: ScanAlgorithm) -> Self {
+        self.scan = alg;
+        self
+    }
+
+    /// Builds the CSR, sorting a copy of the edge list first.
+    pub fn build(&self, graph: &EdgeList) -> Csr {
+        self.build_timed(graph).0
+    }
+
+    /// Builds the CSR and reports per-stage timings.
+    pub fn build_timed(&self, graph: &EdgeList) -> (Csr, BuildTimings) {
+        let mut timings = BuildTimings::default();
+        let t = Instant::now();
+        let sorted = graph.sorted_by_source();
+        timings.sort_ms = ms_since(t);
+        let csr = self.build_from_sorted_inner(&sorted, &mut timings);
+        (csr, timings)
+    }
+
+    /// Builds from an already-sorted edge list (the paper's assumed input;
+    /// skips the sort stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge list is not sorted by source.
+    pub fn build_from_sorted(&self, graph: &EdgeList) -> (Csr, BuildTimings) {
+        let mut timings = BuildTimings::default();
+        let csr = self.build_from_sorted_inner(graph, &mut timings);
+        (csr, timings)
+    }
+
+    fn build_from_sorted_inner(&self, sorted: &EdgeList, timings: &mut BuildTimings) -> Csr {
+        let n = sorted.num_nodes();
+        let p = self.processors;
+
+        // Algorithms 2-3: parallel degree array.
+        let t = Instant::now();
+        let degrees = degrees_parallel(sorted.edges(), n, p);
+        timings.degree_ms = ms_since(t);
+
+        // Algorithm 1: prefix sum -> row offsets (exclusive scan, one extra
+        // trailing slot holding the total).
+        let t = Instant::now();
+        let degrees64: Vec<u64> = degrees.iter().map(|&d| u64::from(d)).collect();
+        let scanner = Scanner::with_chunks(self.scan, p);
+        let mut offsets = scanner.exclusive_scan(&degrees64);
+        offsets.push(sorted.num_edges() as u64);
+        timings.scan_ms = ms_since(t);
+
+        // Column fill: the sorted edge list's target column, copied in
+        // parallel.
+        let t = Instant::now();
+        let targets: Vec<NodeId> = sorted.edges().par_iter().map(|&(_, v)| v).collect();
+        timings.fill_ms = ms_since(t);
+
+        let csr = Csr {
+            num_nodes: n,
+            offsets,
+            targets,
+        };
+        debug_assert_eq!(csr.validate(), Ok(()));
+        csr
+    }
+}
+
+impl Default for CsrBuilder {
+    fn default() -> Self {
+        CsrBuilder::new()
+    }
+}
+
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcsr_graph::gen::{erdos_renyi, rmat, ErParams, RmatParams};
+
+    fn paper_example() -> EdgeList {
+        // The 10-node graph of Table I (upper triangular + mirrored rows as
+        // printed in the matrix).
+        EdgeList::new(
+            10,
+            vec![
+                (0, 5),
+                (1, 6),
+                (1, 7),
+                (2, 7),
+                (3, 8),
+                (3, 9),
+                (4, 9),
+                (5, 0),
+                (6, 1),
+                (7, 1),
+                (7, 2),
+                (8, 2),
+                (8, 3),
+                (9, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn paper_table_i_graph() {
+        let csr = CsrBuilder::new().build(&paper_example());
+        assert_eq!(csr.num_nodes(), 10);
+        assert_eq!(csr.num_edges(), 14);
+        assert_eq!(csr.neighbors(1), [6, 7]);
+        assert_eq!(csr.neighbors(7), [1, 2]);
+        assert_eq!(csr.degree(0), 1);
+        assert!(csr.has_edge(3, 9));
+        assert!(!csr.has_edge(3, 7));
+        assert_eq!(csr.validate(), Ok(()));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_reference() {
+        let g = rmat(RmatParams::new(1 << 9, 10_000, 17));
+        let want = Csr::from_edge_list_sequential(&g);
+        for p in [1, 2, 4, 8, 32] {
+            let got = CsrBuilder::new().processors(p).build(&g);
+            assert_eq!(got, want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn all_scan_algorithms_agree() {
+        let g = erdos_renyi(ErParams::new(700, 5_000, 5));
+        let want = Csr::from_edge_list_sequential(&g);
+        for alg in ScanAlgorithm::ALL {
+            let got = CsrBuilder::new().processors(6).scan_algorithm(alg).build(&g);
+            assert_eq!(got, want, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = EdgeList::new(0, vec![]);
+        let csr = CsrBuilder::new().build(&g);
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.offsets(), [0]);
+        assert_eq!(csr.validate(), Ok(()));
+    }
+
+    #[test]
+    fn nodes_without_edges() {
+        let g = EdgeList::new(6, vec![(2, 3)]);
+        let csr = CsrBuilder::new().build(&g);
+        assert_eq!(csr.degree(0), 0);
+        assert_eq!(csr.degree(2), 1);
+        assert_eq!(csr.degree(5), 0);
+        assert!(csr.neighbors(5).is_empty());
+    }
+
+    #[test]
+    fn duplicate_edges_are_preserved() {
+        // Multigraph input: CSR stores both copies (dedup is the caller's
+        // choice via EdgeList::deduped).
+        let g = EdgeList::new(3, vec![(0, 1), (0, 1), (1, 2)]);
+        let csr = CsrBuilder::new().build(&g);
+        assert_eq!(csr.neighbors(0), [1, 1]);
+        assert_eq!(csr.num_edges(), 3);
+    }
+
+    #[test]
+    fn build_from_sorted_skips_sort() {
+        let g = rmat(RmatParams::new(256, 2_000, 9)).sorted_by_source();
+        let (csr, timings) = CsrBuilder::new().build_from_sorted(&g);
+        assert_eq!(timings.sort_ms, 0.0);
+        assert!(timings.total_ms() >= 0.0);
+        assert_eq!(csr.num_edges(), 2_000);
+    }
+
+    #[test]
+    fn timings_cover_all_stages() {
+        let g = rmat(RmatParams::new(1 << 10, 50_000, 2));
+        let (_, t) = CsrBuilder::new().build_timed(&g);
+        assert!(t.sort_ms > 0.0);
+        assert!(t.total_ms() >= t.sort_ms + t.degree_ms);
+    }
+
+    #[test]
+    fn rows_are_sorted_for_binary_search() {
+        let g = rmat(RmatParams::new(512, 8_000, 33));
+        let csr = CsrBuilder::new().build(&g);
+        for u in 0..csr.num_nodes() as NodeId {
+            let row = csr.neighbors(u);
+            assert!(row.windows(2).all(|w| w[0] <= w[1]), "row {u}");
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_every_edge() {
+        let g = rmat(RmatParams::new(256, 2_000, 41));
+        let csr = CsrBuilder::new().build(&g);
+        let t = csr.transposed();
+        assert_eq!(t.num_edges(), csr.num_edges());
+        for u in 0..csr.num_nodes() as NodeId {
+            for &v in csr.neighbors(u) {
+                assert!(t.has_edge(v, u), "({u}, {v}) missing from transpose");
+            }
+        }
+        // Double transpose is the identity.
+        assert_eq!(t.transposed(), csr);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let g = EdgeList::new(3, vec![(0, 1), (1, 2)]);
+        let mut csr = CsrBuilder::new().build(&g);
+        csr.offsets[1] = 99;
+        assert!(csr.validate().is_err());
+    }
+
+    #[test]
+    fn heap_bytes_accounting() {
+        let g = EdgeList::new(2, vec![(0, 1)]);
+        let csr = CsrBuilder::new().build(&g);
+        // 3 offsets * 8 + 1 target * 4.
+        assert_eq!(csr.heap_bytes(), 28);
+    }
+}

@@ -1,0 +1,382 @@
+//! Algorithm 4: the bit-packed CSR.
+//!
+//! Both CSR arrays are compressed with the fixed-width codec of Gopal et al.
+//! \[7\], chunk-parallel with a bit-array merge (`parcsr_bitpack::parallel`):
+//!
+//! * the offset array `iA` packs at `⌈log2(m+1)⌉` bits per entry;
+//! * the column array `jA` packs at `⌈log2(n)⌉` bits per entry in
+//!   [`PackedCsrMode::Raw`], or — in [`PackedCsrMode::Gap`] — each row is
+//!   first gap-coded (head absolute, tail as consecutive differences), which
+//!   lowers the uniform width on clustered neighbor lists.
+//!
+//! Because every `jA` element occupies the same number of bits, row `u`
+//! starts at bit `offsets[u] · width` — the property `GetRowFromCSR` \[28\]
+//! needs to extract a row straight out of the bit array without touching
+//! anything else. That extraction is [`BitPackedCsr::row_into`].
+
+use rayon::prelude::*;
+
+use parcsr_bitpack::{bits_needed, pack_parallel_with_width, PackedArray};
+use parcsr_graph::NodeId;
+
+use crate::build::Csr;
+
+/// How the column array is transformed before packing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PackedCsrMode {
+    /// Pack absolute neighbor ids.
+    Raw,
+    /// Gap-code each row (head absolute, tail as differences), then pack.
+    /// Same O(1) row addressing; decoding a row is a running sum.
+    Gap,
+}
+
+impl PackedCsrMode {
+    /// Stable name for bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PackedCsrMode::Raw => "raw",
+            PackedCsrMode::Gap => "gap",
+        }
+    }
+}
+
+/// A CSR with both arrays bit-packed (the output of Algorithm 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPackedCsr {
+    num_nodes: usize,
+    num_edges: usize,
+    mode: PackedCsrMode,
+    /// Packed `iA`: `num_nodes + 1` row offsets.
+    offsets: PackedArray,
+    /// Packed `jA`: `num_edges` entries (absolute or gap-coded per row).
+    columns: PackedArray,
+}
+
+impl BitPackedCsr {
+    /// Packs a CSR using `processors` parallel packers per array
+    /// (Algorithm 4 runs the bit-pack once for `iA` and once for `jA`).
+    pub fn from_csr(csr: &Csr, mode: PackedCsrMode, processors: usize) -> Self {
+        let offsets = pack_parallel_with_width(
+            csr.offsets(),
+            processors,
+            bits_needed(csr.num_edges() as u64),
+        );
+
+        let column_values: Vec<u64> = match mode {
+            PackedCsrMode::Raw => csr.targets().par_iter().map(|&v| u64::from(v)).collect(),
+            PackedCsrMode::Gap => {
+                // Gap-code each row independently, in parallel over rows.
+                let mut out = vec![0u64; csr.num_edges()];
+                let starts: Vec<usize> = (0..csr.num_nodes())
+                    .map(|u| csr.offsets()[u] as usize)
+                    .collect();
+                // Split the output at row boundaries so rows can be written
+                // in parallel without overlap.
+                let mut slices: Vec<(usize, &mut [u64])> = Vec::with_capacity(csr.num_nodes());
+                {
+                    let mut rest: &mut [u64] = &mut out;
+                    let mut consumed = 0usize;
+                    for (u, &s) in starts.iter().enumerate() {
+                        let end = csr.offsets()[u + 1] as usize;
+                        let (_, r) = std::mem::take(&mut rest).split_at_mut(s - consumed);
+                        let (row, r) = r.split_at_mut(end - s);
+                        slices.push((u, row));
+                        rest = r;
+                        consumed = end;
+                    }
+                }
+                slices.into_par_iter().for_each(|(u, row)| {
+                    let neigh = csr.neighbors(u as NodeId);
+                    if let Some((&head, tail)) = neigh.split_first() {
+                        row[0] = u64::from(head);
+                        let mut prev = head;
+                        for (slot, &v) in row[1..].iter_mut().zip(tail) {
+                            *slot = u64::from(v - prev);
+                            prev = v;
+                        }
+                    }
+                });
+                out
+            }
+        };
+
+        let col_width = bits_needed(column_values.iter().copied().max().unwrap_or(0));
+        let columns = pack_parallel_with_width(&column_values, processors, col_width);
+
+        BitPackedCsr {
+            num_nodes: csr.num_nodes(),
+            num_edges: csr.num_edges(),
+            mode,
+            offsets,
+            columns,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Packing mode of the column array.
+    pub fn mode(&self) -> PackedCsrMode {
+        self.mode
+    }
+
+    /// Out-degree of `u`, read from the packed offset array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        let i = u as usize;
+        assert!(i < self.num_nodes, "node {u} out of range");
+        (self.offsets.get(i + 1) - self.offsets.get(i)) as usize
+    }
+
+    /// `GetRowFromCSR` \[28\]: decodes `u`'s neighbor row out of the packed
+    /// bit array into `out` (cleared first). O(deg(u)) bit reads starting at
+    /// bit `offsets[u] · width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn row_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        let i = u as usize;
+        assert!(i < self.num_nodes, "node {u} out of range");
+        let start = self.offsets.get(i) as usize;
+        let deg = self.offsets.get(i + 1) as usize - start;
+        out.clear();
+        out.reserve(deg);
+        let mut raw = Vec::with_capacity(deg);
+        self.columns.decode_range_into(start, deg, &mut raw);
+        match self.mode {
+            PackedCsrMode::Raw => out.extend(raw.iter().map(|&v| v as NodeId)),
+            PackedCsrMode::Gap => {
+                let mut acc = 0u64;
+                for (k, &g) in raw.iter().enumerate() {
+                    acc = if k == 0 { g } else { acc + g };
+                    out.push(acc as NodeId);
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper over [`row_into`](Self::row_into).
+    pub fn row(&self, u: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.row_into(u, &mut out);
+        out
+    }
+
+    /// Edge existence by decoding `u`'s row and scanning — the primitive the
+    /// query algorithms batch and split. In [`PackedCsrMode::Raw`] the scan
+    /// stops early (rows are sorted); in gap mode the running sum must pass
+    /// `v` anyway, so the cost is the same.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let i = u as usize;
+        assert!(i < self.num_nodes, "node {u} out of range");
+        let start = self.offsets.get(i) as usize;
+        let deg = self.offsets.get(i + 1) as usize - start;
+        let mut raw = Vec::with_capacity(deg);
+        self.columns.decode_range_into(start, deg, &mut raw);
+        match self.mode {
+            PackedCsrMode::Raw => raw.binary_search(&u64::from(v)).is_ok(),
+            PackedCsrMode::Gap => {
+                let mut acc = 0u64;
+                for (k, &g) in raw.iter().enumerate() {
+                    acc = if k == 0 { g } else { acc + g };
+                    if acc >= u64::from(v) {
+                        return acc == u64::from(v);
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Total compact size in bytes (both packed arrays).
+    pub fn packed_bytes(&self) -> usize {
+        self.offsets.packed_bytes() + self.columns.packed_bytes()
+    }
+
+    /// Bits per column entry.
+    pub fn column_width(&self) -> u32 {
+        self.columns.width()
+    }
+
+    /// Bits per offset entry.
+    pub fn offset_width(&self) -> u32 {
+        self.offsets.width()
+    }
+
+    /// The packed offset array (`iA`) — exposed for serialization.
+    pub fn offsets_array(&self) -> &PackedArray {
+        &self.offsets
+    }
+
+    /// The packed column array (`jA`) — exposed for serialization.
+    pub fn columns_array(&self) -> &PackedArray {
+        &self.columns
+    }
+
+    /// Reassembles a packed CSR from its parts (the deserialization path;
+    /// callers must have validated the structural invariants).
+    pub(crate) fn from_parts(
+        num_nodes: usize,
+        num_edges: usize,
+        mode: PackedCsrMode,
+        offsets: PackedArray,
+        columns: PackedArray,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), num_nodes + 1);
+        debug_assert_eq!(columns.len(), num_edges);
+        BitPackedCsr {
+            num_nodes,
+            num_edges,
+            mode,
+            offsets,
+            columns,
+        }
+    }
+
+    /// Reconstructs the full CSR (used by tests to prove losslessness).
+    pub fn unpack(&self) -> Csr {
+        let mut edges = Vec::with_capacity(self.num_edges);
+        let mut row = Vec::new();
+        for u in 0..self.num_nodes {
+            self.row_into(u as NodeId, &mut row);
+            edges.extend(row.iter().map(|&v| (u as NodeId, v)));
+        }
+        let graph = parcsr_graph::EdgeList::new(self.num_nodes, edges);
+        Csr::from_edge_list_sequential(&graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::CsrBuilder;
+    use parcsr_graph::gen::{rmat, RmatParams};
+    use parcsr_graph::EdgeList;
+
+    fn sample_csr() -> Csr {
+        let g = rmat(RmatParams::new(512, 6_000, 21));
+        CsrBuilder::new().build(&g)
+    }
+
+    #[test]
+    fn roundtrip_raw_and_gap() {
+        let csr = sample_csr();
+        for mode in [PackedCsrMode::Raw, PackedCsrMode::Gap] {
+            let packed = BitPackedCsr::from_csr(&csr, mode, 4);
+            assert_eq!(packed.unpack(), csr, "{}", mode.name());
+        }
+    }
+
+    #[test]
+    fn rows_match_unpacked() {
+        let csr = sample_csr();
+        let packed = BitPackedCsr::from_csr(&csr, PackedCsrMode::Gap, 4);
+        for u in 0..csr.num_nodes() as NodeId {
+            assert_eq!(packed.row(u), csr.neighbors(u), "row {u}");
+            assert_eq!(packed.degree(u), csr.degree(u));
+        }
+    }
+
+    #[test]
+    fn has_edge_agrees_with_csr() {
+        let csr = sample_csr();
+        for mode in [PackedCsrMode::Raw, PackedCsrMode::Gap] {
+            let packed = BitPackedCsr::from_csr(&csr, mode, 3);
+            for u in (0..512u32).step_by(7) {
+                for v in (0..512u32).step_by(11) {
+                    assert_eq!(
+                        packed.has_edge(u, v),
+                        csr.has_edge(u, v),
+                        "({u}, {v}) {}",
+                        mode.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packing_compresses() {
+        let csr = sample_csr();
+        let packed = BitPackedCsr::from_csr(&csr, PackedCsrMode::Raw, 4);
+        assert!(
+            packed.packed_bytes() < csr.heap_bytes(),
+            "{} !< {}",
+            packed.packed_bytes(),
+            csr.heap_bytes()
+        );
+        // 512 nodes -> 9-bit columns vs 32-bit raw.
+        assert_eq!(packed.column_width(), 9);
+    }
+
+    #[test]
+    fn gap_mode_never_wider_than_raw() {
+        let csr = sample_csr();
+        let raw = BitPackedCsr::from_csr(&csr, PackedCsrMode::Raw, 4);
+        let gap = BitPackedCsr::from_csr(&csr, PackedCsrMode::Gap, 4);
+        assert!(gap.column_width() <= raw.column_width());
+    }
+
+    #[test]
+    fn processor_count_does_not_change_output() {
+        let csr = sample_csr();
+        let base = BitPackedCsr::from_csr(&csr, PackedCsrMode::Gap, 1);
+        for p in [2, 3, 8, 64] {
+            assert_eq!(BitPackedCsr::from_csr(&csr, PackedCsrMode::Gap, p), base);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = CsrBuilder::new().build(&EdgeList::new(0, vec![]));
+        let packed = BitPackedCsr::from_csr(&csr, PackedCsrMode::Raw, 4);
+        assert_eq!(packed.num_nodes(), 0);
+        assert_eq!(packed.num_edges(), 0);
+    }
+
+    #[test]
+    fn graph_with_empty_rows() {
+        let g = EdgeList::new(8, vec![(1, 7), (1, 2), (6, 0)]);
+        let csr = CsrBuilder::new().build(&g);
+        for mode in [PackedCsrMode::Raw, PackedCsrMode::Gap] {
+            let packed = BitPackedCsr::from_csr(&csr, mode, 4);
+            assert!(packed.row(0).is_empty());
+            assert_eq!(packed.row(1), [2, 7]);
+            assert!(packed.row(5).is_empty());
+            assert_eq!(packed.row(6), [0]);
+            assert_eq!(packed.degree(7), 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_neighbors_roundtrip_in_gap_mode() {
+        // Multigraph row [3, 3] gives a zero gap.
+        let g = EdgeList::new(5, vec![(0, 3), (0, 3), (0, 4)]);
+        let csr = CsrBuilder::new().build(&g);
+        let packed = BitPackedCsr::from_csr(&csr, PackedCsrMode::Gap, 2);
+        assert_eq!(packed.row(0), [3, 3, 4]);
+        assert!(packed.has_edge(0, 3));
+    }
+
+    #[test]
+    fn single_node_self_loop() {
+        let g = EdgeList::new(1, vec![(0, 0)]);
+        let csr = CsrBuilder::new().build(&g);
+        let packed = BitPackedCsr::from_csr(&csr, PackedCsrMode::Gap, 2);
+        assert_eq!(packed.row(0), [0]);
+        assert!(packed.has_edge(0, 0));
+    }
+}

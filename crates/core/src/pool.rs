@@ -1,0 +1,56 @@
+//! Explicit processor-count control.
+//!
+//! The paper's evaluation sweeps the number of processors (Table II's sixth
+//! column: p ∈ {1, 4, 8, 16, 64}). Rayon's global pool is sized once at
+//! startup, so the sweep instead pins each measurement to a dedicated
+//! `p`-thread pool via [`with_processors`]. All parallel routines in this
+//! workspace use rayon's *current* pool, so running them inside the closure
+//! confines them to exactly `p` worker threads. `p` may exceed the physical
+//! core count (the paper itself ran 64 threads on a 32-core machine).
+
+/// Runs `f` on a dedicated rayon pool with exactly `processors` threads and
+/// returns its result.
+///
+/// # Panics
+///
+/// Panics if the pool cannot be built (e.g. `processors == 0`).
+pub fn with_processors<R: Send>(processors: usize, f: impl FnOnce() -> R + Send) -> R {
+    assert!(processors > 0, "need at least one processor");
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(processors)
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_has_requested_width() {
+        for p in [1usize, 2, 4] {
+            let seen = with_processors(p, rayon::current_num_threads);
+            assert_eq!(seen, p);
+        }
+    }
+
+    #[test]
+    fn oversubscription_is_allowed() {
+        let logical = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let p = logical * 2;
+        assert_eq!(with_processors(p, rayon::current_num_threads), p);
+    }
+
+    #[test]
+    fn returns_closure_value() {
+        let v = with_processors(2, || (0..100).sum::<u64>());
+        assert_eq!(v, 4950);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_processors_rejected() {
+        with_processors(0, || ());
+    }
+}

@@ -1,0 +1,340 @@
+//! Parallel querying (Section V, Algorithms 6–9).
+//!
+//! Three query shapes, all generic over any structure that can produce a
+//! node's neighbor row ([`NeighborSource`] — implemented by both the plain
+//! [`Csr`] and the compressed [`BitPackedCsr`], since the whole point of the
+//! paper is querying the *compressed* structure directly):
+//!
+//! * [`neighbors_batch`] (Algorithm 6 / Algorithm 9 first block): an array of
+//!   neighborhood queries split across processors; each processor extracts
+//!   rows with `GetRowFromCSR` for its slice of the query array.
+//! * [`edges_exist_batch`] (Algorithm 7 / second block): an array of edge
+//!   queries split across processors; each processor fetches the source row
+//!   and scans it for the target. [`edges_exist_batch_binary`] is the
+//!   binary-search refinement the paper mentions.
+//! * [`edge_exists_split`] (Algorithm 8 / third block): a *single* query
+//!   whose neighbor row is itself split into `p` chunks searched in
+//!   parallel — worthwhile only for hub nodes, which the benches show.
+
+use rayon::prelude::*;
+
+use parcsr_graph::NodeId;
+use parcsr_scan::chunk_ranges;
+
+use crate::build::Csr;
+use crate::packed::{BitPackedCsr, PackedCsrMode};
+
+/// Anything that can produce a node's sorted neighbor row. The query
+/// algorithms are written against this so they run identically on the plain
+/// and the bit-packed CSR.
+pub trait NeighborSource: Sync {
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Out-degree of `u`.
+    fn degree(&self, u: NodeId) -> usize;
+
+    /// Decodes `u`'s sorted neighbor row into `out` (cleared first).
+    fn row_into(&self, u: NodeId, out: &mut Vec<NodeId>);
+
+    /// Edge existence using the source's native access path (binary search
+    /// on a plain CSR; decode-and-scan on a packed one).
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool;
+}
+
+impl NeighborSource for Csr {
+    fn num_nodes(&self) -> usize {
+        Csr::num_nodes(self)
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        Csr::degree(self, u)
+    }
+
+    fn row_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(self.neighbors(u));
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        Csr::has_edge(self, u, v)
+    }
+}
+
+impl NeighborSource for BitPackedCsr {
+    fn num_nodes(&self) -> usize {
+        BitPackedCsr::num_nodes(self)
+    }
+
+    fn degree(&self, u: NodeId) -> usize {
+        BitPackedCsr::degree(self, u)
+    }
+
+    fn row_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        BitPackedCsr::row_into(self, u, out)
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        BitPackedCsr::has_edge(self, u, v)
+    }
+}
+
+/// Algorithm 6: answers an array of neighborhood queries, the query array
+/// split into `processors` chunks answered concurrently. Result `i` is the
+/// sorted neighbor row of `queries[i]`.
+pub fn neighbors_batch<S: NeighborSource>(
+    source: &S,
+    queries: &[NodeId],
+    processors: usize,
+) -> Vec<Vec<NodeId>> {
+    let ranges = chunk_ranges(queries.len(), processors);
+    let mut results: Vec<Vec<Vec<NodeId>>> = Vec::new();
+    ranges
+        .par_iter()
+        .map(|r| {
+            let mut out = Vec::with_capacity(r.len());
+            for &u in &queries[r.clone()] {
+                let mut row = Vec::new();
+                source.row_into(u, &mut row);
+                out.push(row);
+            }
+            out
+        })
+        .collect_into_vec(&mut results);
+    results.into_iter().flatten().collect()
+}
+
+/// Algorithm 7: answers an array of edge-existence queries, the query array
+/// split into `processors` chunks. Each processor fetches the source row and
+/// linearly scans for the target (the paper's formulation; early exit on the
+/// sorted row).
+pub fn edges_exist_batch<S: NeighborSource>(
+    source: &S,
+    queries: &[(NodeId, NodeId)],
+    processors: usize,
+) -> Vec<bool> {
+    batch_edge_queries(source, queries, processors, |row, v| {
+        for &w in row {
+            if w >= v {
+                return w == v;
+            }
+        }
+        false
+    })
+}
+
+/// The binary-search refinement of Algorithm 7 ("this could also be extended
+/// to a binary search to speed up the process"): identical contract, O(log
+/// deg) per query after the row fetch.
+pub fn edges_exist_batch_binary<S: NeighborSource>(
+    source: &S,
+    queries: &[(NodeId, NodeId)],
+    processors: usize,
+) -> Vec<bool> {
+    batch_edge_queries(source, queries, processors, |row, v| {
+        row.binary_search(&v).is_ok()
+    })
+}
+
+fn batch_edge_queries<S: NeighborSource>(
+    source: &S,
+    queries: &[(NodeId, NodeId)],
+    processors: usize,
+    probe: impl Fn(&[NodeId], NodeId) -> bool + Sync,
+) -> Vec<bool> {
+    let ranges = chunk_ranges(queries.len(), processors);
+    let mut results: Vec<Vec<bool>> = Vec::new();
+    ranges
+        .par_iter()
+        .map(|r| {
+            // Workhorse row buffer reused across the chunk's queries.
+            let mut row = Vec::new();
+            queries[r.clone()]
+                .iter()
+                .map(|&(u, v)| {
+                    source.row_into(u, &mut row);
+                    probe(&row, v)
+                })
+                .collect()
+        })
+        .collect_into_vec(&mut results);
+    results.into_iter().flatten().collect()
+}
+
+/// Algorithm 8 (+ Algorithm 9 third block): single-edge existence with the
+/// neighbor list split across `processors`. The row of `u` is fetched once,
+/// divided into `p` chunks, and every chunk is scanned concurrently; any
+/// processor finding `v` reports presence.
+pub fn edge_exists_split<S: NeighborSource>(
+    source: &S,
+    u: NodeId,
+    v: NodeId,
+    processors: usize,
+) -> bool {
+    let mut row = Vec::new();
+    source.row_into(u, &mut row);
+    let ranges = chunk_ranges(row.len(), processors);
+    ranges.par_iter().any(|r| row[r.clone()].contains(&v))
+}
+
+/// The binary-search variant of the single-edge query: each processor binary
+/// searches its chunk of the sorted row.
+pub fn edge_exists_split_binary<S: NeighborSource>(
+    source: &S,
+    u: NodeId,
+    v: NodeId,
+    processors: usize,
+) -> bool {
+    let mut row = Vec::new();
+    source.row_into(u, &mut row);
+    let ranges = chunk_ranges(row.len(), processors);
+    ranges
+        .par_iter()
+        .any(|r| row[r.clone()].binary_search(&v).is_ok())
+}
+
+/// Convenience: run the three parallel query algorithms of Algorithm 9 in
+/// one call against a packed CSR built on the fly. Mostly useful in examples
+/// and smoke tests.
+pub fn query_compressed(
+    csr: &Csr,
+    neighbor_queries: &[NodeId],
+    edge_queries: &[(NodeId, NodeId)],
+    single: Option<(NodeId, NodeId)>,
+    processors: usize,
+) -> (Vec<Vec<NodeId>>, Vec<bool>, Option<bool>) {
+    let packed = BitPackedCsr::from_csr(csr, PackedCsrMode::Gap, processors);
+    (
+        neighbors_batch(&packed, neighbor_queries, processors),
+        edges_exist_batch(&packed, edge_queries, processors),
+        single.map(|(u, v)| edge_exists_split(&packed, u, v, processors)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::CsrBuilder;
+    use parcsr_graph::gen::{rmat, RmatParams};
+    use parcsr_graph::EdgeList;
+
+    fn fixtures() -> (Csr, BitPackedCsr) {
+        let g = rmat(RmatParams::new(256, 4_000, 77));
+        let csr = CsrBuilder::new().build(&g);
+        let packed = BitPackedCsr::from_csr(&csr, PackedCsrMode::Gap, 4);
+        (csr, packed)
+    }
+
+    #[test]
+    fn neighbors_batch_matches_direct_access() {
+        let (csr, packed) = fixtures();
+        let queries: Vec<NodeId> = (0..256).step_by(3).collect();
+        for p in [1, 2, 8] {
+            let on_csr = neighbors_batch(&csr, &queries, p);
+            let on_packed = neighbors_batch(&packed, &queries, p);
+            for (i, &u) in queries.iter().enumerate() {
+                assert_eq!(on_csr[i], csr.neighbors(u), "csr p={p} u={u}");
+                assert_eq!(on_packed[i], csr.neighbors(u), "packed p={p} u={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_batch_preserves_query_order_with_duplicates() {
+        let (csr, _) = fixtures();
+        let queries = vec![5, 5, 0, 200, 5];
+        let r = neighbors_batch(&csr, &queries, 3);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[0], r[1]);
+        assert_eq!(r[0], r[4]);
+        assert_eq!(r[3], csr.neighbors(200));
+    }
+
+    #[test]
+    fn edges_exist_batch_matches_has_edge() {
+        let (csr, packed) = fixtures();
+        let queries: Vec<(NodeId, NodeId)> = (0..256u32)
+            .flat_map(|u| [(u, (u * 7) % 256), (u, (u * 13 + 1) % 256)])
+            .collect();
+        let want: Vec<bool> = queries.iter().map(|&(u, v)| csr.has_edge(u, v)).collect();
+        for p in [1, 3, 16] {
+            assert_eq!(edges_exist_batch(&csr, &queries, p), want, "csr p={p}");
+            assert_eq!(edges_exist_batch(&packed, &queries, p), want, "packed p={p}");
+            assert_eq!(
+                edges_exist_batch_binary(&packed, &queries, p),
+                want,
+                "binary p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_edge_split_agrees() {
+        let (csr, packed) = fixtures();
+        for u in (0..256u32).step_by(17) {
+            for v in (0..256u32).step_by(23) {
+                let want = csr.has_edge(u, v);
+                for p in [1, 2, 4] {
+                    assert_eq!(edge_exists_split(&packed, u, v, p), want, "({u},{v}) p={p}");
+                    assert_eq!(
+                        edge_exists_split_binary(&packed, u, v, p),
+                        want,
+                        "bin ({u},{v}) p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_query_arrays() {
+        let (csr, _) = fixtures();
+        assert!(neighbors_batch(&csr, &[], 4).is_empty());
+        assert!(edges_exist_batch(&csr, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn queries_on_isolated_nodes() {
+        let g = EdgeList::new(10, vec![(0, 1)]);
+        let csr = CsrBuilder::new().build(&g);
+        let r = neighbors_batch(&csr, &[9, 0], 2);
+        assert!(r[0].is_empty());
+        assert_eq!(r[1], [1]);
+        assert!(!edge_exists_split(&csr, 9, 0, 4));
+    }
+
+    #[test]
+    fn split_search_on_hub_row() {
+        // A hub with a long row: the split search must find targets in every
+        // chunk position.
+        let edges: Vec<(NodeId, NodeId)> = (0..1000).map(|v| (0, v)).collect();
+        let g = EdgeList::new(1001, edges);
+        let csr = CsrBuilder::new().build(&g);
+        let packed = BitPackedCsr::from_csr(&csr, PackedCsrMode::Gap, 4);
+        for v in [0u32, 1, 499, 500, 998, 999] {
+            assert!(edge_exists_split(&packed, 0, v, 8), "v={v}");
+        }
+        assert!(!edge_exists_split(&packed, 0, 1000, 8));
+    }
+
+    #[test]
+    fn query_compressed_smoke() {
+        let (csr, _) = fixtures();
+        let (hoods, exists, single) =
+            query_compressed(&csr, &[1, 2], &[(1, 2), (2, 1)], Some((3, 4)), 4);
+        assert_eq!(hoods.len(), 2);
+        assert_eq!(exists.len(), 2);
+        assert_eq!(single, Some(csr.has_edge(3, 4)));
+        assert_eq!(hoods[0], csr.neighbors(1));
+    }
+
+    #[test]
+    fn results_independent_of_processors() {
+        let (_, packed) = fixtures();
+        let queries: Vec<NodeId> = (0..256).collect();
+        let base = neighbors_batch(&packed, &queries, 1);
+        for p in [2, 5, 31, 256] {
+            assert_eq!(neighbors_batch(&packed, &queries, p), base, "p={p}");
+        }
+    }
+}

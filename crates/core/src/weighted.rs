@@ -1,0 +1,163 @@
+//! Weighted CSR: the paper's `vA` value array, carried through the full
+//! pipeline.
+//!
+//! Section III defines CSR with three arrays — `iA`, `jA`, and `vA` "if the
+//! graph is weighted" — and then drops `vA` because the evaluation graphs
+//! are unweighted. This module keeps it: the weight array is built by the
+//! same parallel fill as the column array (the sorted weighted edge list's
+//! weight column *is* `vA`), and packs with the same fixed-width codec,
+//! since weights are just more small integers.
+
+use rayon::prelude::*;
+
+use parcsr_bitpack::{bits_needed, pack_parallel_with_width, PackedArray};
+use parcsr_graph::{NodeId, Weight, WeightedEdgeList};
+
+use crate::build::{Csr, CsrBuilder};
+
+/// A CSR with an aligned weight array: `weights[i]` belongs to the edge
+/// `targets[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedCsr {
+    csr: Csr,
+    weights: Vec<Weight>,
+}
+
+impl WeightedCsr {
+    /// Builds from a weighted edge list with `processors` chunks (sorts a
+    /// copy; the weight column of the sorted list is `vA`).
+    pub fn from_edge_list(graph: &WeightedEdgeList, processors: usize) -> Self {
+        let sorted = graph.sorted_by_source();
+        let (csr, _) = CsrBuilder::new()
+            .processors(processors)
+            .build_from_sorted(&sorted.unweighted());
+        let weights: Vec<Weight> = sorted.edges().par_iter().map(|&(_, _, w)| w).collect();
+        WeightedCsr { csr, weights }
+    }
+
+    /// The underlying unweighted CSR.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.csr.num_nodes()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// The sorted neighbor row of `u` with its aligned weights.
+    pub fn neighbors_weighted(&self, u: NodeId) -> (&[NodeId], &[Weight]) {
+        let i = u as usize;
+        let (s, e) = (
+            self.csr.offsets()[i] as usize,
+            self.csr.offsets()[i + 1] as usize,
+        );
+        (&self.csr.targets()[s..e], &self.weights[s..e])
+    }
+
+    /// The weight of edge `(u, v)`, if present. When the multigraph stores
+    /// several parallel `(u, v)` edges, the first (smallest-weight, given
+    /// the canonical `(u, v, w)` sort) is returned.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        let (targets, weights) = self.neighbors_weighted(u);
+        let idx = targets.partition_point(|&t| t < v);
+        (targets.get(idx) == Some(&v)).then(|| weights[idx])
+    }
+
+    /// Heap bytes (CSR arrays + weight array).
+    pub fn heap_bytes(&self) -> usize {
+        self.csr.heap_bytes() + self.weights.len() * std::mem::size_of::<Weight>()
+    }
+
+    /// Packs the weight array with Algorithm 4's engine (the `vA` leg of the
+    /// "repeat the process" step).
+    pub fn pack_weights(&self, processors: usize) -> PackedArray {
+        let vals: Vec<u64> = self.weights.iter().map(|&w| u64::from(w)).collect();
+        let width = bits_needed(vals.iter().copied().max().unwrap_or(0));
+        pack_parallel_with_width(&vals, processors, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcsr_graph::gen::{rmat, RmatParams};
+
+    fn sample() -> WeightedCsr {
+        let base = rmat(RmatParams::new(256, 3_000, 11));
+        let weighted = WeightedEdgeList::from_unweighted(&base, 200);
+        WeightedCsr::from_edge_list(&weighted, 4)
+    }
+
+    #[test]
+    fn structure_matches_unweighted_build() {
+        let base = rmat(RmatParams::new(256, 3_000, 11));
+        let weighted = WeightedEdgeList::from_unweighted(&base, 200);
+        let wcsr = WeightedCsr::from_edge_list(&weighted, 4);
+        let plain = CsrBuilder::new().build(&base);
+        assert_eq!(wcsr.csr(), &plain);
+    }
+
+    #[test]
+    fn weights_align_with_targets() {
+        let g = WeightedEdgeList::new(4, vec![(0, 2, 9), (0, 1, 7), (3, 0, 5)]);
+        let w = WeightedCsr::from_edge_list(&g, 2);
+        let (targets, weights) = w.neighbors_weighted(0);
+        assert_eq!(targets, [1, 2]);
+        assert_eq!(weights, [7, 9]);
+        assert_eq!(w.edge_weight(0, 2), Some(9));
+        assert_eq!(w.edge_weight(3, 0), Some(5));
+        assert_eq!(w.edge_weight(0, 3), None);
+        assert_eq!(w.edge_weight(2, 0), None);
+    }
+
+    #[test]
+    fn parallel_edges_return_first_weight() {
+        let g = WeightedEdgeList::new(2, vec![(0, 1, 9), (0, 1, 3)]);
+        let w = WeightedCsr::from_edge_list(&g, 2);
+        assert_eq!(w.edge_weight(0, 1), Some(3));
+        assert_eq!(w.neighbors_weighted(0).1, [3, 9]);
+    }
+
+    #[test]
+    fn every_edge_weight_is_preserved() {
+        let base = rmat(RmatParams::new(128, 1_500, 5));
+        let weighted = WeightedEdgeList::from_unweighted(&base, 50);
+        let wcsr = WeightedCsr::from_edge_list(&weighted, 3);
+        let mut want: Vec<_> = weighted.edges().to_vec();
+        want.sort_unstable();
+        let mut got = Vec::new();
+        for u in 0..wcsr.num_nodes() as u32 {
+            let (ts, ws) = wcsr.neighbors_weighted(u);
+            got.extend(ts.iter().zip(ws).map(|(&v, &w)| (u, v, w)));
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn packed_weights_roundtrip_and_shrink() {
+        let w = sample();
+        let packed = w.pack_weights(4);
+        assert_eq!(packed.len(), w.num_edges());
+        for (i, v) in packed.iter().enumerate() {
+            assert_eq!(v, u64::from(w.weights[i]));
+        }
+        // Weights ≤ 200 pack at 8 bits vs 32 raw.
+        assert_eq!(packed.width(), 8);
+        assert!(packed.packed_bytes() * 3 < w.weights.len() * 4);
+    }
+
+    #[test]
+    fn empty_weighted_graph() {
+        let g = WeightedEdgeList::new(3, vec![]);
+        let w = WeightedCsr::from_edge_list(&g, 2);
+        assert_eq!(w.num_edges(), 0);
+        assert_eq!(w.edge_weight(0, 1), None);
+        assert!(w.pack_weights(2).is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the core pipeline: construction equivalence, packed
+//! round-trips, and query correctness on arbitrary graphs.
+
+use proptest::prelude::*;
+
+use parcsr::query::{
+    edge_exists_split, edge_exists_split_binary, edges_exist_batch, edges_exist_batch_binary,
+    neighbors_batch,
+};
+use parcsr::{degrees_parallel, BitPackedCsr, Csr, CsrBuilder, PackedCsrMode};
+use parcsr_graph::EdgeList;
+use parcsr_scan::ScanAlgorithm;
+
+fn arb_graph(max_node: u32, max_edges: usize) -> impl Strategy<Value = EdgeList> {
+    (1..max_node, prop::collection::vec((0u32..max_node, 0u32..max_node), 0..max_edges)).prop_map(
+        |(n_extra, edges)| {
+            let n = edges
+                .iter()
+                .map(|&(u, v)| u.max(v) + 1)
+                .max()
+                .unwrap_or(0)
+                .max(n_extra);
+            let edges = edges
+                .into_iter()
+                .map(|(u, v)| (u % n, v % n))
+                .collect::<Vec<_>>();
+            EdgeList::new(n as usize, edges)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_build_equals_sequential(g in arb_graph(300, 600), p in 1usize..17) {
+        let want = Csr::from_edge_list_sequential(&g);
+        let got = CsrBuilder::new().processors(p).build(&g);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn degrees_parallel_equals_histogram(g in arb_graph(200, 500), p in 1usize..33) {
+        let sorted = g.sorted_by_source();
+        let got = degrees_parallel(sorted.edges(), sorted.num_nodes(), p);
+        prop_assert_eq!(got, g.degrees_sequential());
+    }
+
+    #[test]
+    fn csr_neighbors_is_sorted_multiset_of_targets(g in arb_graph(150, 400)) {
+        let csr = CsrBuilder::new().build(&g);
+        prop_assert_eq!(csr.validate(), Ok(()));
+        for u in 0..g.num_nodes() as u32 {
+            let mut expect: Vec<u32> = g
+                .edges()
+                .iter()
+                .filter(|&&(s, _)| s == u)
+                .map(|&(_, t)| t)
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(csr.neighbors(u), &expect[..]);
+        }
+    }
+
+    #[test]
+    fn packed_roundtrip(g in arb_graph(200, 500), p in 1usize..9) {
+        let csr = CsrBuilder::new().build(&g);
+        for mode in [PackedCsrMode::Raw, PackedCsrMode::Gap] {
+            let packed = BitPackedCsr::from_csr(&csr, mode, p);
+            let mut row = Vec::new();
+            for u in 0..csr.num_nodes() as u32 {
+                packed.row_into(u, &mut row);
+                prop_assert_eq!(&row[..], csr.neighbors(u), "mode {} node {}", mode.name(), u);
+            }
+            prop_assert_eq!(packed.packed_bytes() > 0, csr.num_edges() > 0 || csr.num_nodes() > 0);
+        }
+    }
+
+    #[test]
+    fn batch_queries_agree_with_ground_truth(
+        g in arb_graph(120, 300),
+        queries in prop::collection::vec((0u32..120, 0u32..120), 0..80),
+        p in 1usize..9,
+    ) {
+        let csr = CsrBuilder::new().build(&g);
+        let n = csr.num_nodes() as u32;
+        let queries: Vec<(u32, u32)> = queries.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let want: Vec<bool> = queries.iter().map(|&(u, v)| csr.has_edge(u, v)).collect();
+
+        let packed = BitPackedCsr::from_csr(&csr, PackedCsrMode::Gap, p);
+        prop_assert_eq!(edges_exist_batch(&csr, &queries, p), want.clone());
+        prop_assert_eq!(edges_exist_batch(&packed, &queries, p), want.clone());
+        prop_assert_eq!(edges_exist_batch_binary(&packed, &queries, p), want);
+    }
+
+    #[test]
+    fn neighborhood_batch_agrees(
+        g in arb_graph(100, 250),
+        raw_queries in prop::collection::vec(0u32..100, 0..60),
+        p in 1usize..9,
+    ) {
+        let csr = CsrBuilder::new().build(&g);
+        let n = csr.num_nodes() as u32;
+        let queries: Vec<u32> = raw_queries.into_iter().map(|u| u % n).collect();
+        let got = neighbors_batch(&csr, &queries, p);
+        prop_assert_eq!(got.len(), queries.len());
+        for (i, &u) in queries.iter().enumerate() {
+            prop_assert_eq!(&got[i][..], csr.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn single_edge_split_agrees(
+        g in arb_graph(80, 300),
+        u in 0u32..80,
+        v in 0u32..80,
+        p in 1usize..9,
+    ) {
+        let csr = CsrBuilder::new().build(&g);
+        let n = csr.num_nodes() as u32;
+        let (u, v) = (u % n, v % n);
+        let want = csr.has_edge(u, v);
+        let packed = BitPackedCsr::from_csr(&csr, PackedCsrMode::Raw, 2);
+        prop_assert_eq!(edge_exists_split(&packed, u, v, p), want);
+        prop_assert_eq!(edge_exists_split_binary(&packed, u, v, p), want);
+    }
+
+    #[test]
+    fn scan_algorithm_choice_is_invisible(g in arb_graph(150, 400)) {
+        let base = CsrBuilder::new().scan_algorithm(ScanAlgorithm::Sequential).build(&g);
+        for alg in ScanAlgorithm::ALL {
+            let other = CsrBuilder::new().processors(5).scan_algorithm(alg).build(&g);
+            prop_assert_eq!(&other, &base, "{}", alg.name());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! `parcsr-dynamic` — the dynamic-graph extension.
+//!
+//! The paper's related work (Section II) contrasts static CSR with Packed
+//! Compressed Sparse Row (PCSR), which "substitutes the edge array in CSR
+//! with a Packed Memory Array (PMA), which offers an (amortized)
+//! `O(log²|E|)` update cost and asymptotically optimal range queries" — and
+//! then explicitly does *not* take that route. This crate takes it, as the
+//! extension that closes the static-structure gap: a [`Pma`] over packed
+//! edge keys and a [`DynamicCsr`] on top of it supporting edge insertion
+//! and deletion while keeping neighbor queries as ordered range scans.
+//!
+//! A [`DynamicCsr`] converts to the static [`parcsr::Csr`] at any point
+//! (freeze-and-pack), connecting the dynamic path back to the paper's
+//! compression pipeline.
+//!
+//! # Example
+//!
+//! ```
+//! use parcsr_dynamic::DynamicCsr;
+//!
+//! let mut g = DynamicCsr::new(8);
+//! g.insert_edge(0, 3);
+//! g.insert_edge(0, 1);
+//! g.insert_edge(5, 2);
+//! assert_eq!(g.neighbors(0), vec![1, 3]);
+//! assert!(g.remove_edge(0, 3));
+//! assert_eq!(g.neighbors(0), vec![1]);
+//!
+//! let frozen = g.freeze();
+//! assert_eq!(frozen.num_edges(), 2);
+//! ```
+
+pub mod pcsr;
+pub mod pma;
+
+pub use pcsr::DynamicCsr;
+pub use pma::Pma;

@@ -1,0 +1,207 @@
+//! A PCSR-style dynamic graph: the CSR's edge array replaced by a
+//! [`Pma`](crate::Pma) of packed `(u, v)` keys.
+//!
+//! Neighbor queries become ordered range scans over the key space
+//! `[u·2³², (u+1)·2³²)`; inserts and deletes are the PMA's amortized
+//! `O(log² m)` updates — the trade the related work (PCSR \[9\], PPCSR
+//! \[13\]) makes to avoid the static CSR's full-array rebuild per update.
+//! [`freeze`](DynamicCsr::freeze) converts back to the static
+//! [`parcsr::Csr`] for the compression pipeline.
+
+use parcsr::{Csr, CsrBuilder};
+use parcsr_graph::{EdgeList, NodeId};
+
+use crate::pma::Pma;
+
+#[inline]
+fn key(u: NodeId, v: NodeId) -> u64 {
+    (u64::from(u) << 32) | u64::from(v)
+}
+
+/// A mutable directed graph over a fixed node set, backed by a PMA of edge
+/// keys.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicCsr {
+    num_nodes: usize,
+    edges: Pma,
+}
+
+impl DynamicCsr {
+    /// Creates an empty graph over `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        DynamicCsr {
+            num_nodes,
+            edges: Pma::new(),
+        }
+    }
+
+    /// Bulk-loads from an edge list (duplicates collapse — this is a simple
+    /// graph structure).
+    pub fn from_edge_list(graph: &EdgeList) -> Self {
+        let mut g = DynamicCsr::new(graph.num_nodes());
+        for &(u, v) in graph.edges() {
+            g.insert_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of distinct directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Inserts edge `(u, v)`; returns `false` if already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.check(u, v);
+        self.edges.insert(key(u, v))
+    }
+
+    /// Removes edge `(u, v)`; returns `false` if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        self.check(u, v);
+        self.edges.remove(key(u, v))
+    }
+
+    /// Edge existence. `O(log m)`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.check(u, v);
+        self.edges.contains(key(u, v))
+    }
+
+    /// The sorted neighbor list of `u` — a PMA range scan.
+    pub fn neighbors(&self, u: NodeId) -> Vec<NodeId> {
+        assert!((u as usize) < self.num_nodes, "node {u} out of range");
+        self.edges
+            .range(key(u, 0), u64::from(u + 1) << 32)
+            .map(|k| k as NodeId)
+            .collect()
+    }
+
+    /// Out-degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        assert!((u as usize) < self.num_nodes, "node {u} out of range");
+        self.edges.count_range(key(u, 0), u64::from(u + 1) << 32)
+    }
+
+    /// All edges in `(u, v)` order.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        self.edges
+            .iter()
+            .map(|k| ((k >> 32) as NodeId, k as NodeId))
+            .collect()
+    }
+
+    /// Freezes into a static CSR, re-entering the paper's compression
+    /// pipeline.
+    pub fn freeze(&self) -> Csr {
+        CsrBuilder::new().build(&EdgeList::new(self.num_nodes, self.edges()))
+    }
+
+    fn check(&self, u: NodeId, v: NodeId) {
+        assert!(
+            (u as usize) < self.num_nodes && (v as usize) < self.num_nodes,
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.num_nodes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcsr_graph::gen::{rmat, RmatParams};
+
+    #[test]
+    fn insert_query_remove() {
+        let mut g = DynamicCsr::new(10);
+        assert!(g.insert_edge(1, 2));
+        assert!(g.insert_edge(1, 7));
+        assert!(g.insert_edge(1, 4));
+        assert!(!g.insert_edge(1, 2), "duplicate");
+        assert_eq!(g.neighbors(1), [2, 4, 7]);
+        assert_eq!(g.degree(1), 3);
+        assert!(g.has_edge(1, 4));
+        assert!(g.remove_edge(1, 4));
+        assert!(!g.has_edge(1, 4));
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn neighbor_ranges_do_not_bleed_between_nodes() {
+        let mut g = DynamicCsr::new(4);
+        g.insert_edge(1, 3);
+        g.insert_edge(2, 0);
+        assert_eq!(g.neighbors(1), [3]);
+        assert_eq!(g.neighbors(2), [0]);
+        assert!(g.neighbors(0).is_empty());
+        assert!(g.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn extreme_node_ids() {
+        // u + 1 << 32 must not overflow the key space logic for the largest
+        // legal node id.
+        let n = 1 << 20;
+        let mut g = DynamicCsr::new(n);
+        let last = (n - 1) as u32;
+        g.insert_edge(last, 0);
+        g.insert_edge(last, last);
+        assert_eq!(g.neighbors(last), [0, last]);
+    }
+
+    #[test]
+    fn freeze_matches_static_builder() {
+        let graph = rmat(RmatParams::new(256, 3_000, 13)).deduped();
+        let dynamic = DynamicCsr::from_edge_list(&graph);
+        let frozen = dynamic.freeze();
+        let direct = CsrBuilder::new().build(&graph);
+        assert_eq!(frozen, direct);
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::BTreeSet;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut g = DynamicCsr::new(64);
+        let mut reference: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for _ in 0..20_000 {
+            let (u, v) = (rng.gen_range(0..64u32), rng.gen_range(0..64u32));
+            if rng.gen_bool(0.55) {
+                assert_eq!(g.insert_edge(u, v), reference.insert((u, v)));
+            } else {
+                assert_eq!(g.remove_edge(u, v), reference.remove(&(u, v)));
+            }
+        }
+        assert_eq!(g.edges(), reference.iter().copied().collect::<Vec<_>>());
+        for u in 0..64u32 {
+            let expect: Vec<u32> = reference
+                .iter()
+                .filter(|&&(s, _)| s == u)
+                .map(|&(_, v)| v)
+                .collect();
+            assert_eq!(g.neighbors(u), expect, "u={u}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut g = DynamicCsr::new(3);
+        g.insert_edge(0, 3);
+    }
+}

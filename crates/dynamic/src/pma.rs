@@ -1,0 +1,475 @@
+//! A Packed Memory Array: a sorted set of `u64` keys kept in an array with
+//! deliberate gaps, so inserts and deletes shift only a bounded
+//! neighborhood.
+//!
+//! Layout: the capacity is a power of two split into equal leaf *segments*
+//! of ~`log₂(capacity)` slots. Elements within a leaf are left-justified;
+//! gaps sit at each leaf's right end. Density is policed over a conceptual
+//! binary tree of windows (leaf → pairs of leaves → … → the whole array):
+//! when an insert overfills a leaf, the smallest enclosing window whose
+//! density is acceptable is *rebalanced* — its elements redistributed evenly
+//! over its leaves — and if even the root is too dense the array doubles
+//! (symmetrically for deletes: sparse windows merge, the array halves).
+//! This is the classic Itai–Konheim–Rodeh / Bender scheme with the standard
+//! amortized `O(log² n)` update bound, in the simplified left-justified-leaf
+//! form PCSR uses.
+
+/// Density bounds: leaves may run fuller (and emptier) than the root.
+const ROOT_MAX: f64 = 0.70;
+const LEAF_MAX: f64 = 0.92;
+const ROOT_MIN: f64 = 0.30;
+const LEAF_MIN: f64 = 0.08;
+
+/// Minimum capacity (power of two).
+const MIN_CAPACITY: usize = 8;
+
+/// A packed memory array of distinct `u64` keys, kept sorted.
+#[derive(Debug, Clone)]
+pub struct Pma {
+    /// Slot storage; only the first `counts[leaf]` slots of each leaf hold
+    /// live keys.
+    slots: Vec<u64>,
+    /// Live keys per leaf segment.
+    counts: Vec<usize>,
+    /// Slots per leaf segment (power of two).
+    segment: usize,
+    /// Total live keys.
+    len: usize,
+}
+
+impl Pma {
+    /// Creates an empty PMA.
+    pub fn new() -> Self {
+        Self::with_capacity(MIN_CAPACITY)
+    }
+
+    fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two().max(MIN_CAPACITY);
+        let segment = segment_size(capacity);
+        Pma {
+            slots: vec![0; capacity],
+            counts: vec![0; capacity / segment],
+            segment,
+            len: 0,
+        }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot capacity (for density inspection in tests).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether `key` is present. `O(log n)`.
+    pub fn contains(&self, key: u64) -> bool {
+        let leaf = self.find_leaf(key);
+        self.leaf_slice(leaf).binary_search(&key).is_ok()
+    }
+
+    /// Inserts `key`; returns `false` if it was already present.
+    /// Amortized `O(log² n)`.
+    pub fn insert(&mut self, key: u64) -> bool {
+        let leaf = self.find_leaf(key);
+        let pos = match self.leaf_slice(leaf).binary_search(&key) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        // Shift the leaf's tail right by one (room is guaranteed: a full
+        // leaf is rebalanced *before* the next insert reaches it).
+        let base = leaf * self.segment;
+        debug_assert!(self.counts[leaf] < self.segment, "leaf overfull before insert");
+        let count = self.counts[leaf];
+        self.slots
+            .copy_within(base + pos..base + count, base + pos + 1);
+        self.slots[base + pos] = key;
+        self.counts[leaf] = count + 1;
+        self.len += 1;
+        self.rebalance_after_insert(leaf);
+        true
+    }
+
+    /// Removes `key`; returns `false` if it was absent.
+    /// Amortized `O(log² n)`.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let leaf = self.find_leaf(key);
+        let pos = match self.leaf_slice(leaf).binary_search(&key) {
+            Ok(pos) => pos,
+            Err(_) => return false,
+        };
+        let base = leaf * self.segment;
+        let count = self.counts[leaf];
+        self.slots
+            .copy_within(base + pos + 1..base + count, base + pos);
+        self.counts[leaf] = count - 1;
+        self.len -= 1;
+        self.rebalance_after_remove(leaf);
+        true
+    }
+
+    /// Iterates all keys in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.counts.len()).flat_map(move |leaf| self.leaf_slice(leaf).iter().copied())
+    }
+
+    /// Iterates keys in `[lo, hi)` in ascending order — the range scan that
+    /// makes a PMA-backed edge array support neighbor queries.
+    pub fn range(&self, lo: u64, hi: u64) -> impl Iterator<Item = u64> + '_ {
+        let start_leaf = self.find_leaf(lo);
+        (start_leaf..self.counts.len())
+            .flat_map(move |leaf| self.leaf_slice(leaf).iter().copied())
+            .skip_while(move |&k| k < lo)
+            .take_while(move |&k| k < hi)
+    }
+
+    /// Counts keys in `[lo, hi)`.
+    pub fn count_range(&self, lo: u64, hi: u64) -> usize {
+        self.range(lo, hi).count()
+    }
+
+    // ---- internals ----
+
+    fn leaves(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Tree height: windows double from leaf (depth `h`) to root (depth 0).
+    fn height(&self) -> usize {
+        self.leaves().trailing_zeros() as usize
+    }
+
+    fn leaf_slice(&self, leaf: usize) -> &[u64] {
+        let base = leaf * self.segment;
+        &self.slots[base..base + self.counts[leaf]]
+    }
+
+    /// The non-empty leaf whose key range covers `key` (the last non-empty
+    /// leaf with minimum ≤ `key`); keys below the global minimum resolve to
+    /// the first non-empty leaf, and a fully empty PMA to leaf 0. Inserting
+    /// at the returned leaf always preserves global order.
+    fn find_leaf(&self, key: u64) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        let (mut lo, mut hi) = (0usize, self.leaves());
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            match self.min_at_or_before(mid) {
+                Some(min) if min <= key => lo = mid,
+                _ => hi = mid,
+            }
+        }
+        // `lo` may be an empty leaf inheriting its predecessor's range;
+        // resolve to the owning non-empty leaf so an insert cannot land
+        // between a predecessor's smaller *min* but larger *max*.
+        let mut leaf = lo;
+        while leaf > 0 && self.counts[leaf] == 0 {
+            leaf -= 1;
+        }
+        if self.counts[leaf] == 0 {
+            // key precedes every stored key: the first non-empty leaf owns it.
+            leaf = (0..self.leaves())
+                .find(|&l| self.counts[l] > 0)
+                .expect("len > 0 implies a non-empty leaf");
+        }
+        leaf
+    }
+
+    /// Minimum of the nearest non-empty leaf at or before `leaf`.
+    fn min_at_or_before(&self, mut leaf: usize) -> Option<u64> {
+        loop {
+            if self.counts[leaf] > 0 {
+                return Some(self.slots[leaf * self.segment]);
+            }
+            if leaf == 0 {
+                return None;
+            }
+            leaf -= 1;
+        }
+    }
+
+    /// Upper density threshold for a window at `depth` (root = 0).
+    fn upper(&self, depth: usize) -> f64 {
+        let h = self.height().max(1) as f64;
+        ROOT_MAX + (LEAF_MAX - ROOT_MAX) * depth as f64 / h
+    }
+
+    /// Lower density threshold for a window at `depth`.
+    fn lower(&self, depth: usize) -> f64 {
+        let h = self.height().max(1) as f64;
+        ROOT_MIN - (ROOT_MIN - LEAF_MIN) * depth as f64 / h
+    }
+
+    fn window_count(&self, first_leaf: usize, leaves: usize) -> usize {
+        self.counts[first_leaf..first_leaf + leaves].iter().sum()
+    }
+
+    fn rebalance_after_insert(&mut self, leaf: usize) {
+        let mut leaves_in_window = 1;
+        let mut depth = self.height();
+        loop {
+            let first = leaf - (leaf % leaves_in_window);
+            let count = self.window_count(first, leaves_in_window);
+            let slots = leaves_in_window * self.segment;
+            let max_allowed = if leaves_in_window == 1 {
+                // A leaf must keep one free slot so the *next* insert has
+                // room before its own rebalance runs.
+                (self.upper(depth) * slots as f64).floor().min((slots - 1) as f64) as usize
+            } else {
+                (self.upper(depth) * slots as f64).floor() as usize
+            };
+            if count <= max_allowed {
+                if leaves_in_window > 1 {
+                    self.redistribute(first, leaves_in_window);
+                }
+                return;
+            }
+            if leaves_in_window == self.leaves() {
+                self.resize(self.capacity() * 2);
+                return;
+            }
+            leaves_in_window *= 2;
+            depth -= 1;
+        }
+    }
+
+    fn rebalance_after_remove(&mut self, leaf: usize) {
+        let mut leaves_in_window = 1;
+        let mut depth = self.height();
+        loop {
+            let first = leaf - (leaf % leaves_in_window);
+            let count = self.window_count(first, leaves_in_window);
+            let slots = leaves_in_window * self.segment;
+            let min_allowed = (self.lower(depth) * slots as f64).ceil() as usize;
+            if count >= min_allowed {
+                if leaves_in_window > 1 {
+                    self.redistribute(first, leaves_in_window);
+                }
+                return;
+            }
+            if leaves_in_window == self.leaves() {
+                if self.capacity() > MIN_CAPACITY {
+                    self.resize(self.capacity() / 2);
+                }
+                return;
+            }
+            leaves_in_window *= 2;
+            depth -= 1;
+        }
+    }
+
+    /// Evenly spreads a window's keys over its leaves.
+    fn redistribute(&mut self, first_leaf: usize, leaves: usize) {
+        let keys: Vec<u64> = (first_leaf..first_leaf + leaves)
+            .flat_map(|l| self.leaf_slice(l).to_vec())
+            .collect();
+        let per = keys.len() / leaves;
+        let extra = keys.len() % leaves;
+        let mut it = keys.into_iter();
+        for i in 0..leaves {
+            let leaf = first_leaf + i;
+            let take = per + usize::from(i < extra);
+            debug_assert!(take <= self.segment, "redistribution overflows a leaf");
+            let base = leaf * self.segment;
+            for j in 0..take {
+                self.slots[base + j] = it.next().expect("key count mismatch");
+            }
+            self.counts[leaf] = take;
+        }
+    }
+
+    /// Grows or shrinks to `capacity`, spreading all keys evenly.
+    fn resize(&mut self, capacity: usize) {
+        let keys: Vec<u64> = self.iter().collect();
+        let mut next = Pma::with_capacity(capacity.max(MIN_CAPACITY));
+        debug_assert!(keys.len() <= next.capacity());
+        let leaves = next.leaves();
+        let per = keys.len() / leaves;
+        let extra = keys.len() % leaves;
+        let mut it = keys.into_iter();
+        for i in 0..leaves {
+            let take = per + usize::from(i < extra);
+            let base = i * next.segment;
+            for j in 0..take {
+                next.slots[base + j] = it.next().expect("key count mismatch");
+            }
+            next.counts[i] = take;
+        }
+        next.len = self.len;
+        *self = next;
+    }
+
+    /// Checks all structural invariants; `Err` describes the first
+    /// violation. Test hook.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.counts.iter().sum::<usize>() != self.len {
+            return Err("len does not match leaf counts".into());
+        }
+        let mut prev: Option<u64> = None;
+        for leaf in 0..self.leaves() {
+            if self.counts[leaf] > self.segment {
+                return Err(format!("leaf {leaf} overfull"));
+            }
+            for &k in self.leaf_slice(leaf) {
+                if let Some(p) = prev {
+                    if p >= k {
+                        return Err(format!("order violation: {p} >= {k}"));
+                    }
+                }
+                prev = Some(k);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Pma {
+    fn default() -> Self {
+        Pma::new()
+    }
+}
+
+impl FromIterator<u64> for Pma {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut pma = Pma::new();
+        for k in iter {
+            pma.insert(k);
+        }
+        pma
+    }
+}
+
+/// Leaf segment size for a capacity: the smallest power of two ≥
+/// `log₂(capacity)`, clamped to the capacity.
+fn segment_size(capacity: usize) -> usize {
+    let target = capacity.trailing_zeros().max(1) as usize;
+    target.next_power_of_two().min(capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut pma = Pma::new();
+        assert!(pma.insert(5));
+        assert!(pma.insert(1));
+        assert!(pma.insert(9));
+        assert!(!pma.insert(5), "duplicate insert must report false");
+        assert!(pma.contains(5));
+        assert!(!pma.contains(4));
+        assert_eq!(pma.len(), 3);
+        assert_eq!(pma.iter().collect::<Vec<_>>(), [1, 5, 9]);
+    }
+
+    #[test]
+    fn remove() {
+        let mut pma: Pma = [3u64, 1, 4, 1, 5].into_iter().collect();
+        assert_eq!(pma.len(), 4); // duplicate 1 rejected
+        assert!(pma.remove(4));
+        assert!(!pma.remove(4));
+        assert!(!pma.remove(99));
+        assert_eq!(pma.iter().collect::<Vec<_>>(), [1, 3, 5]);
+    }
+
+    #[test]
+    fn ascending_insertions_grow_cleanly() {
+        let mut pma = Pma::new();
+        for k in 0..10_000u64 {
+            assert!(pma.insert(k));
+            if k % 1000 == 0 {
+                pma.check_invariants().unwrap();
+            }
+        }
+        assert_eq!(pma.len(), 10_000);
+        pma.check_invariants().unwrap();
+        assert!(pma.iter().eq(0..10_000));
+    }
+
+    #[test]
+    fn descending_insertions() {
+        let mut pma = Pma::new();
+        for k in (0..5_000u64).rev() {
+            pma.insert(k);
+        }
+        pma.check_invariants().unwrap();
+        assert!(pma.iter().eq(0..5_000));
+    }
+
+    #[test]
+    fn random_ops_match_btreeset() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut pma = Pma::new();
+        let mut set = BTreeSet::new();
+        for step in 0..30_000 {
+            let key = rng.gen_range(0..5_000u64);
+            if rng.gen_bool(0.6) {
+                assert_eq!(pma.insert(key), set.insert(key), "insert {key}");
+            } else {
+                assert_eq!(pma.remove(key), set.remove(&key), "remove {key}");
+            }
+            if step % 5_000 == 0 {
+                pma.check_invariants().unwrap();
+                assert!(pma.iter().eq(set.iter().copied()));
+            }
+        }
+        pma.check_invariants().unwrap();
+        assert!(pma.iter().eq(set.iter().copied()));
+    }
+
+    #[test]
+    fn shrinks_after_mass_deletion() {
+        let mut pma = Pma::new();
+        for k in 0..4_096u64 {
+            pma.insert(k);
+        }
+        let grown = pma.capacity();
+        for k in 0..4_090u64 {
+            pma.remove(k);
+        }
+        pma.check_invariants().unwrap();
+        assert!(pma.capacity() < grown, "capacity should shrink");
+        assert!(pma.iter().eq(4_090..4_096));
+    }
+
+    #[test]
+    fn range_scans() {
+        let pma: Pma = (0..100u64).map(|k| k * 3).collect();
+        assert_eq!(pma.range(10, 22).collect::<Vec<_>>(), [12, 15, 18, 21]);
+        assert_eq!(pma.count_range(0, 300), 100);
+        assert_eq!(pma.count_range(300, 400), 0);
+        assert_eq!(pma.range(297, 10_000).collect::<Vec<_>>(), [297]);
+    }
+
+    #[test]
+    fn empty_pma() {
+        let pma = Pma::new();
+        assert!(pma.is_empty());
+        assert!(!pma.contains(0));
+        assert_eq!(pma.iter().count(), 0);
+        assert_eq!(pma.count_range(0, u64::MAX), 0);
+        pma.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn density_stays_within_bounds_during_growth() {
+        let mut pma = Pma::new();
+        for k in 0..2_000u64 {
+            pma.insert(k * 17 % 4_001);
+            // Global density never exceeds the leaf bound.
+            assert!(pma.len() as f64 <= LEAF_MAX * pma.capacity() as f64 + 1.0);
+        }
+    }
+}

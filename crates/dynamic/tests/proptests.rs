@@ -1,0 +1,98 @@
+//! Property tests: the PMA is a drop-in ordered set, and the dynamic CSR
+//! tracks a reference edge set under arbitrary operation sequences.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use parcsr_dynamic::{DynamicCsr, Pma};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+}
+
+fn arb_ops(max_key: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..max_key).prop_map(Op::Insert),
+            (0..max_key).prop_map(Op::Remove),
+        ],
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pma_matches_btreeset(ops in arb_ops(200, 400)) {
+        let mut pma = Pma::new();
+        let mut set = BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Insert(k) => prop_assert_eq!(pma.insert(k), set.insert(k), "insert {}", k),
+                Op::Remove(k) => prop_assert_eq!(pma.remove(k), set.remove(&k), "remove {}", k),
+            }
+            prop_assert_eq!(pma.len(), set.len());
+        }
+        pma.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert!(pma.iter().eq(set.iter().copied()));
+    }
+
+    #[test]
+    fn pma_range_matches_btreeset_range(
+        keys in prop::collection::btree_set(0u64..1000, 0..150),
+        lo in 0u64..1000,
+        span in 0u64..500,
+    ) {
+        let pma: Pma = keys.iter().copied().collect();
+        let hi = lo.saturating_add(span);
+        let got: Vec<u64> = pma.range(lo, hi).collect();
+        let want: Vec<u64> = keys.range(lo..hi).copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pma_contains_matches(keys in prop::collection::btree_set(0u64..500, 0..200), probe in 0u64..500) {
+        let pma: Pma = keys.iter().copied().collect();
+        prop_assert_eq!(pma.contains(probe), keys.contains(&probe));
+    }
+
+    #[test]
+    fn dynamic_csr_tracks_reference(
+        ops in prop::collection::vec((any::<bool>(), 0u32..20, 0u32..20), 0..300)
+    ) {
+        let mut g = DynamicCsr::new(20);
+        let mut reference: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for (insert, u, v) in ops {
+            if insert {
+                prop_assert_eq!(g.insert_edge(u, v), reference.insert((u, v)));
+            } else {
+                prop_assert_eq!(g.remove_edge(u, v), reference.remove(&(u, v)));
+            }
+        }
+        prop_assert_eq!(g.num_edges(), reference.len());
+        for u in 0..20u32 {
+            let expect: Vec<u32> = reference.iter().filter(|&&(s, _)| s == u).map(|&(_, v)| v).collect();
+            prop_assert_eq!(g.degree(u), expect.len());
+            prop_assert_eq!(g.neighbors(u), expect, "u={}", u);
+        }
+    }
+
+    #[test]
+    fn freeze_preserves_the_edge_set(
+        edges in prop::collection::btree_set((0u32..30, 0u32..30), 0..150)
+    ) {
+        let mut g = DynamicCsr::new(30);
+        for &(u, v) in &edges {
+            g.insert_edge(u, v);
+        }
+        let frozen = g.freeze();
+        prop_assert_eq!(frozen.num_edges(), edges.len());
+        for &(u, v) in &edges {
+            prop_assert!(frozen.has_edge(u, v));
+        }
+    }
+}

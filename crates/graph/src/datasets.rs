@@ -1,0 +1,161 @@
+//! Profiles of the paper's four evaluation datasets (Table II).
+//!
+//! The datasets themselves are public (snap.stanford.edu) but not bundled;
+//! each profile records the exact published node/edge counts and a
+//! skew-matched R-MAT recipe that synthesizes a structural stand-in at any
+//! scale. The Table II harness runs on these stand-ins by default and on the
+//! real files when given paths (see `parcsr-bench`).
+
+use crate::gen::{rmat, RmatParams};
+use crate::types::EdgeList;
+
+/// A published dataset's identity plus a generator recipe for its stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Dataset name as printed in Table II.
+    pub name: &'static str,
+    /// Node count published in Table II.
+    pub nodes: usize,
+    /// Edge count published in Table II.
+    pub edges: usize,
+    /// Edge-list text size published in Table II, in bytes (approximate —
+    /// the paper prints "1.1 GB" etc.).
+    pub paper_edgelist_bytes: u64,
+    /// Packed-CSR size published in Table II, in bytes.
+    pub paper_csr_bytes: u64,
+    /// R-MAT quadrant probabilities used for the stand-in. Web graphs are
+    /// more locally clustered than social graphs, so WebNotreDame gets a
+    /// more skewed diagonal.
+    pub quadrants: (f64, f64, f64, f64),
+    /// Construction times published in Table II as `(processors, ms)` pairs.
+    pub paper_times_ms: &'static [(usize, f64)],
+}
+
+impl DatasetProfile {
+    /// Synthesizes the stand-in graph at `scale` (1.0 = full published
+    /// size). The harness defaults to 1/16 scale so Table II regenerates on
+    /// a laptop in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn synthesize(&self, scale: f64, seed: u64) -> EdgeList {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be positive, got {scale}"
+        );
+        let nodes = ((self.nodes as f64 * scale) as usize).max(2);
+        let edges = ((self.edges as f64 * scale) as usize).max(1);
+        let (a, b, c, d) = self.quadrants;
+        rmat(RmatParams::new(nodes, edges, seed).with_quadrants(a, b, c, d))
+    }
+
+    /// Published single-processor construction time (ms), if recorded.
+    pub fn paper_time_at(&self, processors: usize) -> Option<f64> {
+        self.paper_times_ms
+            .iter()
+            .find(|&&(p, _)| p == processors)
+            .map(|&(_, t)| t)
+    }
+
+    /// Published speed-up percentage at `processors`, relative to 1
+    /// processor: `(t1 - tp) / t1 * 100` — how Table II's last column is
+    /// defined.
+    pub fn paper_speedup_percent(&self, processors: usize) -> Option<f64> {
+        let t1 = self.paper_time_at(1)?;
+        let tp = self.paper_time_at(processors)?;
+        Some((t1 - tp) / t1 * 100.0)
+    }
+}
+
+const GB: u64 = 1_000_000_000;
+const MB: u64 = 1_000_000;
+
+/// The four Table II datasets, in the paper's row order.
+pub fn paper_datasets() -> [DatasetProfile; 4] {
+    [
+        DatasetProfile {
+            name: "LiveJournal",
+            nodes: 4_847_571,
+            edges: 68_993_773,
+            paper_edgelist_bytes: (1.1 * GB as f64) as u64,
+            paper_csr_bytes: (24.73 * MB as f64) as u64,
+            quadrants: (0.57, 0.19, 0.19, 0.05),
+            paper_times_ms: &[(1, 164.76), (4, 57.94), (8, 48.35), (16, 40.09), (64, 17.613)],
+        },
+        DatasetProfile {
+            name: "Pokec",
+            nodes: 1_632_803,
+            edges: 30_622_564,
+            paper_edgelist_bytes: 405 * MB,
+            paper_csr_bytes: (197.83 * MB as f64) as u64,
+            quadrants: (0.57, 0.19, 0.19, 0.05),
+            paper_times_ms: &[(1, 67.41), (4, 28.19), (8, 20.95), (16, 18.21), (64, 6.53)],
+        },
+        DatasetProfile {
+            name: "Orkut",
+            nodes: 3_072_627,
+            edges: 117_185_083,
+            paper_edgelist_bytes: (1.7 * GB as f64) as u64,
+            paper_csr_bytes: (313.19 * MB as f64) as u64,
+            quadrants: (0.57, 0.19, 0.19, 0.05),
+            paper_times_ms: &[(1, 235.52), (4, 75.09), (8, 58.38), (16, 55.15), (64, 38.09)],
+        },
+        DatasetProfile {
+            name: "WebNotreDame",
+            nodes: 325_729,
+            edges: 1_497_134,
+            paper_edgelist_bytes: 22 * MB,
+            paper_csr_bytes: (3.82 * MB as f64) as u64,
+            quadrants: (0.65, 0.15, 0.15, 0.05),
+            paper_times_ms: &[(1, 7.13), (4, 2.02), (8, 1.1), (16, 0.577), (64, 0.27)],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn profiles_match_table_ii_counts() {
+        let ds = paper_datasets();
+        assert_eq!(ds[0].nodes, 4_847_571);
+        assert_eq!(ds[0].edges, 68_993_773);
+        assert_eq!(ds[2].name, "Orkut");
+        assert_eq!(ds[2].edges, 117_185_083);
+        assert_eq!(ds[3].nodes, 325_729);
+    }
+
+    #[test]
+    fn synthesize_scales_counts() {
+        let d = &paper_datasets()[3]; // smallest
+        let g = d.synthesize(0.01, 42);
+        assert_eq!(g.num_edges(), (d.edges as f64 * 0.01) as usize);
+        assert_eq!(g.num_nodes(), (d.nodes as f64 * 0.01) as usize);
+    }
+
+    #[test]
+    fn synthesized_graphs_are_skewed() {
+        let d = &paper_datasets()[3];
+        let g = d.synthesize(0.05, 7);
+        let s = DegreeStats::of(&g);
+        assert!(s.gini > 0.4, "stand-in should be heavy-tailed, gini={}", s.gini);
+    }
+
+    #[test]
+    fn paper_speedup_matches_published_column() {
+        let d = &paper_datasets()[2]; // Orkut
+        // Table II prints 83.83% at 64 processors.
+        let s = d.paper_speedup_percent(64).unwrap();
+        assert!((s - 83.83).abs() < 0.05, "computed {s}");
+        assert_eq!(d.paper_speedup_percent(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn synthesize_rejects_bad_scale() {
+        paper_datasets()[0].synthesize(0.0, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Grows the graph one node at a time, attaching each new node to `m`
+//! existing nodes chosen proportionally to their current degree (implemented
+//! with the standard repeated-endpoints trick: sampling a uniform element of
+//! the endpoint log *is* degree-proportional sampling). Inherently
+//! sequential — included as the second heavy-tail model and as a sequential
+//! workload in the generator benches.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::{Edge, EdgeList, NodeId};
+
+/// Parameters for the BA model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaParams {
+    /// Final number of nodes.
+    pub num_nodes: usize,
+    /// Edges added per new node (also the size of the seed clique).
+    pub edges_per_node: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl BaParams {
+    /// Convenience constructor.
+    pub fn new(num_nodes: usize, edges_per_node: usize, seed: u64) -> Self {
+        BaParams {
+            num_nodes,
+            edges_per_node,
+            seed,
+        }
+    }
+}
+
+/// Generates a BA graph: `(num_nodes - m) * m` edges, heavy-tailed in-degree.
+///
+/// # Panics
+///
+/// Panics if `edges_per_node == 0` or `num_nodes <= edges_per_node`.
+pub fn barabasi_albert(params: BaParams) -> EdgeList {
+    let m = params.edges_per_node;
+    assert!(m > 0, "edges_per_node must be positive");
+    assert!(
+        params.num_nodes > m,
+        "num_nodes ({}) must exceed edges_per_node ({m})",
+        params.num_nodes
+    );
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut edges: Vec<Edge> = Vec::with_capacity((params.num_nodes - m) * m);
+    // Endpoint log for degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(edges.capacity() * 2);
+
+    // Seed stage: node `m` connects to all of 0..m, giving every seed node
+    // nonzero degree.
+    for v in 0..m {
+        edges.push((m as NodeId, v as NodeId));
+        endpoints.push(m as NodeId);
+        endpoints.push(v as NodeId);
+    }
+
+    for u in (m + 1)..params.num_nodes {
+        let mut chosen = [0 as NodeId; 0].to_vec();
+        chosen.reserve(m);
+        // Sample m distinct targets degree-proportionally.
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t as usize != u && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((u as NodeId, t));
+            endpoints.push(u as NodeId);
+            endpoints.push(t);
+        }
+    }
+
+    EdgeList::new(params.num_nodes, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn deterministic() {
+        let p = BaParams::new(300, 3, 5);
+        assert_eq!(barabasi_albert(p), barabasi_albert(p));
+    }
+
+    #[test]
+    fn edge_count_formula() {
+        let g = barabasi_albert(BaParams::new(100, 4, 1));
+        assert_eq!(g.num_edges(), (100 - 4) * 4);
+    }
+
+    #[test]
+    fn no_self_loops_after_seed_stage() {
+        let g = barabasi_albert(BaParams::new(200, 2, 9));
+        assert!(g.edges().iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn targets_are_distinct_per_node() {
+        let g = barabasi_albert(BaParams::new(50, 3, 2));
+        for u in 4..50u32 {
+            let mut targets: Vec<_> = g
+                .edges()
+                .iter()
+                .filter(|&&(s, _)| s == u)
+                .map(|&(_, t)| t)
+                .collect();
+            let before = targets.len();
+            targets.sort_unstable();
+            targets.dedup();
+            assert_eq!(targets.len(), before, "node {u} repeated a target");
+        }
+    }
+
+    #[test]
+    fn in_degree_is_heavy_tailed() {
+        let g = barabasi_albert(BaParams::new(4000, 3, 13));
+        // BA skews *in*-degree; measure on the reversed graph.
+        let reversed = EdgeList::new(
+            g.num_nodes(),
+            g.edges().iter().map(|&(u, v)| (v, u)).collect(),
+        );
+        let s = DegreeStats::of(&reversed);
+        assert!(s.max_degree as f64 > 10.0 * s.mean_degree, "max={} mean={}", s.max_degree, s.mean_degree);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn rejects_tiny_n() {
+        barabasi_albert(BaParams::new(3, 3, 0));
+    }
+}

@@ -1,0 +1,185 @@
+//! R-MAT (recursive matrix) generator.
+//!
+//! Each edge is sampled by recursively descending into one of four quadrants
+//! of the adjacency matrix with probabilities `(a, b, c, d)`; skewed
+//! probabilities concentrate edges on low-id rows, giving the heavy-tailed
+//! degree distributions of real social networks. The standard parameters
+//! `(0.57, 0.19, 0.19, 0.05)` (Graph500) approximate SNAP-style social
+//! graphs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::types::{Edge, EdgeList, NodeId};
+
+/// Parameters for the R-MAT generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Number of nodes; rounded up internally to a power of two for the
+    /// recursion, with out-of-range samples rejected, so the emitted graph
+    /// has ids `< num_nodes`.
+    pub num_nodes: usize,
+    /// Number of edges to emit.
+    pub num_edges: usize,
+    /// Quadrant probabilities; must be non-negative and sum to ~1.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+    /// PRNG seed; same seed, same graph.
+    pub seed: u64,
+}
+
+impl RmatParams {
+    /// Graph500-style defaults: `(a,b,c,d) = (0.57, 0.19, 0.19, 0.05)`.
+    pub fn new(num_nodes: usize, num_edges: usize, seed: u64) -> Self {
+        RmatParams {
+            num_nodes,
+            num_edges,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+            seed,
+        }
+    }
+
+    /// Overrides the quadrant probabilities.
+    pub fn with_quadrants(mut self, a: f64, b: f64, c: f64, d: f64) -> Self {
+        self.a = a;
+        self.b = b;
+        self.c = c;
+        self.d = d;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.num_nodes > 0, "R-MAT needs at least one node");
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            "quadrant probabilities must be non-negative"
+        );
+        let sum = self.a + self.b + self.c + self.d;
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "quadrant probabilities must sum to 1 (got {sum})"
+        );
+    }
+}
+
+/// Number of edges each parallel generation chunk produces. Small enough to
+/// load-balance, large enough to amortize PRNG setup.
+const GEN_CHUNK: usize = 1 << 16;
+
+/// Generates an R-MAT graph. Parallel and deterministic: edges are produced
+/// in fixed-size chunks, each from its own PRNG seeded by `(seed, chunk
+/// index)`, so the output is independent of the thread count.
+pub fn rmat(params: RmatParams) -> EdgeList {
+    params.validate();
+    let scale = params.num_nodes.next_power_of_two().trailing_zeros();
+    let chunks = params.num_edges.div_ceil(GEN_CHUNK).max(1);
+
+    let edges: Vec<Edge> = (0..chunks)
+        .into_par_iter()
+        .flat_map_iter(|chunk| {
+            let start = chunk * GEN_CHUNK;
+            let count = GEN_CHUNK.min(params.num_edges - start);
+            let mut rng = SmallRng::seed_from_u64(params.seed ^ (chunk as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            (0..count).map(move |_| sample_edge(&mut rng, scale, &params))
+        })
+        .collect();
+
+    EdgeList::new(params.num_nodes, edges)
+}
+
+/// Samples one edge, rejecting endpoints `>= num_nodes` (needed when
+/// `num_nodes` is not a power of two).
+fn sample_edge(rng: &mut SmallRng, scale: u32, p: &RmatParams) -> Edge {
+    loop {
+        let (mut u, mut v) = (0u64, 0u64);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < p.a {
+                (0, 0)
+            } else if r < p.a + p.b {
+                (0, 1)
+            } else if r < p.a + p.b + p.c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if (u as usize) < p.num_nodes && (v as usize) < p.num_nodes {
+            return (u as NodeId, v as NodeId);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = RmatParams::new(1 << 10, 10_000, 7);
+        let g1 = rmat(p);
+        let g2 = rmat(p);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = rmat(RmatParams::new(1 << 10, 5_000, 1));
+        let b = rmat(RmatParams::new(1 << 10, 5_000, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn respects_counts_and_ranges() {
+        let g = rmat(RmatParams::new(1000, 20_000, 3)); // non-power-of-two n
+        assert_eq!(g.num_edges(), 20_000);
+        assert_eq!(g.num_nodes(), 1000);
+        assert!(g.edges().iter().all(|&(u, v)| (u as usize) < 1000 && (v as usize) < 1000));
+    }
+
+    #[test]
+    fn skewed_parameters_give_skewed_degrees() {
+        let skewed = rmat(RmatParams::new(1 << 12, 1 << 16, 11));
+        let uniform = rmat(RmatParams::new(1 << 12, 1 << 16, 11).with_quadrants(0.25, 0.25, 0.25, 0.25));
+        let s = DegreeStats::of(&skewed);
+        let u = DegreeStats::of(&uniform);
+        assert!(
+            s.gini > u.gini + 0.15,
+            "rmat skew not visible: skewed gini {} vs uniform {}",
+            s.gini,
+            u.gini
+        );
+        assert!(s.max_degree > u.max_degree * 2);
+    }
+
+    #[test]
+    fn single_edge_graph() {
+        let g = rmat(RmatParams::new(2, 1, 0));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_probabilities() {
+        rmat(RmatParams::new(8, 8, 0).with_quadrants(0.5, 0.5, 0.5, 0.5));
+    }
+
+    #[test]
+    fn zero_edges() {
+        let g = rmat(RmatParams::new(16, 0, 0));
+        assert!(g.is_empty());
+        assert_eq!(g.num_nodes(), 16);
+    }
+}

@@ -1,0 +1,169 @@
+//! Stochastic block model: planted communities.
+//!
+//! Social networks are community-structured; the SBM makes that structure a
+//! controlled parameter. Nodes are split into `blocks` equal communities;
+//! each edge endpoint pair lands inside one community with probability
+//! `p_in` (normalized against `p_out` mass), otherwise across two distinct
+//! communities. Used by the analytics tests (connected components,
+//! triangles) to validate behaviour on graphs with known structure.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::types::{Edge, EdgeList, NodeId};
+
+/// Parameters for the block-model generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SbmParams {
+    /// Number of nodes (split as evenly as possible into blocks).
+    pub num_nodes: usize,
+    /// Number of edges to emit.
+    pub num_edges: usize,
+    /// Number of communities.
+    pub blocks: usize,
+    /// Relative weight of intra-community edges. The probability an edge is
+    /// intra-community is `p_in / (p_in + p_out)`.
+    pub p_in: f64,
+    /// Relative weight of inter-community edges.
+    pub p_out: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl SbmParams {
+    /// Community-heavy defaults: 90% of edges inside blocks.
+    pub fn new(num_nodes: usize, num_edges: usize, blocks: usize, seed: u64) -> Self {
+        SbmParams {
+            num_nodes,
+            num_edges,
+            blocks,
+            p_in: 0.9,
+            p_out: 0.1,
+            seed,
+        }
+    }
+
+    /// Overrides the intra/inter weights.
+    pub fn with_mixing(mut self, p_in: f64, p_out: f64) -> Self {
+        self.p_in = p_in;
+        self.p_out = p_out;
+        self
+    }
+}
+
+const GEN_CHUNK: usize = 1 << 16;
+
+/// The community (block id) of a node under the even split.
+pub fn sbm_block_of(node: NodeId, num_nodes: usize, blocks: usize) -> usize {
+    let per = num_nodes.div_ceil(blocks);
+    (node as usize) / per
+}
+
+/// Generates an SBM graph. Parallel and deterministic (per-chunk PRNGs).
+pub fn sbm(params: SbmParams) -> EdgeList {
+    assert!(params.blocks >= 1, "need at least one block");
+    assert!(
+        params.num_nodes >= params.blocks,
+        "need at least one node per block"
+    );
+    assert!(
+        params.p_in >= 0.0 && params.p_out >= 0.0 && params.p_in + params.p_out > 0.0,
+        "mixing weights must be non-negative and not both zero"
+    );
+    if params.num_edges == 0 {
+        return EdgeList::new(params.num_nodes, Vec::new());
+    }
+    let per = params.num_nodes.div_ceil(params.blocks);
+    let intra = params.p_in / (params.p_in + params.p_out);
+    let chunks = params.num_edges.div_ceil(GEN_CHUNK);
+    let edges: Vec<Edge> = (0..chunks)
+        .into_par_iter()
+        .flat_map_iter(|chunk| {
+            let start = chunk * GEN_CHUNK;
+            let count = GEN_CHUNK.min(params.num_edges - start);
+            let mut rng = SmallRng::seed_from_u64(
+                params.seed ^ (chunk as u64).wrapping_mul(0x94D049BB133111EB),
+            );
+            (0..count).map(move |_| {
+                let b = rng.gen_range(0..params.blocks);
+                let block_lo = b * per;
+                let block_hi = ((b + 1) * per).min(params.num_nodes);
+                let u = rng.gen_range(block_lo..block_hi) as NodeId;
+                let v = if params.blocks == 1 || rng.gen_bool(intra) {
+                    rng.gen_range(block_lo..block_hi) as NodeId
+                } else {
+                    // Pick a node in a different block.
+                    let mut other = rng.gen_range(0..params.num_nodes) as NodeId;
+                    while sbm_block_of(other, params.num_nodes, params.blocks) == b {
+                        other = rng.gen_range(0..params.num_nodes) as NodeId;
+                    }
+                    other
+                };
+                (u, v)
+            })
+        })
+        .collect();
+    EdgeList::new(params.num_nodes, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = SbmParams::new(1_000, 10_000, 4, 7);
+        assert_eq!(sbm(p), sbm(p));
+    }
+
+    #[test]
+    fn counts_and_ranges() {
+        let g = sbm(SbmParams::new(100, 2_000, 5, 3));
+        assert_eq!(g.num_edges(), 2_000);
+        assert!(g.edges().iter().all(|&(u, v)| u < 100 && v < 100));
+    }
+
+    #[test]
+    fn community_structure_dominates() {
+        let params = SbmParams::new(1_000, 50_000, 10, 11);
+        let g = sbm(params);
+        let intra = g
+            .edges()
+            .iter()
+            .filter(|&&(u, v)| {
+                sbm_block_of(u, 1_000, 10) == sbm_block_of(v, 1_000, 10)
+            })
+            .count();
+        let frac = intra as f64 / g.num_edges() as f64;
+        assert!(frac > 0.85, "intra fraction {frac}");
+    }
+
+    #[test]
+    fn mixing_zero_means_disconnected_blocks() {
+        let g = sbm(SbmParams::new(100, 3_000, 4, 5).with_mixing(1.0, 0.0));
+        assert!(g
+            .edges()
+            .iter()
+            .all(|&(u, v)| sbm_block_of(u, 100, 4) == sbm_block_of(v, 100, 4)));
+    }
+
+    #[test]
+    fn single_block_is_erdos_renyi_like() {
+        let g = sbm(SbmParams::new(200, 5_000, 1, 9));
+        assert_eq!(g.num_edges(), 5_000);
+        let stats = crate::stats::DegreeStats::of(&g);
+        assert!(stats.gini < 0.3, "no skew expected, gini={}", stats.gini);
+    }
+
+    #[test]
+    fn zero_edges() {
+        assert!(sbm(SbmParams::new(10, 0, 2, 1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one node per block")]
+    fn rejects_more_blocks_than_nodes() {
+        sbm(SbmParams::new(3, 10, 5, 1));
+    }
+}

@@ -1,0 +1,153 @@
+//! Time-evolving workload generator for the TCSR pipeline (Section IV).
+//!
+//! Produces a toggle-event stream over a base R-MAT edge population: each
+//! frame activates some new edges and deactivates some currently active ones,
+//! mimicking the add/delete evolution of Figure 4. Deterministic per seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::rmat::{rmat, RmatParams};
+use crate::temporal::{TemporalEdge, TemporalEdgeList};
+use crate::types::Edge;
+
+/// Parameters for the temporal toggle generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalParams {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Size of the underlying edge population (distinct edges that ever
+    /// exist).
+    pub edge_population: usize,
+    /// Number of time-frames.
+    pub num_frames: usize,
+    /// Toggle events per frame (each toggles a random population edge).
+    pub events_per_frame: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl TemporalParams {
+    /// Convenience constructor with `events_per_frame` defaulted to
+    /// `edge_population / num_frames` (so the graph keeps evolving through
+    /// the whole window).
+    pub fn new(num_nodes: usize, edge_population: usize, num_frames: usize, seed: u64) -> Self {
+        TemporalParams {
+            num_nodes,
+            edge_population,
+            num_frames,
+            events_per_frame: (edge_population / num_frames.max(1)).max(1),
+            seed,
+        }
+    }
+
+    /// Overrides the events-per-frame rate.
+    pub fn with_events_per_frame(mut self, e: usize) -> Self {
+        self.events_per_frame = e;
+        self
+    }
+}
+
+/// Generates a toggle-event stream: frame 0 activates an initial subset of
+/// the population; every later frame toggles `events_per_frame` random
+/// population edges (an inactive edge becomes active = "edge added", an
+/// active one becomes inactive = "edge deleted" — Figure 4's red/dotted
+/// edges).
+pub fn temporal_toggles(params: TemporalParams) -> TemporalEdgeList {
+    assert!(params.num_frames > 0, "need at least one frame");
+    // Distinct edge population from an R-MAT sample.
+    let population: Vec<Edge> = {
+        let g = rmat(RmatParams::new(
+            params.num_nodes,
+            params.edge_population,
+            params.seed,
+        ));
+        let mut e = g.into_edges();
+        e.sort_unstable();
+        e.dedup();
+        e
+    };
+    if population.is_empty() {
+        return TemporalEdgeList::new(params.num_nodes, Vec::new());
+    }
+
+    let mut rng = SmallRng::seed_from_u64(params.seed.wrapping_mul(0xA24BAED4963EE407).wrapping_add(1));
+    let mut events = Vec::with_capacity(params.num_frames * params.events_per_frame);
+
+    // Frame 0: activate roughly half the population.
+    for &e in &population {
+        if rng.gen_bool(0.5) {
+            events.push(TemporalEdge::new(e.0, e.1, 0));
+        }
+    }
+
+    // Later frames: random toggles.
+    for t in 1..params.num_frames {
+        for _ in 0..params.events_per_frame {
+            let e = population[rng.gen_range(0..population.len())];
+            events.push(TemporalEdge::new(e.0, e.1, t as u32));
+        }
+    }
+
+    // Within a frame the same edge may have been toggled multiple times;
+    // the parity rule handles that, but collapsing even pairs here keeps the
+    // stream tidy (a double toggle within one frame is a no-op).
+    events.sort_unstable_by_key(|e| (e.t, e.u, e.v));
+    let mut collapsed: Vec<TemporalEdge> = Vec::with_capacity(events.len());
+    let mut i = 0;
+    while i < events.len() {
+        let mut j = i + 1;
+        while j < events.len() && events[j] == events[i] {
+            j += 1;
+        }
+        if (j - i) % 2 == 1 {
+            collapsed.push(events[i]);
+        }
+        i = j;
+    }
+
+    TemporalEdgeList::new(params.num_nodes, collapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let p = TemporalParams::new(256, 2_000, 8, 3);
+        assert_eq!(temporal_toggles(p), temporal_toggles(p));
+    }
+
+    #[test]
+    fn frames_are_populated() {
+        let t = temporal_toggles(TemporalParams::new(512, 4_000, 10, 7));
+        assert!(t.num_frames() >= 2, "frames={}", t.num_frames());
+        assert!(!t.frame_events(0).is_empty(), "frame 0 seeds the graph");
+        assert!(t.num_events() > 100);
+    }
+
+    #[test]
+    fn no_even_duplicate_within_frame() {
+        let t = temporal_toggles(TemporalParams::new(128, 1_000, 6, 11).with_events_per_frame(500));
+        // After collapsing, each (u, v) appears at most once per frame.
+        let evs = t.events();
+        for w in evs.windows(2) {
+            assert_ne!(w[0], w[1], "duplicate event {:?}", w[0]);
+        }
+    }
+
+    #[test]
+    fn snapshots_evolve() {
+        let t = temporal_toggles(TemporalParams::new(256, 3_000, 6, 5));
+        let first = t.snapshot_at(0);
+        let last = t.snapshot_at(t.max_frame().unwrap());
+        assert_ne!(first, last, "graph should change across frames");
+    }
+
+    #[test]
+    fn empty_population() {
+        let t = temporal_toggles(TemporalParams::new(4, 0, 3, 1));
+        assert!(t.is_empty());
+    }
+}

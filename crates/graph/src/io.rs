@@ -1,0 +1,277 @@
+//! SNAP text-format I/O.
+//!
+//! The evaluation datasets come from the Stanford SNAP collection, which
+//! distributes graphs as whitespace-separated `u v` lines with `#` comment
+//! headers. This module reads and writes that format (plus the `u v t`
+//! triplet extension for temporal graphs), so the real datasets can be
+//! dropped in next to the synthetic profiles.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::temporal::{TemporalEdge, TemporalEdgeList};
+use crate::types::{Edge, EdgeList, NodeId};
+
+/// Errors from parsing SNAP-format text.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line: (1-based line number, content, problem).
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, content, reason } => {
+                write!(f, "line {line}: {reason}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            ParseError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+fn parse_fields<const N: usize>(
+    line: &str,
+    lineno: usize,
+) -> Result<Option<[u64; N]>, ParseError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+        return Ok(None);
+    }
+    let mut out = [0u64; N];
+    let mut fields = trimmed.split_whitespace();
+    for slot in out.iter_mut() {
+        let f = fields.next().ok_or(ParseError::Malformed {
+            line: lineno,
+            content: line.to_string(),
+            reason: "too few fields",
+        })?;
+        *slot = f.parse().map_err(|_| ParseError::Malformed {
+            line: lineno,
+            content: line.to_string(),
+            reason: "field is not an unsigned integer",
+        })?;
+    }
+    if fields.next().is_some() {
+        return Err(ParseError::Malformed {
+            line: lineno,
+            content: line.to_string(),
+            reason: "too many fields",
+        });
+    }
+    Ok(Some(out))
+}
+
+fn check_node(x: u64, line: usize, content: &str) -> Result<NodeId, ParseError> {
+    NodeId::try_from(x).map_err(|_| ParseError::Malformed {
+        line,
+        content: content.to_string(),
+        reason: "node id exceeds u32",
+    })
+}
+
+/// Parses SNAP edge-list text (`u v` per line, `#`/`%` comments, blank lines
+/// allowed) from any reader. Node count is inferred from the maximum id.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<EdgeList, ParseError> {
+    let mut edges: Vec<Edge> = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if let Some([u, v]) = parse_fields::<2>(&line, i + 1)? {
+            edges.push((check_node(u, i + 1, &line)?, check_node(v, i + 1, &line)?));
+        }
+    }
+    Ok(EdgeList::from_pairs(edges))
+}
+
+/// Reads a SNAP edge-list file.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<EdgeList, ParseError> {
+    read_edge_list(BufReader::new(File::open(path)?))
+}
+
+/// Writes SNAP edge-list text (`u\tv` per line) with a small header comment.
+pub fn write_edge_list<W: Write>(graph: &EdgeList, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# Nodes: {} Edges: {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
+    for &(u, v) in graph.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()
+}
+
+/// Writes a SNAP edge-list file.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &EdgeList, path: P) -> io::Result<()> {
+    write_edge_list(graph, File::create(path)?)
+}
+
+/// Parses temporal triplet text (`u v t` per line, comments as above).
+pub fn read_temporal_edge_list<R: BufRead>(reader: R) -> Result<TemporalEdgeList, ParseError> {
+    let mut events = Vec::new();
+    let mut max_node: u64 = 0;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if let Some([u, v, t]) = parse_fields::<3>(&line, i + 1)? {
+            max_node = max_node.max(u).max(v);
+            let t = u32::try_from(t).map_err(|_| ParseError::Malformed {
+                line: i + 1,
+                content: line.to_string(),
+                reason: "timestamp exceeds u32",
+            })?;
+            events.push(TemporalEdge::new(
+                check_node(u, i + 1, &line)?,
+                check_node(v, i + 1, &line)?,
+                t,
+            ));
+        }
+    }
+    let num_nodes = if events.is_empty() { 0 } else { max_node as usize + 1 };
+    Ok(TemporalEdgeList::new(num_nodes, events))
+}
+
+/// Reads a temporal triplet file.
+pub fn read_temporal_edge_list_file<P: AsRef<Path>>(
+    path: P,
+) -> Result<TemporalEdgeList, ParseError> {
+    read_temporal_edge_list(BufReader::new(File::open(path)?))
+}
+
+/// Writes temporal triplet text (`u\tv\tt` per line).
+pub fn write_temporal_edge_list<W: Write>(
+    graph: &TemporalEdgeList,
+    writer: W,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# Nodes: {} Events: {} Frames: {}",
+        graph.num_nodes(),
+        graph.num_events(),
+        graph.num_frames()
+    )?;
+    for e in graph.events() {
+        writeln!(w, "{}\t{}\t{}", e.u, e.v, e.t)?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_snap_format() {
+        let text = "# Directed graph\n# Nodes: 4 Edges: 3\n0\t1\n1 2\n\n3   0\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.edges(), [(0, 1), (1, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn percent_comments_and_whitespace() {
+        let text = "% matrix-market style comment\n  5 6  \n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.edges(), [(5, 6)]);
+        assert_eq!(g.num_nodes(), 7);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = read_edge_list(Cursor::new("0 x\n")).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 1, .. }), "{err}");
+
+        let err = read_edge_list(Cursor::new("0\n")).unwrap_err();
+        assert!(err.to_string().contains("too few fields"));
+
+        let err = read_edge_list(Cursor::new("0 1 2\n")).unwrap_err();
+        assert!(err.to_string().contains("too many fields"));
+    }
+
+    #[test]
+    fn rejects_oversized_node_ids() {
+        let err = read_edge_list(Cursor::new("0 4294967296\n")).unwrap_err();
+        assert!(err.to_string().contains("exceeds u32"));
+    }
+
+    #[test]
+    fn roundtrip_edge_list() {
+        let g = EdgeList::new(5, vec![(0, 1), (3, 4), (2, 2)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(back.edges(), g.edges());
+    }
+
+    #[test]
+    fn roundtrip_temporal() {
+        let t = TemporalEdgeList::new(
+            4,
+            vec![
+                TemporalEdge::new(0, 1, 0),
+                TemporalEdge::new(2, 3, 1),
+                TemporalEdge::new(0, 1, 2),
+            ],
+        );
+        let mut buf = Vec::new();
+        write_temporal_edge_list(&t, &mut buf).unwrap();
+        let back = read_temporal_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn temporal_parse_checks_triplets() {
+        let err = read_temporal_edge_list(Cursor::new("0 1\n")).unwrap_err();
+        assert!(err.to_string().contains("too few fields"));
+        let ok = read_temporal_edge_list(Cursor::new("# c\n1 2 3\n")).unwrap();
+        assert_eq!(ok.num_events(), 1);
+        assert_eq!(ok.events()[0], TemporalEdge::new(1, 2, 3));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list(Cursor::new("# nothing\n")).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("parcsr-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = EdgeList::new(3, vec![(0, 1), (1, 2)]);
+        write_edge_list_file(&g, &path).unwrap();
+        let back = read_edge_list_file(&path).unwrap();
+        assert_eq!(back.edges(), g.edges());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,163 @@
+//! Degree statistics — used to validate that the synthetic stand-ins for the
+//! SNAP datasets reproduce the degree skew the paper's speed-ups depend on.
+
+use rayon::prelude::*;
+
+use crate::types::EdgeList;
+
+/// Summary statistics of a graph's out-degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Maximum out-degree.
+    pub max_degree: u32,
+    /// Mean out-degree.
+    pub mean_degree: f64,
+    /// Number of isolated (degree-0) nodes.
+    pub isolated: usize,
+    /// Gini coefficient of the degree distribution in `[0, 1)`:
+    /// 0 = perfectly uniform, →1 = extremely skewed. Social networks sit
+    /// well above random graphs of the same density.
+    pub gini: f64,
+}
+
+impl DegreeStats {
+    /// Computes statistics from an edge list.
+    pub fn of(graph: &EdgeList) -> Self {
+        let degrees = graph.degrees_sequential();
+        Self::of_degrees(&degrees, graph.num_edges())
+    }
+
+    /// Computes statistics from a precomputed degree array.
+    pub fn of_degrees(degrees: &[u32], num_edges: usize) -> Self {
+        let n = degrees.len();
+        if n == 0 {
+            return DegreeStats {
+                num_nodes: 0,
+                num_edges: 0,
+                max_degree: 0,
+                mean_degree: 0.0,
+                isolated: 0,
+                gini: 0.0,
+            };
+        }
+        let max_degree = degrees.par_iter().copied().max().unwrap_or(0);
+        let isolated = degrees.par_iter().filter(|&&d| d == 0).count();
+        let total: u64 = degrees.par_iter().map(|&d| u64::from(d)).sum();
+        let mean_degree = total as f64 / n as f64;
+
+        // Gini via the sorted-rank formula:
+        // G = (2 * Σ i·x_(i) / (n · Σ x)) - (n + 1)/n, with 1-based ranks.
+        let gini = if total == 0 {
+            0.0
+        } else {
+            let mut sorted = degrees.to_vec();
+            sorted.par_sort_unstable();
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+        };
+
+        DegreeStats {
+            num_nodes: n,
+            num_edges,
+            max_degree,
+            mean_degree,
+            isolated,
+            gini,
+        }
+    }
+}
+
+/// Degree histogram on a log2 scale: `bucket[k]` counts nodes with degree in
+/// `[2^k, 2^(k+1))`; bucket 0 additionally counts degree-0 nodes separately
+/// via the returned `(zero, buckets)` pair. A quick skew fingerprint for the
+/// generator validation tests.
+pub fn log2_degree_histogram(degrees: &[u32]) -> (usize, Vec<usize>) {
+    let mut zero = 0usize;
+    let mut buckets: Vec<usize> = Vec::new();
+    for &d in degrees {
+        if d == 0 {
+            zero += 1;
+            continue;
+        }
+        let b = d.ilog2() as usize;
+        if b >= buckets.len() {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    (zero, buckets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::EdgeList;
+
+    #[test]
+    fn basic_stats() {
+        let g = EdgeList::new(4, vec![(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let s = DegreeStats::of(&g);
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_degree, 3);
+        assert_eq!(s.mean_degree, 1.0);
+        assert_eq!(s.isolated, 2); // nodes 2, 3 have out-degree 0
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = DegreeStats::of(&EdgeList::new(0, vec![]));
+        assert_eq!(s.num_nodes, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn gini_uniform_is_near_zero() {
+        let degrees = vec![5u32; 1000];
+        let s = DegreeStats::of_degrees(&degrees, 5000);
+        assert!(s.gini.abs() < 1e-9, "gini={}", s.gini);
+    }
+
+    #[test]
+    fn gini_single_hub_is_near_one() {
+        let mut degrees = vec![0u32; 1000];
+        degrees[0] = 10_000;
+        let s = DegreeStats::of_degrees(&degrees, 10_000);
+        assert!(s.gini > 0.99, "gini={}", s.gini);
+    }
+
+    #[test]
+    fn gini_ordering_matches_skew() {
+        let uniform = DegreeStats::of_degrees(&vec![10u32; 100], 1000);
+        let mixed: Vec<u32> = (0..100).map(|i| if i < 10 { 91 } else { 1 }).collect();
+        let skewed = DegreeStats::of_degrees(&mixed, 1000);
+        assert!(skewed.gini > uniform.gini + 0.3);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let degrees = vec![0, 1, 1, 2, 3, 4, 7, 8, 1000];
+        let (zero, buckets) = log2_degree_histogram(&degrees);
+        assert_eq!(zero, 1);
+        assert_eq!(buckets[0], 2); // degree 1
+        assert_eq!(buckets[1], 2); // degrees 2-3
+        assert_eq!(buckets[2], 2); // degrees 4-7
+        assert_eq!(buckets[3], 1); // degree 8
+        assert_eq!(buckets[9], 1); // degree 1000 in [512, 1024)
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let (zero, buckets) = log2_degree_histogram(&[]);
+        assert_eq!(zero, 0);
+        assert!(buckets.is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! Temporal (time-evolving) edge lists — the input of Section IV.
+//!
+//! The paper models a time-evolving graph as ordered triplets `(u, v, T)`: an
+//! occurrence of edge `(u, v)` at time-frame `T` *toggles* the edge — an edge
+//! that has appeared an even number of times up to a frame is inactive, odd
+//! is active. Inputs are assumed "sorted with respect to the time-frames and
+//! then sorted by node numbers for each time-frame"; [`TemporalEdgeList`]
+//! enforces exactly that ordering.
+
+use rayon::prelude::*;
+
+use crate::types::{EdgeList, NodeId};
+
+/// Time-frame index.
+pub type Timestamp = u32;
+
+/// One toggle event: edge `(u, v)` changes state at frame `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TemporalEdge {
+    /// Source node.
+    pub u: NodeId,
+    /// Target node.
+    pub v: NodeId,
+    /// Time-frame of the toggle.
+    pub t: Timestamp,
+}
+
+impl TemporalEdge {
+    /// Convenience constructor.
+    pub fn new(u: NodeId, v: NodeId, t: Timestamp) -> Self {
+        TemporalEdge { u, v, t }
+    }
+}
+
+/// A time-evolving graph as a list of toggle events, sorted by
+/// `(t, u, v)` — the paper's assumed input order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemporalEdgeList {
+    num_nodes: usize,
+    /// Sorted by (t, u, v).
+    events: Vec<TemporalEdge>,
+}
+
+impl TemporalEdgeList {
+    /// Builds a temporal edge list; events are sorted into the canonical
+    /// `(t, u, v)` order (parallel sort).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_nodes`.
+    pub fn new(num_nodes: usize, mut events: Vec<TemporalEdge>) -> Self {
+        for e in &events {
+            assert!(
+                (e.u as usize) < num_nodes && (e.v as usize) < num_nodes,
+                "event ({}, {}, {}) out of range for {num_nodes} nodes",
+                e.u,
+                e.v,
+                e.t
+            );
+        }
+        events.par_sort_unstable_by_key(|e| (e.t, e.u, e.v));
+        TemporalEdgeList { num_nodes, events }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of toggle events.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, sorted by `(t, u, v)`.
+    pub fn events(&self) -> &[TemporalEdge] {
+        &self.events
+    }
+
+    /// Largest frame index present, or `None` for an empty list.
+    pub fn max_frame(&self) -> Option<Timestamp> {
+        self.events.last().map(|e| e.t)
+    }
+
+    /// Number of frames, taken as `max_frame + 1` (frames with no events
+    /// still exist — nothing changed in them).
+    pub fn num_frames(&self) -> usize {
+        self.max_frame().map_or(0, |t| t as usize + 1)
+    }
+
+    /// The events of frame `t` as a sub-slice (binary search; the list is
+    /// sorted by frame).
+    pub fn frame_events(&self, t: Timestamp) -> &[TemporalEdge] {
+        let lo = self.events.partition_point(|e| e.t < t);
+        let hi = self.events.partition_point(|e| e.t <= t);
+        &self.events[lo..hi]
+    }
+
+    /// The edges *added or removed* in frame `t` as a plain edge list (the
+    /// per-frame "difference" graph of Figure 4).
+    pub fn frame_edge_list(&self, t: Timestamp) -> EdgeList {
+        EdgeList::new(
+            self.num_nodes,
+            self.frame_events(t).iter().map(|e| (e.u, e.v)).collect(),
+        )
+    }
+
+    /// Sequentially replays all events up to and including frame `t` and
+    /// returns the set of *active* edges (odd number of toggles), sorted.
+    /// The ground truth for the TCSR snapshot queries — O(events) time,
+    /// used only in tests and validation.
+    pub fn snapshot_at(&self, t: Timestamp) -> Vec<(NodeId, NodeId)> {
+        use std::collections::HashMap;
+        let mut parity: HashMap<(NodeId, NodeId), bool> = HashMap::new();
+        for e in &self.events {
+            if e.t > t {
+                break;
+            }
+            *parity.entry((e.u, e.v)).or_insert(false) ^= true;
+        }
+        let mut active: Vec<(NodeId, NodeId)> =
+            parity.into_iter().filter(|&(_, p)| p).map(|(k, _)| k).collect();
+        active.sort_unstable();
+        active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TemporalEdgeList {
+        // Figure-4-like evolution: edges toggling over 4 frames.
+        TemporalEdgeList::new(
+            4,
+            vec![
+                TemporalEdge::new(0, 1, 0),
+                TemporalEdge::new(1, 2, 0),
+                TemporalEdge::new(2, 3, 1),
+                TemporalEdge::new(0, 1, 2), // delete (0,1)
+                TemporalEdge::new(3, 0, 2),
+                TemporalEdge::new(0, 1, 3), // re-add (0,1)
+            ],
+        )
+    }
+
+    #[test]
+    fn events_are_canonically_sorted() {
+        let t = TemporalEdgeList::new(
+            3,
+            vec![
+                TemporalEdge::new(2, 1, 1),
+                TemporalEdge::new(0, 1, 0),
+                TemporalEdge::new(1, 0, 1),
+            ],
+        );
+        let order: Vec<_> = t.events().iter().map(|e| (e.t, e.u, e.v)).collect();
+        assert_eq!(order, [(0, 0, 1), (1, 1, 0), (1, 2, 1)]);
+    }
+
+    #[test]
+    fn frame_extraction() {
+        let t = sample();
+        assert_eq!(t.num_frames(), 4);
+        assert_eq!(t.frame_events(0).len(), 2);
+        assert_eq!(t.frame_events(1).len(), 1);
+        assert_eq!(t.frame_events(2).len(), 2);
+        assert_eq!(t.frame_events(3).len(), 1);
+        let f2 = t.frame_edge_list(2);
+        assert_eq!(f2.edges(), [(0, 1), (3, 0)]);
+    }
+
+    #[test]
+    fn snapshot_parity_rule() {
+        let t = sample();
+        assert_eq!(t.snapshot_at(0), [(0, 1), (1, 2)]);
+        assert_eq!(t.snapshot_at(1), [(0, 1), (1, 2), (2, 3)]);
+        // Frame 2 toggles (0,1) off.
+        assert_eq!(t.snapshot_at(2), [(1, 2), (2, 3), (3, 0)]);
+        // Frame 3 toggles it back on.
+        assert_eq!(t.snapshot_at(3), [(0, 1), (1, 2), (2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn empty_list() {
+        let t = TemporalEdgeList::new(5, vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.num_frames(), 0);
+        assert_eq!(t.max_frame(), None);
+        assert!(t.snapshot_at(10).is_empty());
+        assert!(t.frame_events(0).is_empty());
+    }
+
+    #[test]
+    fn frame_with_no_events_is_empty_slice() {
+        let t = TemporalEdgeList::new(3, vec![TemporalEdge::new(0, 1, 0), TemporalEdge::new(1, 2, 5)]);
+        assert_eq!(t.num_frames(), 6);
+        assert!(t.frame_events(3).is_empty());
+        // Snapshot is unchanged through the quiet frames.
+        assert_eq!(t.snapshot_at(3), t.snapshot_at(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_nodes() {
+        TemporalEdgeList::new(2, vec![TemporalEdge::new(0, 2, 0)]);
+    }
+}

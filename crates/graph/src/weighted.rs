@@ -1,0 +1,162 @@
+//! Weighted edge lists — the input for the weighted CSR (`vA` array).
+//!
+//! Section III: "vA: a value array (if the graph is weighted)". The paper's
+//! evaluation uses unweighted social graphs, but the structure is defined
+//! for weights, so the reproduction carries them through the whole pipeline
+//! (construction, packing, querying).
+
+use rayon::prelude::*;
+
+use crate::types::NodeId;
+
+/// Edge weight. `u32` covers interaction counts / capacities; fixed-width
+/// packing applies to it exactly as to node ids.
+pub type Weight = u32;
+
+/// A weighted directed edge `u → v` with weight `w`.
+pub type WeightedEdge = (NodeId, NodeId, Weight);
+
+/// A directed weighted graph as a flat edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedEdgeList {
+    num_nodes: usize,
+    edges: Vec<WeightedEdge>,
+}
+
+impl WeightedEdgeList {
+    /// Builds a weighted edge list over `num_nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_nodes`.
+    pub fn new(num_nodes: usize, edges: Vec<WeightedEdge>) -> Self {
+        for &(u, v, _) in &edges {
+            assert!(
+                (u as usize) < num_nodes && (v as usize) < num_nodes,
+                "edge ({u}, {v}) out of range for {num_nodes} nodes"
+            );
+        }
+        WeightedEdgeList { num_nodes, edges }
+    }
+
+    /// Attaches deterministic pseudo-random weights in `1..=max_weight` to
+    /// an unweighted edge list (weight = mixed hash of the endpoints, so the
+    /// same edge always gets the same weight).
+    pub fn from_unweighted(graph: &crate::types::EdgeList, max_weight: Weight) -> Self {
+        assert!(max_weight >= 1, "max_weight must be at least 1");
+        let edges = graph
+            .edges()
+            .iter()
+            .map(|&(u, v)| {
+                let mut h = (u64::from(u) << 32) | u64::from(v);
+                h = h.wrapping_mul(0x9E3779B97F4A7C15);
+                h ^= h >> 29;
+                h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+                (u, v, (h % u64::from(max_weight)) as Weight + 1)
+            })
+            .collect();
+        WeightedEdgeList {
+            num_nodes: graph.num_nodes(),
+            edges,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edges are stored.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[WeightedEdge] {
+        &self.edges
+    }
+
+    /// Returns a copy sorted by `(source, target, weight)` (parallel sort).
+    pub fn sorted_by_source(&self) -> WeightedEdgeList {
+        let mut edges = self.edges.clone();
+        edges.par_sort_unstable();
+        WeightedEdgeList {
+            num_nodes: self.num_nodes,
+            edges,
+        }
+    }
+
+    /// True if sorted by `(source, target)`.
+    pub fn is_sorted_by_source(&self) -> bool {
+        self.edges
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1))
+    }
+
+    /// Drops the weights.
+    pub fn unweighted(&self) -> crate::types::EdgeList {
+        crate::types::EdgeList::new(
+            self.num_nodes,
+            self.edges.iter().map(|&(u, v, _)| (u, v)).collect(),
+        )
+    }
+
+    /// Maximum weight present (0 for an empty list).
+    pub fn max_weight(&self) -> Weight {
+        self.edges.iter().map(|&(_, _, w)| w).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{rmat, RmatParams};
+
+    #[test]
+    fn construction_and_sort() {
+        let g = WeightedEdgeList::new(4, vec![(2, 0, 5), (0, 1, 3), (0, 1, 1)]);
+        let s = g.sorted_by_source();
+        assert!(s.is_sorted_by_source());
+        assert_eq!(s.edges()[0], (0, 1, 1));
+        assert_eq!(s.edges()[2], (2, 0, 5));
+        assert_eq!(g.max_weight(), 5);
+    }
+
+    #[test]
+    fn from_unweighted_is_deterministic_and_in_range() {
+        let base = rmat(RmatParams::new(128, 1_000, 3));
+        let a = WeightedEdgeList::from_unweighted(&base, 100);
+        let b = WeightedEdgeList::from_unweighted(&base, 100);
+        assert_eq!(a, b);
+        assert!(a.edges().iter().all(|&(_, _, w)| (1..=100).contains(&w)));
+        // Same edge, same weight, even in different positions.
+        let duplicated = crate::types::EdgeList::new(4, vec![(1, 2), (0, 3), (1, 2)]);
+        let w = WeightedEdgeList::from_unweighted(&duplicated, 50);
+        assert_eq!(w.edges()[0].2, w.edges()[2].2);
+    }
+
+    #[test]
+    fn unweighted_roundtrip() {
+        let base = rmat(RmatParams::new(64, 300, 9));
+        let w = WeightedEdgeList::from_unweighted(&base, 7);
+        assert_eq!(w.unweighted(), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_endpoints() {
+        WeightedEdgeList::new(2, vec![(0, 2, 1)]);
+    }
+
+    #[test]
+    fn empty() {
+        let g = WeightedEdgeList::new(3, vec![]);
+        assert!(g.is_empty());
+        assert_eq!(g.max_weight(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Blelloch's work-efficient tree scan (the paper's reference [12]).
+//!
+//! The classic two-sweep formulation over a conceptually complete binary tree:
+//!
+//! * **Up-sweep (reduce)**: for stride `s = 1, 2, 4, …` every node at position
+//!   `k·2s + 2s − 1` absorbs the partial sum at `k·2s + s − 1`, building a
+//!   reduction tree in place. `O(n)` combines, `O(log n)` parallel steps.
+//! * **Down-sweep**: the root is replaced by the identity, then the tree is
+//!   walked back down, at each level swapping-and-combining so every element
+//!   ends up holding the *exclusive* prefix of everything to its left.
+//!
+//! Arbitrary lengths are handled by padding a scratch buffer to the next power
+//! of two with identity elements (`O(n)` extra space; the chunked algorithm in
+//! [`crate::chunked`] is the in-place alternative and is what the CSR builder
+//! uses by default).
+
+use rayon::prelude::*;
+
+use crate::op::{AddOp, ScanOp};
+
+/// Minimum stride size below which a level is processed sequentially; for
+/// small strides the per-chunk work is too tiny to amortize rayon scheduling.
+const PAR_LEVEL_THRESHOLD: usize = 1 << 14;
+
+/// Out-of-place exclusive Blelloch scan:
+/// `out[i] = op(identity, data[0], …, data[i-1])`.
+pub fn exclusive_scan_blelloch_by<T, O>(data: &[T], op: &O) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    O: ScanOp<T> + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = n.next_power_of_two();
+    let mut buf = Vec::with_capacity(m);
+    buf.extend_from_slice(data);
+    buf.resize(m, op.identity());
+
+    // Up-sweep.
+    let mut stride = 1;
+    while stride < m {
+        let step = stride * 2;
+        sweep_level(&mut buf, step, |chunk| {
+            chunk[step - 1] = op.combine(chunk[stride - 1], chunk[step - 1]);
+        });
+        stride = step;
+    }
+
+    // Down-sweep.
+    buf[m - 1] = op.identity();
+    let mut stride = m / 2;
+    while stride >= 1 {
+        let step = stride * 2;
+        sweep_level(&mut buf, step, |chunk| {
+            let t = chunk[stride - 1];
+            chunk[stride - 1] = chunk[step - 1];
+            chunk[step - 1] = op.combine(t, chunk[step - 1]);
+        });
+        stride /= 2;
+    }
+
+    buf.truncate(n);
+    buf
+}
+
+/// Runs `f` on every complete `step`-sized chunk of `buf`, in parallel when
+/// the level is wide enough to pay for scheduling. `buf.len()` is a power of
+/// two and `step` divides it, so every chunk is complete.
+fn sweep_level<T, F>(buf: &mut [T], step: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut [T]) + Sync + Send,
+{
+    debug_assert_eq!(buf.len() % step, 0);
+    if buf.len() / step >= 2 && buf.len() >= PAR_LEVEL_THRESHOLD {
+        buf.par_chunks_exact_mut(step).for_each(f);
+    } else {
+        buf.chunks_exact_mut(step).for_each(f);
+    }
+}
+
+/// Out-of-place exclusive prefix sum via Blelloch's scan.
+pub fn exclusive_scan_blelloch<T>(data: &[T]) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    AddOp: ScanOp<T>,
+{
+    exclusive_scan_blelloch_by(data, &AddOp)
+}
+
+/// Out-of-place *inclusive* Blelloch scan, derived by combining the exclusive
+/// result with the original elements (one extra parallel pass).
+pub fn inclusive_scan_blelloch_by<T, O>(data: &[T], op: &O) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    O: ScanOp<T> + Sync,
+{
+    let mut out = exclusive_scan_blelloch_by(data, op);
+    if out.len() >= PAR_LEVEL_THRESHOLD {
+        out.par_iter_mut()
+            .zip(data.par_iter())
+            .for_each(|(o, &x)| *o = op.combine(*o, x));
+    } else {
+        for (o, &x) in out.iter_mut().zip(data) {
+            *o = op.combine(*o, x);
+        }
+    }
+    out
+}
+
+/// Out-of-place inclusive prefix sum via Blelloch's scan.
+pub fn inclusive_scan_blelloch<T>(data: &[T]) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    AddOp: ScanOp<T>,
+{
+    inclusive_scan_blelloch_by(data, &AddOp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{MaxOp, XorOp};
+    use crate::sequential::{exclusive_scan_seq, inclusive_scan_seq, inclusive_scan_seq_by};
+
+    #[test]
+    fn exclusive_power_of_two() {
+        let data = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+        let got = exclusive_scan_blelloch(&data);
+        let mut want = data.clone();
+        exclusive_scan_seq(&mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn exclusive_non_power_of_two() {
+        for n in [1usize, 2, 3, 5, 6, 7, 9, 100, 1000, 1023, 1025] {
+            let data: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 89).collect();
+            let got = exclusive_scan_blelloch(&data);
+            let mut want = data.clone();
+            exclusive_scan_seq(&mut want);
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inclusive_matches_sequential() {
+        for n in [1usize, 4, 13, 64, 777] {
+            let data: Vec<u32> = (0..n as u32).map(|i| i % 5 + 1).collect();
+            let got = inclusive_scan_blelloch(&data);
+            let mut want = data.clone();
+            inclusive_scan_seq(&mut want);
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let empty: Vec<u64> = vec![];
+        assert!(exclusive_scan_blelloch(&empty).is_empty());
+        assert!(inclusive_scan_blelloch(&empty).is_empty());
+    }
+
+    #[test]
+    fn max_op_inclusive() {
+        let data = vec![2i32, 8, 1, 9, 3, 7];
+        let got = inclusive_scan_blelloch_by(&data, &MaxOp);
+        let mut want = data.clone();
+        inclusive_scan_seq_by(&mut want, &MaxOp);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn xor_op_exclusive() {
+        let data: Vec<u8> = vec![1, 1, 1, 0, 1, 0, 0];
+        let got = exclusive_scan_blelloch_by(&data, &XorOp);
+        assert_eq!(got, [0, 1, 0, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn large_parallel_path() {
+        // Big enough to exercise the par_chunks_exact_mut branch.
+        let n = (PAR_LEVEL_THRESHOLD * 4) + 3;
+        let data: Vec<u64> = (0..n as u64).map(|i| i % 11).collect();
+        let got = inclusive_scan_blelloch(&data);
+        let mut want = data.clone();
+        inclusive_scan_seq(&mut want);
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,142 @@
+//! Scan operators (monoids).
+//!
+//! A scan is defined over any associative operator with an identity element.
+//! The paper only needs integer addition (degree prefix sums), but the
+//! time-evolving differential CSR reuses the same chunked-scan skeleton with an
+//! XOR-like "difference propagation" step, so the operator is abstracted here.
+
+/// An associative operator with an identity element, over values of type `T`.
+///
+/// Implementations must satisfy the monoid laws; the property tests in this
+/// crate check them on the provided operators:
+///
+/// * associativity: `combine(a, combine(b, c)) == combine(combine(a, b), c)`
+/// * identity: `combine(identity(), a) == a == combine(a, identity())`
+///
+/// Operators must be [`Sync`] because parallel scans share them across worker
+/// threads.
+pub trait ScanOp<T>: Sync {
+    /// The identity element of the monoid.
+    fn identity(&self) -> T;
+    /// Combines two values. Must be associative.
+    fn combine(&self, a: T, b: T) -> T;
+}
+
+/// Wrapping integer addition.
+///
+/// Wrapping (rather than panicking) semantics keep the operator total, so the
+/// monoid laws hold for *all* inputs — a requirement for the property tests
+/// and for scan results to be independent of chunking. Callers that need
+/// overflow detection should scan in a wider type (the CSR builder scans
+/// degrees as `u64`, which cannot overflow for any graph that fits in memory).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AddOp;
+
+/// Maximum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxOp;
+
+/// Minimum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinOp;
+
+/// Bitwise XOR.
+///
+/// Used by the temporal crate to propagate edge-parity "differences" across
+/// chunks with the same skeleton as the additive scan (Section IV: an edge
+/// occurring an even number of times within an interval is inactive, odd is
+/// active).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XorOp;
+
+macro_rules! impl_int_ops {
+    ($($t:ty),*) => {$(
+        impl ScanOp<$t> for AddOp {
+            #[inline]
+            fn identity(&self) -> $t { 0 }
+            #[inline]
+            fn combine(&self, a: $t, b: $t) -> $t { a.wrapping_add(b) }
+        }
+        impl ScanOp<$t> for MaxOp {
+            #[inline]
+            fn identity(&self) -> $t { <$t>::MIN }
+            #[inline]
+            fn combine(&self, a: $t, b: $t) -> $t { a.max(b) }
+        }
+        impl ScanOp<$t> for MinOp {
+            #[inline]
+            fn identity(&self) -> $t { <$t>::MAX }
+            #[inline]
+            fn combine(&self, a: $t, b: $t) -> $t { a.min(b) }
+        }
+        impl ScanOp<$t> for XorOp {
+            #[inline]
+            fn identity(&self) -> $t { 0 }
+            #[inline]
+            fn combine(&self, a: $t, b: $t) -> $t { a ^ b }
+        }
+    )*};
+}
+
+impl_int_ops!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_identity_and_combine() {
+        let op = AddOp;
+        assert_eq!(ScanOp::<u64>::identity(&op), 0);
+        assert_eq!(op.combine(3u64, 4u64), 7);
+    }
+
+    #[test]
+    fn add_wraps_instead_of_panicking() {
+        let op = AddOp;
+        assert_eq!(op.combine(u64::MAX, 1u64), 0);
+        assert_eq!(op.combine(u8::MAX, 2u8), 1);
+    }
+
+    #[test]
+    fn max_identity_is_min_value() {
+        let op = MaxOp;
+        assert_eq!(ScanOp::<i32>::identity(&op), i32::MIN);
+        assert_eq!(op.combine(-5i32, 3i32), 3);
+    }
+
+    #[test]
+    fn min_identity_is_max_value() {
+        let op = MinOp;
+        assert_eq!(ScanOp::<u32>::identity(&op), u32::MAX);
+        assert_eq!(op.combine(5u32, 3u32), 3);
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        let op = XorOp;
+        let a = 0b1010u8;
+        assert_eq!(op.combine(op.combine(a, a), 0b0110), 0b0110);
+    }
+
+    #[test]
+    fn associativity_spot_checks() {
+        let add = AddOp;
+        let max = MaxOp;
+        let xor = XorOp;
+        for &(a, b, c) in &[(1u64, 2, 3), (u64::MAX, 7, 9), (0, 0, 0), (42, 0, u64::MAX / 2)] {
+            assert_eq!(
+                add.combine(a, add.combine(b, c)),
+                add.combine(add.combine(a, b), c)
+            );
+            assert_eq!(
+                max.combine(a, max.combine(b, c)),
+                max.combine(max.combine(a, b), c)
+            );
+            assert_eq!(
+                xor.combine(a, xor.combine(b, c)),
+                xor.combine(xor.combine(a, b), c)
+            );
+        }
+    }
+}

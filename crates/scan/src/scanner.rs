@@ -1,0 +1,212 @@
+//! A small façade selecting a scan algorithm at runtime.
+//!
+//! The CSR builder and the benches both need "scan these degrees with
+//! algorithm X and p processors" as a runtime decision; [`Scanner`] carries
+//! that configuration.
+
+use crate::blelloch::{exclusive_scan_blelloch_by, inclusive_scan_blelloch_by};
+use crate::chunked::{inclusive_scan_chunked_by, inclusive_scan_chunked_lockstep_by};
+use crate::op::{AddOp, ScanOp};
+use crate::sequential::{exclusive_scan_seq_by, inclusive_scan_seq_by};
+use crate::two_pass::inclusive_scan_two_pass_by;
+
+/// Which scan implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScanAlgorithm {
+    /// Single-threaded baseline.
+    Sequential,
+    /// The paper's Algorithm 1 (rayon-phase formulation).
+    Chunked,
+    /// The paper's Algorithm 1 with persistent threads, barriers and the
+    /// lock-guarded carry region — the literal pseudo-code transcription.
+    ChunkedLockstep,
+    /// Blelloch work-efficient tree scan (out-of-place internally).
+    Blelloch,
+    /// Idiomatic rayon two-pass (reduce-then-scan) formulation.
+    TwoPass,
+}
+
+impl ScanAlgorithm {
+    /// All algorithms, for exhaustive equivalence tests and bench sweeps.
+    pub const ALL: [ScanAlgorithm; 5] = [
+        ScanAlgorithm::Sequential,
+        ScanAlgorithm::Chunked,
+        ScanAlgorithm::ChunkedLockstep,
+        ScanAlgorithm::Blelloch,
+        ScanAlgorithm::TwoPass,
+    ];
+
+    /// Stable human-readable name (used in bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScanAlgorithm::Sequential => "sequential",
+            ScanAlgorithm::Chunked => "chunked",
+            ScanAlgorithm::ChunkedLockstep => "chunked-lockstep",
+            ScanAlgorithm::Blelloch => "blelloch",
+            ScanAlgorithm::TwoPass => "two-pass",
+        }
+    }
+}
+
+/// Runtime-configured scan dispatcher.
+///
+/// `chunks` defaults to the rayon thread-pool width, matching the paper's
+/// "one chunk per processor" setup.
+#[derive(Debug, Clone, Copy)]
+pub struct Scanner {
+    algorithm: ScanAlgorithm,
+    chunks: usize,
+}
+
+impl Scanner {
+    /// Creates a scanner with `chunks` equal to the current rayon parallelism.
+    pub fn new(algorithm: ScanAlgorithm) -> Self {
+        Scanner {
+            algorithm,
+            chunks: rayon::current_num_threads(),
+        }
+    }
+
+    /// Creates a scanner with an explicit chunk (processor) count.
+    pub fn with_chunks(algorithm: ScanAlgorithm, chunks: usize) -> Self {
+        Scanner {
+            algorithm,
+            chunks: chunks.max(1),
+        }
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> ScanAlgorithm {
+        self.algorithm
+    }
+
+    /// The configured chunk count.
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// In-place inclusive scan with the configured algorithm and operator.
+    pub fn inclusive_scan_in_place_by<T, O>(&self, data: &mut [T], op: &O)
+    where
+        T: Copy + Send + Sync,
+        O: ScanOp<T> + Sync,
+    {
+        match self.algorithm {
+            ScanAlgorithm::Sequential => inclusive_scan_seq_by(data, op),
+            ScanAlgorithm::Chunked => inclusive_scan_chunked_by(data, self.chunks, op),
+            ScanAlgorithm::ChunkedLockstep => {
+                inclusive_scan_chunked_lockstep_by(data, self.chunks, op)
+            }
+            ScanAlgorithm::Blelloch => {
+                let out = inclusive_scan_blelloch_by(data, op);
+                data.copy_from_slice(&out);
+            }
+            ScanAlgorithm::TwoPass => inclusive_scan_two_pass_by(data, self.chunks, op),
+        }
+    }
+
+    /// In-place inclusive prefix sum.
+    pub fn inclusive_scan_in_place<T>(&self, data: &mut [T])
+    where
+        T: Copy + Send + Sync,
+        AddOp: ScanOp<T>,
+    {
+        self.inclusive_scan_in_place_by(data, &AddOp);
+    }
+
+    /// Out-of-place exclusive scan (what the CSR offset array needs).
+    pub fn exclusive_scan_by<T, O>(&self, data: &[T], op: &O) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        O: ScanOp<T> + Sync,
+    {
+        match self.algorithm {
+            ScanAlgorithm::Sequential => {
+                let mut out = data.to_vec();
+                exclusive_scan_seq_by(&mut out, op);
+                out
+            }
+            ScanAlgorithm::Blelloch => exclusive_scan_blelloch_by(data, op),
+            // The chunked family is defined inclusively in the paper; derive
+            // the exclusive form by scanning a copy and shifting right by one.
+            _ => {
+                if data.is_empty() {
+                    return Vec::new();
+                }
+                let mut inc = data.to_vec();
+                self.inclusive_scan_in_place_by(&mut inc, op);
+                let mut out = Vec::with_capacity(data.len());
+                out.push(op.identity());
+                out.extend_from_slice(&inc[..data.len().saturating_sub(1)]);
+                out
+            }
+        }
+    }
+
+    /// Out-of-place exclusive prefix sum.
+    pub fn exclusive_scan<T>(&self, data: &[T]) -> Vec<T>
+    where
+        T: Copy + Send + Sync,
+        AddOp: ScanOp<T>,
+    {
+        self.exclusive_scan_by(data, &AddOp)
+    }
+}
+
+impl Default for Scanner {
+    /// The paper's default configuration: chunked scan, one chunk per
+    /// processor.
+    fn default() -> Self {
+        Scanner::new(ScanAlgorithm::Chunked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::{exclusive_scan_seq, inclusive_scan_seq};
+
+    #[test]
+    fn every_algorithm_matches_sequential() {
+        let input: Vec<u64> = (0..331).map(|i| (i * 7 + 3) % 23).collect();
+        let mut want_inc = input.clone();
+        inclusive_scan_seq(&mut want_inc);
+        let mut want_exc = input.clone();
+        exclusive_scan_seq(&mut want_exc);
+
+        for alg in ScanAlgorithm::ALL {
+            for chunks in [1, 2, 5, 16] {
+                let s = Scanner::with_chunks(alg, chunks);
+                let mut v = input.clone();
+                s.inclusive_scan_in_place(&mut v);
+                assert_eq!(v, want_inc, "{} chunks={chunks} inclusive", alg.name());
+
+                let exc = s.exclusive_scan(&input);
+                assert_eq!(exc, want_exc, "{} chunks={chunks} exclusive", alg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_empty() {
+        for alg in ScanAlgorithm::ALL {
+            let s = Scanner::with_chunks(alg, 4);
+            assert!(s.exclusive_scan::<u64>(&[]).is_empty(), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn default_uses_current_parallelism() {
+        let s = Scanner::default();
+        assert_eq!(s.algorithm(), ScanAlgorithm::Chunked);
+        assert_eq!(s.chunks(), rayon::current_num_threads());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ScanAlgorithm::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ScanAlgorithm::ALL.len());
+    }
+}

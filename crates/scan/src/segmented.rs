@@ -1,0 +1,177 @@
+//! Segmented scans: independent prefix scans over consecutive segments of
+//! one flat array, described by a CSR-style offset array.
+//!
+//! This is the scan shape the compressed graph pipeline actually produces:
+//! the column array `jA` plus the offset array `iA` *is* a segmented
+//! sequence, and decoding every gap-coded row at once is exactly a segmented
+//! inclusive scan (each row an independent running sum). Blelloch \[12\]
+//! lists the segmented scan as the canonical derived operation; here it is
+//! parallelized over segments, which is both simple and optimal when there
+//! are many more segments than processors (n ≫ p — always true for graphs).
+
+use rayon::prelude::*;
+
+use crate::op::{AddOp, ScanOp};
+use crate::sequential::inclusive_scan_seq_by;
+
+/// Validates a CSR-style offset array over `data`: non-decreasing, starting
+/// at 0, ending at `data.len()`.
+fn check_offsets<T>(data: &[T], offsets: &[u64]) {
+    assert!(!offsets.is_empty(), "offsets must have at least one entry");
+    assert_eq!(offsets[0], 0, "offsets must start at 0");
+    assert_eq!(
+        *offsets.last().expect("non-empty") as usize,
+        data.len(),
+        "offsets must end at data length"
+    );
+    debug_assert!(
+        offsets.windows(2).all(|w| w[0] <= w[1]),
+        "offsets must be non-decreasing"
+    );
+}
+
+/// In-place inclusive scan of every segment independently:
+/// `data[offsets[s]..offsets[s+1]]` becomes its own inclusive scan.
+/// Parallel over segments.
+///
+/// # Panics
+///
+/// Panics if the offsets are not a valid CSR offset array for `data`.
+pub fn segmented_inclusive_scan_by<T, O>(data: &mut [T], offsets: &[u64], op: &O)
+where
+    T: Copy + Send + Sync,
+    O: ScanOp<T> + Sync,
+{
+    check_offsets(data, offsets);
+    // Split the flat array at segment boundaries and scan each in parallel.
+    let mut segments: Vec<&mut [T]> = Vec::with_capacity(offsets.len() - 1);
+    let mut rest = data;
+    for w in offsets.windows(2) {
+        let (seg, tail) = std::mem::take(&mut rest).split_at_mut((w[1] - w[0]) as usize);
+        segments.push(seg);
+        rest = tail;
+    }
+    segments
+        .into_par_iter()
+        .for_each(|seg| inclusive_scan_seq_by(seg, op));
+}
+
+/// In-place segmented inclusive prefix sum.
+///
+/// # Panics
+///
+/// Panics if the offsets are not a valid CSR offset array for `data`.
+pub fn segmented_inclusive_scan<T>(data: &mut [T], offsets: &[u64])
+where
+    T: Copy + Send + Sync,
+    AddOp: ScanOp<T>,
+{
+    segmented_inclusive_scan_by(data, offsets, &AddOp);
+}
+
+/// Reduces every segment with `op`, returning one value per segment
+/// (`identity` for empty segments). Parallel over segments.
+///
+/// # Panics
+///
+/// Panics if the offsets are not a valid CSR offset array for `data`.
+pub fn segmented_reduce_by<T, O>(data: &[T], offsets: &[u64], op: &O) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    O: ScanOp<T> + Sync,
+{
+    check_offsets(data, offsets);
+    offsets
+        .par_windows(2)
+        .map(|w| {
+            data[w[0] as usize..w[1] as usize]
+                .iter()
+                .copied()
+                .fold(op.identity(), |a, b| op.combine(a, b))
+        })
+        .collect()
+}
+
+/// Per-segment sums.
+///
+/// # Panics
+///
+/// Panics if the offsets are not a valid CSR offset array for `data`.
+pub fn segmented_sum<T>(data: &[T], offsets: &[u64]) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    AddOp: ScanOp<T>,
+{
+    segmented_reduce_by(data, offsets, &AddOp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::MaxOp;
+
+    #[test]
+    fn independent_segment_scans() {
+        let mut data = vec![1u64, 2, 3, 10, 20, 5];
+        let offsets = vec![0, 3, 5, 6];
+        segmented_inclusive_scan(&mut data, &offsets);
+        assert_eq!(data, [1, 3, 6, 10, 30, 5]);
+    }
+
+    #[test]
+    fn empty_segments_are_fine() {
+        let mut data = vec![7u64, 8];
+        let offsets = vec![0, 0, 1, 1, 2, 2];
+        segmented_inclusive_scan(&mut data, &offsets);
+        assert_eq!(data, [7, 8]);
+    }
+
+    #[test]
+    fn whole_array_as_one_segment_equals_plain_scan() {
+        let mut data: Vec<u64> = (1..=10).collect();
+        segmented_inclusive_scan(&mut data, &[0, 10]);
+        let mut want: Vec<u64> = (1..=10).collect();
+        crate::sequential::inclusive_scan_seq(&mut want);
+        assert_eq!(data, want);
+    }
+
+    #[test]
+    fn gap_decode_all_rows_at_once() {
+        // Two gap-coded rows [5, +2, +1] and [100, +50]; the segmented scan
+        // decodes both simultaneously.
+        let mut data = vec![5u64, 2, 1, 100, 50];
+        segmented_inclusive_scan(&mut data, &[0, 3, 5]);
+        assert_eq!(data, [5, 7, 8, 100, 150]);
+    }
+
+    #[test]
+    fn segmented_max() {
+        let mut data = vec![3i64, 9, 1, 4, 4, 2];
+        segmented_inclusive_scan_by(&mut data, &[0, 2, 6], &MaxOp);
+        assert_eq!(data, [3, 9, 1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn reduce_and_sum() {
+        let data = vec![1u64, 2, 3, 10, 20, 5];
+        let offsets = vec![0, 3, 5, 6];
+        assert_eq!(segmented_sum(&data, &offsets), [6, 30, 5]);
+        assert_eq!(segmented_reduce_by(&data, &offsets, &MaxOp), [3, 20, 5]);
+        let empties = segmented_sum(&data, &[0, 0, 6, 6]);
+        assert_eq!(empties, [0, 41, 0]);
+    }
+
+    #[test]
+    fn empty_data_single_offset_pairing() {
+        let mut data: Vec<u64> = vec![];
+        segmented_inclusive_scan(&mut data, &[0]);
+        assert!(segmented_sum(&data, &[0]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "end at data length")]
+    fn bad_offsets_rejected() {
+        let mut data = vec![1u64, 2];
+        segmented_inclusive_scan(&mut data, &[0, 5]);
+    }
+}

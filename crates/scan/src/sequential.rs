@@ -1,0 +1,125 @@
+//! Sequential scans — the ground truth every parallel variant is tested
+//! against, and the `p = 1` baseline of the paper's Table II.
+
+use crate::op::{AddOp, ScanOp};
+
+/// In-place inclusive scan with a custom operator:
+/// `data[i] = op(data[0], …, data[i])`.
+pub fn inclusive_scan_seq_by<T, O>(data: &mut [T], op: &O)
+where
+    T: Copy,
+    O: ScanOp<T>,
+{
+    let mut acc = match data.first() {
+        Some(&x) => x,
+        None => return,
+    };
+    for x in data.iter_mut().skip(1) {
+        acc = op.combine(acc, *x);
+        *x = acc;
+    }
+}
+
+/// In-place inclusive prefix sum (wrapping addition).
+pub fn inclusive_scan_seq<T>(data: &mut [T])
+where
+    T: Copy,
+    AddOp: ScanOp<T>,
+{
+    inclusive_scan_seq_by(data, &AddOp);
+}
+
+/// In-place exclusive scan with a custom operator:
+/// `data[i] = op(identity, data[0], …, data[i-1])`.
+pub fn exclusive_scan_seq_by<T, O>(data: &mut [T], op: &O)
+where
+    T: Copy,
+    O: ScanOp<T>,
+{
+    let mut acc = op.identity();
+    for x in data.iter_mut() {
+        let next = op.combine(acc, *x);
+        *x = acc;
+        acc = next;
+    }
+}
+
+/// In-place exclusive prefix sum (wrapping addition). The CSR row-offset
+/// array is exactly the exclusive prefix sum of the degree array.
+pub fn exclusive_scan_seq<T>(data: &mut [T])
+where
+    T: Copy,
+    AddOp: ScanOp<T>,
+{
+    exclusive_scan_seq_by(data, &AddOp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{MaxOp, XorOp};
+
+    #[test]
+    fn inclusive_basic() {
+        let mut v = vec![1u64, 2, 3, 4];
+        inclusive_scan_seq(&mut v);
+        assert_eq!(v, [1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn exclusive_basic() {
+        let mut v = vec![1u64, 2, 3, 4];
+        exclusive_scan_seq(&mut v);
+        assert_eq!(v, [0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut empty: Vec<u32> = vec![];
+        inclusive_scan_seq(&mut empty);
+        exclusive_scan_seq(&mut empty);
+        assert!(empty.is_empty());
+
+        let mut one = vec![7u32];
+        inclusive_scan_seq(&mut one);
+        assert_eq!(one, [7]);
+        exclusive_scan_seq(&mut one);
+        assert_eq!(one, [0]);
+    }
+
+    #[test]
+    fn inclusive_max() {
+        let mut v = vec![3i32, 1, 4, 1, 5];
+        inclusive_scan_seq_by(&mut v, &MaxOp);
+        assert_eq!(v, [3, 3, 4, 4, 5]);
+    }
+
+    #[test]
+    fn inclusive_xor_parity() {
+        // XOR scan over indicator bits gives "seen an odd number of times so
+        // far" — the TCSR activity rule.
+        let mut v = vec![1u8, 1, 0, 1, 0];
+        inclusive_scan_seq_by(&mut v, &XorOp);
+        assert_eq!(v, [1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn exclusive_shifts_inclusive_by_one() {
+        let orig = vec![5u64, 9, 2, 8, 1];
+        let mut inc = orig.clone();
+        inclusive_scan_seq(&mut inc);
+        let mut exc = orig.clone();
+        exclusive_scan_seq(&mut exc);
+        assert_eq!(exc[0], 0);
+        for i in 1..orig.len() {
+            assert_eq!(exc[i], inc[i - 1]);
+        }
+    }
+
+    #[test]
+    fn wrapping_does_not_panic() {
+        let mut v = vec![u64::MAX, 1, 1];
+        inclusive_scan_seq(&mut v);
+        assert_eq!(v, [u64::MAX, 0, 1]);
+    }
+}

@@ -1,0 +1,128 @@
+//! The idiomatic rayon two-pass scan.
+//!
+//! Where the paper's Algorithm 1 scans chunks *first* and then patches carries
+//! in, the classic engineering formulation reduces first:
+//!
+//! 1. (parallel) compute each chunk's total;
+//! 2. (serial, `O(p)`) exclusive-scan the chunk totals to get each chunk's
+//!    incoming carry;
+//! 3. (parallel) scan each chunk seeded with its carry.
+//!
+//! Both formulations do the same asymptotic work; the two-pass version reads
+//! every element twice but never rewrites an element twice, which usually wins
+//! on memory-bandwidth-bound inputs. The benches compare them head to head
+//! (DESIGN.md ablation "scan").
+
+use rayon::prelude::*;
+
+use crate::op::{AddOp, ScanOp};
+use crate::sequential::inclusive_scan_seq_by;
+use crate::util::{chunk_ranges, split_mut_by_ranges};
+
+/// In-place inclusive scan, two-pass formulation, with `chunks` logical
+/// processors.
+pub fn inclusive_scan_two_pass_by<T, O>(data: &mut [T], chunks: usize, op: &O)
+where
+    T: Copy + Send + Sync,
+    O: ScanOp<T> + Sync,
+{
+    let ranges = chunk_ranges(data.len(), chunks);
+    if ranges.len() <= 1 {
+        inclusive_scan_seq_by(data, op);
+        return;
+    }
+
+    // Pass 1: per-chunk totals.
+    let mut carries: Vec<T> = {
+        let data = &*data;
+        ranges
+            .par_iter()
+            .map(|r| {
+                data[r.clone()]
+                    .iter()
+                    .copied()
+                    .fold(op.identity(), |a, b| op.combine(a, b))
+            })
+            .collect()
+    };
+
+    // Serial exclusive scan of the totals: carries[c] = prefix before chunk c.
+    let mut acc = op.identity();
+    for c in carries.iter_mut() {
+        let next = op.combine(acc, *c);
+        *c = acc;
+        acc = next;
+    }
+
+    // Pass 2: per-chunk scan seeded with the carry.
+    let parts = split_mut_by_ranges(data, &ranges);
+    parts
+        .into_par_iter()
+        .zip(carries.into_par_iter())
+        .for_each(|(chunk, carry)| {
+            let mut acc = carry;
+            for x in chunk.iter_mut() {
+                acc = op.combine(acc, *x);
+                *x = acc;
+            }
+        });
+}
+
+/// In-place inclusive prefix sum, two-pass formulation.
+pub fn inclusive_scan_two_pass<T>(data: &mut [T], chunks: usize)
+where
+    T: Copy + Send + Sync,
+    AddOp: ScanOp<T>,
+{
+    inclusive_scan_two_pass_by(data, chunks, &AddOp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{MaxOp, XorOp};
+    use crate::sequential::inclusive_scan_seq;
+
+    #[test]
+    fn matches_sequential_for_all_chunkings() {
+        let input: Vec<u64> = (0..217).map(|i| (i * 13 + 5) % 31).collect();
+        let mut want = input.clone();
+        inclusive_scan_seq(&mut want);
+        for chunks in [1, 2, 3, 8, 16, 217, 1000] {
+            let mut v = input.clone();
+            inclusive_scan_two_pass(&mut v, chunks);
+            assert_eq!(v, want, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut v: Vec<u32> = vec![];
+        inclusive_scan_two_pass(&mut v, 4);
+        assert!(v.is_empty());
+        let mut v = vec![9u32];
+        inclusive_scan_two_pass(&mut v, 4);
+        assert_eq!(v, [9]);
+    }
+
+    #[test]
+    fn non_commutative_safety_with_max() {
+        // Max is commutative, but the test ensures operator dispatch works.
+        let input: Vec<i64> = vec![5, 3, 9, 1, 2, 8, 0, 7];
+        let mut want = input.clone();
+        crate::sequential::inclusive_scan_seq_by(&mut want, &MaxOp);
+        let mut v = input.clone();
+        inclusive_scan_two_pass_by(&mut v, 3, &MaxOp);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn xor_scan() {
+        let input: Vec<u16> = (0..57).map(|i| i * 7 % 16).collect();
+        let mut want = input.clone();
+        crate::sequential::inclusive_scan_seq_by(&mut want, &XorOp);
+        let mut v = input.clone();
+        inclusive_scan_two_pass_by(&mut v, 6, &XorOp);
+        assert_eq!(v, want);
+    }
+}

@@ -1,0 +1,162 @@
+//! Chunking utilities shared by every parallel algorithm in the workspace.
+//!
+//! The paper's algorithms all start the same way: "divide the array into `p`
+//! chunks, one per processor". [`chunk_ranges`] is the single source of truth
+//! for that division so the scan, degree-computation, bit-packing and TCSR
+//! pipelines agree on chunk boundaries.
+
+use std::ops::Range;
+
+/// Splits `0..len` into at most `chunks` contiguous, non-empty ranges of
+/// near-equal size (sizes differ by at most one, larger chunks first).
+///
+/// Returns fewer than `chunks` ranges when `len < chunks`, and an empty vector
+/// when `len == 0`. `chunks == 0` is treated as `1` so callers can pass a
+/// "number of processors" value straight through without special-casing.
+///
+/// ```
+/// use parcsr_scan::chunk_ranges;
+/// assert_eq!(chunk_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+/// assert_eq!(chunk_ranges(2, 8).len(), 2);
+/// assert!(chunk_ranges(0, 4).is_empty());
+/// ```
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.max(1).min(len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+/// Splits a mutable slice into disjoint sub-slices described by `ranges`.
+///
+/// The ranges must be sorted, non-overlapping and contained in
+/// `0..data.len()` — exactly what [`chunk_ranges`] produces. Gaps between
+/// ranges are allowed (the gap elements are simply not handed out).
+///
+/// # Panics
+///
+/// Panics if the ranges are out of order or exceed the slice length.
+pub fn split_mut_by_ranges<'a, T>(
+    mut data: &'a mut [T],
+    ranges: &[Range<usize>],
+) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut consumed = 0;
+    for r in ranges {
+        assert!(r.start >= consumed, "ranges must be sorted and disjoint");
+        let (_, rest) = data.split_at_mut(r.start - consumed);
+        let (piece, rest) = rest.split_at_mut(r.end - r.start);
+        out.push(piece);
+        data = rest;
+        consumed = r.end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        assert_eq!(chunk_ranges(8, 4), vec![0..2, 2..4, 4..6, 6..8]);
+    }
+
+    #[test]
+    fn uneven_split_puts_extra_in_leading_chunks() {
+        assert_eq!(chunk_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+
+    #[test]
+    fn more_chunks_than_elements() {
+        let r = chunk_ranges(3, 10);
+        assert_eq!(r, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn zero_len_is_empty() {
+        assert!(chunk_ranges(0, 5).is_empty());
+    }
+
+    #[test]
+    fn zero_chunks_treated_as_one() {
+        assert_eq!(chunk_ranges(5, 0), vec![0..5]);
+    }
+
+    #[test]
+    fn single_chunk() {
+        assert_eq!(chunk_ranges(7, 1), vec![0..7]);
+    }
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        for len in [1usize, 2, 3, 10, 97, 1000] {
+            for chunks in [1usize, 2, 3, 7, 64, 1500] {
+                let ranges = chunk_ranges(len, chunks);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, prev_end, "contiguous");
+                    assert!(!r.is_empty(), "non-empty");
+                    covered += r.len();
+                    prev_end = r.end;
+                }
+                assert_eq!(covered, len);
+                // Sizes differ by at most one.
+                let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn split_mut_matches_ranges() {
+        let mut data: Vec<u32> = (0..10).collect();
+        let ranges = chunk_ranges(10, 3);
+        let parts = split_mut_by_ranges(&mut data, &ranges);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &[0, 1, 2, 3]);
+        assert_eq!(parts[1], &[4, 5, 6]);
+        assert_eq!(parts[2], &[7, 8, 9]);
+    }
+
+    #[test]
+    fn split_mut_allows_gaps() {
+        let mut data: Vec<u32> = (0..10).collect();
+        let parts = split_mut_by_ranges(&mut data, &[1..3, 5..6]);
+        assert_eq!(parts[0], &[1, 2]);
+        assert_eq!(parts[1], &[5]);
+    }
+
+    #[test]
+    fn split_mut_pieces_are_writable() {
+        let mut data = vec![0u8; 6];
+        let ranges = chunk_ranges(6, 2);
+        let mut parts = split_mut_by_ranges(&mut data, &ranges);
+        for p in parts.iter_mut() {
+            for x in p.iter_mut() {
+                *x = 9;
+            }
+        }
+        assert_eq!(data, vec![9; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn split_mut_rejects_overlap() {
+        let mut data = vec![0u8; 6];
+        let _ = split_mut_by_ranges(&mut data, &[0..3, 2..5]);
+    }
+}

@@ -1,0 +1,228 @@
+//! A rank/select bitvector.
+//!
+//! `rank1(i)` = number of set bits strictly before position `i`, answered in
+//! O(1) from per-word cumulative counts; `select1(k)` = position of the
+//! k-th (0-based) set bit, answered by binary search over the rank index.
+//! The space overhead is one `u32` per 64-bit word (≈ 50%), a deliberately
+//! simple layout — the classic engineered variants (rank9 etc.) shave the
+//! overhead but not the asymptotics, and simplicity keeps the structure an
+//! honest baseline.
+
+/// An immutable bitvector with O(1) rank and O(log n) select.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankSelect {
+    words: Vec<u64>,
+    /// `ranks[w]` = number of ones in words `0..w`.
+    ranks: Vec<u32>,
+    len: usize,
+    ones: usize,
+}
+
+impl RankSelect {
+    /// Builds from a bit iterator.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut words: Vec<u64> = Vec::new();
+        let mut len = 0usize;
+        for bit in bits {
+            if len.is_multiple_of(64) {
+                words.push(0);
+            }
+            if bit {
+                *words.last_mut().expect("just pushed") |= 1 << (len % 64);
+            }
+            len += 1;
+        }
+        Self::from_raw(words, len)
+    }
+
+    /// Builds from words and a bit length (bits above `len` must be zero).
+    pub fn from_raw(words: Vec<u64>, len: usize) -> Self {
+        assert!(len <= words.len() * 64, "len exceeds backing words");
+        if let Some(&last) = words.last() {
+            let live = len - (words.len() - 1) * 64;
+            assert!(
+                live == 64 || (last >> live) == 0,
+                "bits above len must be zero"
+            );
+        }
+        let mut ranks = Vec::with_capacity(words.len() + 1);
+        let mut acc = 0u32;
+        ranks.push(0);
+        for &w in &words {
+            acc += w.count_ones();
+            ranks.push(acc);
+        }
+        let ones = acc as usize;
+        RankSelect {
+            words,
+            ranks,
+            len,
+            ones,
+        }
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// The bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of bounds (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of ones strictly before position `i` (`i` may equal `len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > len`.
+    #[inline]
+    pub fn rank1(&self, i: usize) -> usize {
+        assert!(i <= self.len, "rank position {i} out of bounds");
+        let word = i / 64;
+        let within = i % 64;
+        let partial = if within == 0 {
+            0
+        } else {
+            (self.words[word] & ((1u64 << within) - 1)).count_ones()
+        };
+        self.ranks[word] as usize + partial as usize
+    }
+
+    /// Number of zeros strictly before position `i`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Position of the k-th set bit (0-based), or `None` if `k >= ones`.
+    pub fn select1(&self, k: usize) -> Option<usize> {
+        if k >= self.ones {
+            return None;
+        }
+        // Binary search the word whose cumulative rank passes k.
+        let mut lo = 0usize;
+        let mut hi = self.words.len();
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.ranks[mid] as usize <= k {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let remaining = k - self.ranks[lo] as usize;
+        let mut word = self.words[lo];
+        for _ in 0..remaining {
+            debug_assert!(word != 0, "select ran out of bits");
+            word &= word - 1; // clear lowest set bit
+        }
+        debug_assert!(word != 0, "select ran out of bits");
+        Some(lo * 64 + word.trailing_zeros() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(bits: &[bool]) -> RankSelect {
+        RankSelect::from_bits(bits.iter().copied())
+    }
+
+    #[test]
+    fn rank_matches_prefix_counts() {
+        let bits: Vec<bool> = (0..300).map(|i| i % 3 == 0 || i % 7 == 0).collect();
+        let rs = naive(&bits);
+        let mut count = 0;
+        for i in 0..=bits.len() {
+            assert_eq!(rs.rank1(i), count, "i={i}");
+            assert_eq!(rs.rank0(i), i - count);
+            if i < bits.len() {
+                assert_eq!(rs.get(i), bits[i]);
+                count += usize::from(bits[i]);
+            }
+        }
+        assert_eq!(rs.count_ones(), count);
+    }
+
+    #[test]
+    fn select_is_inverse_of_rank() {
+        let bits: Vec<bool> = (0..500).map(|i| (i * i) % 5 == 1).collect();
+        let rs = naive(&bits);
+        for k in 0..rs.count_ones() {
+            let pos = rs.select1(k).unwrap();
+            assert!(rs.get(pos), "k={k} pos={pos}");
+            assert_eq!(rs.rank1(pos), k);
+        }
+        assert_eq!(rs.select1(rs.count_ones()), None);
+    }
+
+    #[test]
+    fn empty_and_all_patterns() {
+        let empty = RankSelect::from_bits(std::iter::empty());
+        assert!(empty.is_empty());
+        assert_eq!(empty.rank1(0), 0);
+        assert_eq!(empty.select1(0), None);
+
+        let zeros = RankSelect::from_bits(std::iter::repeat_n(false, 130));
+        assert_eq!(zeros.count_ones(), 0);
+        assert_eq!(zeros.rank1(130), 0);
+
+        let ones = RankSelect::from_bits(std::iter::repeat_n(true, 130));
+        assert_eq!(ones.count_ones(), 130);
+        assert_eq!(ones.select1(129), Some(129));
+        assert_eq!(ones.rank1(65), 65);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        let mut bits = vec![false; 200];
+        for &i in &[0usize, 63, 64, 127, 128, 191, 199] {
+            bits[i] = true;
+        }
+        let rs = naive(&bits);
+        assert_eq!(rs.count_ones(), 7);
+        assert_eq!(rs.select1(0), Some(0));
+        assert_eq!(rs.select1(1), Some(63));
+        assert_eq!(rs.select1(2), Some(64));
+        assert_eq!(rs.select1(6), Some(199));
+        assert_eq!(rs.rank1(64), 2);
+        assert_eq!(rs.rank1(128), 4);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let rs = RankSelect::from_raw(vec![0b1011], 4);
+        assert_eq!(rs.count_ones(), 3);
+        assert!(rs.get(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "above len")]
+    fn from_raw_rejects_dirty_padding() {
+        RankSelect::from_raw(vec![0b10000], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rank_bounds_checked() {
+        naive(&[true]).rank1(2);
+    }
+}

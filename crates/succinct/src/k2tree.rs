@@ -1,0 +1,328 @@
+//! The k²-tree of Brisaboa, Ladra and Navarro (the paper's \[18\]), with
+//! `k = 2`: the adjacency matrix as a recursively subdivided quadtree.
+//!
+//! The matrix (padded to a power of two) is split into 4 quadrants; each
+//! quadrant contributes one bit — 1 if it contains any edge — and non-empty
+//! quadrants recurse. All levels' bits concatenate into a single bitvector;
+//! the children of the set bit at position `p` live at positions
+//! `rank1(p + 1) · 4 …`, so navigation needs only rank. Empty regions cost
+//! nothing, which is what makes the structure competitive on sparse
+//! clustered matrices (web graphs especially).
+
+use parcsr_graph::NodeId;
+
+use crate::bitvector::RankSelect;
+
+/// A k²-tree (k = 2) over an `n × n` boolean adjacency matrix.
+#[derive(Debug, Clone)]
+pub struct K2Tree {
+    /// All level bits, breadth-first, root level first.
+    bits: RankSelect,
+    /// Padded matrix side (power of two, ≥ 2).
+    side: usize,
+    /// Declared (unpadded) node count.
+    num_nodes: usize,
+    /// Number of edges stored.
+    num_edges: usize,
+}
+
+impl K2Tree {
+    /// Builds from a directed edge set (duplicates collapse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        for &(u, v) in edges {
+            assert!(
+                (u as usize) < num_nodes && (v as usize) < num_nodes,
+                "edge ({u}, {v}) out of range for {num_nodes} nodes"
+            );
+        }
+        let side = num_nodes.next_power_of_two().max(2);
+        let mut sorted: Vec<(NodeId, NodeId)> = edges.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let num_edges = sorted.len();
+
+        // Breadth-first subdivision: each queue entry is a quadrant origin
+        // (row, column) plus the edges falling inside it, at the current
+        // level's quadrant size.
+        type QueueEntry = (usize, usize, Vec<(NodeId, NodeId)>);
+        let mut levels: Vec<Vec<bool>> = Vec::new();
+        let mut queue: Vec<QueueEntry> = vec![(0, 0, sorted)];
+        let mut size = side;
+        while size > 1 && !queue.is_empty() {
+            let half = size / 2;
+            let mut level_bits = Vec::with_capacity(queue.len() * 4);
+            let mut next: Vec<QueueEntry> = Vec::new();
+            for (row0, col0, node_edges) in queue {
+                // Quadrant order: (top-left, top-right, bottom-left,
+                // bottom-right) — row-major.
+                let mut quadrants: [Vec<(NodeId, NodeId)>; 4] =
+                    [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+                for (u, v) in node_edges {
+                    let r = (u as usize - row0) >= half;
+                    let c = (v as usize - col0) >= half;
+                    quadrants[usize::from(r) * 2 + usize::from(c)].push((u, v));
+                }
+                for (q, qedges) in quadrants.into_iter().enumerate() {
+                    level_bits.push(!qedges.is_empty());
+                    if !qedges.is_empty() && half > 1 {
+                        let qrow = row0 + (q / 2) * half;
+                        let qcol = col0 + (q % 2) * half;
+                        next.push((qrow, qcol, qedges));
+                    }
+                }
+            }
+            levels.push(level_bits);
+            queue = next;
+            size = half;
+        }
+
+        let bits = RankSelect::from_bits(levels.into_iter().flatten());
+        K2Tree {
+            bits,
+            side,
+            num_nodes,
+            num_edges,
+        }
+    }
+
+    /// Declared node count.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of (distinct) edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Size of the bit structure in bytes (bits only; the rank index roughly
+    /// doubles it).
+    pub fn packed_bytes(&self) -> usize {
+        self.bits.len().div_ceil(8)
+    }
+
+    /// Children base position of the set bit at `pos`.
+    #[inline]
+    fn children(&self, pos: usize) -> usize {
+        self.bits.rank1(pos + 1) * 4
+    }
+
+    /// Edge existence: one root-to-leaf descent, `O(log n)` rank queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        assert!(
+            (u as usize) < self.num_nodes && (v as usize) < self.num_nodes,
+            "edge ({u}, {v}) out of range"
+        );
+        if self.num_edges == 0 {
+            return false;
+        }
+        let (mut row, mut col) = (u as usize, v as usize);
+        let mut size = self.side / 2;
+        // Root children occupy positions 0..4.
+        let mut pos = (row / size) * 2 + (col / size);
+        loop {
+            if !self.bits.get(pos) {
+                return false;
+            }
+            if size == 1 {
+                return true;
+            }
+            row %= size;
+            col %= size;
+            size /= 2;
+            pos = self.children(pos) + (row / size) * 2 + (col / size);
+        }
+    }
+
+    /// The sorted neighbor row of `u` (forward query).
+    pub fn row(&self, u: NodeId) -> Vec<NodeId> {
+        assert!((u as usize) < self.num_nodes, "node {u} out of range");
+        let mut out = Vec::new();
+        if self.num_edges > 0 {
+            self.collect_row(u as usize, 0, self.side, usize::MAX, &mut out);
+        }
+        out
+    }
+
+    /// The sorted list of nodes pointing at `v` (reverse query) — the
+    /// symmetry CSR lacks without a transpose.
+    pub fn column(&self, v: NodeId) -> Vec<NodeId> {
+        assert!((v as usize) < self.num_nodes, "node {v} out of range");
+        let mut out = Vec::new();
+        if self.num_edges > 0 {
+            self.collect_column(v as usize, 0, self.side, usize::MAX, &mut out);
+        }
+        out
+    }
+
+    /// DFS over the two column-halves of the quadrants intersecting row
+    /// `row` (relative to the current node). `pos == usize::MAX` denotes the
+    /// virtual root.
+    fn collect_row(&self, row: usize, col0: usize, size: usize, pos: usize, out: &mut Vec<NodeId>) {
+        let half = size / 2;
+        let base = if pos == usize::MAX { 0 } else { self.children(pos) };
+        let r = row / half;
+        for c in 0..2 {
+            let child = base + r * 2 + c;
+            if !self.bits.get(child) {
+                continue;
+            }
+            let child_col0 = col0 + c * half;
+            if half == 1 {
+                if child_col0 < self.num_nodes {
+                    out.push(child_col0 as NodeId);
+                }
+            } else {
+                self.collect_row(row % half, child_col0, half, child, out);
+            }
+        }
+    }
+
+    fn collect_column(
+        &self,
+        col: usize,
+        row0: usize,
+        size: usize,
+        pos: usize,
+        out: &mut Vec<NodeId>,
+    ) {
+        let half = size / 2;
+        let base = if pos == usize::MAX { 0 } else { self.children(pos) };
+        let c = col / half;
+        for r in 0..2 {
+            let child = base + r * 2 + c;
+            if !self.bits.get(child) {
+                continue;
+            }
+            let child_row0 = row0 + r * half;
+            if half == 1 {
+                if child_row0 < self.num_nodes {
+                    out.push(child_row0 as NodeId);
+                }
+            } else {
+                self.collect_column(col % half, child_row0, half, child, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_edges() -> Vec<(u32, u32)> {
+        vec![(0, 5), (3, 1), (7, 7), (3, 6), (6, 3), (0, 0)]
+    }
+
+    #[test]
+    fn membership() {
+        let t = K2Tree::from_edges(8, &sample_edges());
+        for &(u, v) in &sample_edges() {
+            assert!(t.has_edge(u, v), "({u}, {v})");
+        }
+        assert!(!t.has_edge(5, 0));
+        assert!(!t.has_edge(1, 3));
+        assert!(!t.has_edge(7, 6));
+        assert_eq!(t.num_edges(), 6);
+    }
+
+    #[test]
+    fn rows_and_columns() {
+        let t = K2Tree::from_edges(8, &sample_edges());
+        assert_eq!(t.row(0), [0, 5]);
+        assert_eq!(t.row(3), [1, 6]);
+        assert_eq!(t.row(7), [7]);
+        assert!(t.row(1).is_empty());
+        assert_eq!(t.column(7), [7]);
+        assert_eq!(t.column(3), [6]);
+        assert_eq!(t.column(6), [3]);
+        assert_eq!(t.column(0), [0]);
+        assert!(t.column(2).is_empty());
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let t = K2Tree::from_edges(4, &[(1, 2), (1, 2), (1, 2)]);
+        assert_eq!(t.num_edges(), 1);
+        assert_eq!(t.row(1), [2]);
+    }
+
+    #[test]
+    fn non_power_of_two_nodes() {
+        // Padding must not leak phantom nodes into results.
+        let t = K2Tree::from_edges(5, &[(4, 4), (0, 4), (4, 0)]);
+        assert_eq!(t.row(4), [0, 4]);
+        assert_eq!(t.column(4), [0, 4]);
+        assert!(t.has_edge(0, 4));
+        assert!(!t.has_edge(4, 1));
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 50u32;
+        let edges: Vec<(u32, u32)> = (0..400)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+        let t = K2Tree::from_edges(n as usize, &edges);
+        let set: std::collections::BTreeSet<(u32, u32)> = edges.iter().copied().collect();
+        assert_eq!(t.num_edges(), set.len());
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(t.has_edge(u, v), set.contains(&(u, v)), "({u}, {v})");
+            }
+            let row: Vec<u32> = set.iter().filter(|&&(s, _)| s == u).map(|&(_, v)| v).collect();
+            assert_eq!(t.row(u), row, "row {u}");
+            let col: Vec<u32> = set.iter().filter(|&&(_, d)| d == u).map(|&(s, _)| s).collect();
+            assert_eq!(t.column(u), col, "column {u}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let t = K2Tree::from_edges(4, &[]);
+        assert_eq!(t.num_edges(), 0);
+        assert!(!t.has_edge(0, 0));
+        assert!(t.row(3).is_empty());
+        assert!(t.column(0).is_empty());
+    }
+
+    #[test]
+    fn single_node_matrix() {
+        let t = K2Tree::from_edges(1, &[(0, 0)]);
+        assert!(t.has_edge(0, 0));
+        assert_eq!(t.row(0), [0]);
+    }
+
+    #[test]
+    fn clustered_matrix_is_compact() {
+        // Edges confined to one corner: the tree prunes the other three
+        // quadrants at every level, so size grows ~linearly in edges, far
+        // below n²/8 bytes.
+        let edges: Vec<(u32, u32)> = (0..64).flat_map(|u| (0..4).map(move |v| (u, v))).collect();
+        let t = K2Tree::from_edges(1 << 12, &edges);
+        let dense_bytes = (1usize << 12) * (1 << 12) / 8;
+        assert!(
+            t.packed_bytes() * 100 < dense_bytes,
+            "{} vs {}",
+            t.packed_bytes(),
+            dense_bytes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_edges() {
+        K2Tree::from_edges(3, &[(0, 3)]);
+    }
+}

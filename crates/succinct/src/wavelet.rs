@@ -1,0 +1,265 @@
+//! A (levelwise, pointerless) wavelet tree.
+//!
+//! The CAS/CET structures in the paper's related work \[21\] attach wavelet
+//! trees to event sequences for logarithmic-time queries; over a *static*
+//! graph the same trick applies to the CSR column array `jA`: `rank(v, ·)`
+//! counts occurrences of a target node in any prefix, and `select(v, k)`
+//! finds the k-th edge pointing *at* `v` — i.e. in-neighbor queries without
+//! materializing the transpose.
+//!
+//! Layout: one [`RankSelect`] bitvector per bit level, most significant bit
+//! first. Queries walk down carrying the node interval `[lo, hi)`; child
+//! intervals come from rank differences, so no pointers are stored.
+
+use crate::bitvector::RankSelect;
+
+/// A wavelet tree over a `u32` sequence with alphabet `0..sigma`.
+#[derive(Debug, Clone)]
+pub struct WaveletTree {
+    levels: Vec<RankSelect>,
+    len: usize,
+    sigma: u32,
+}
+
+impl WaveletTree {
+    /// Builds from a sequence with symbols in `0..sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a symbol is `>= sigma` or `sigma == 0` with a non-empty
+    /// sequence.
+    pub fn new(sequence: &[u32], sigma: u32) -> Self {
+        if sequence.is_empty() {
+            return WaveletTree {
+                levels: Vec::new(),
+                len: 0,
+                sigma,
+            };
+        }
+        assert!(sigma > 0, "non-empty sequence needs a non-empty alphabet");
+        for &s in sequence {
+            assert!(s < sigma, "symbol {s} out of alphabet 0..{sigma}");
+        }
+        let bits = if sigma <= 1 { 1 } else { 32 - (sigma - 1).leading_zeros() };
+        // Depth-first construction: each node appends its bits to its
+        // level's buffer, then recurses into its zero- and one-children.
+        // Visiting depth-d nodes left to right keeps every level buffer in
+        // node order, and partitioning *within* the node (rather than
+        // globally) is what keeps sibling subtrees from interleaving.
+        let mut level_bits: Vec<Vec<bool>> = vec![Vec::with_capacity(sequence.len()); bits as usize];
+        fn fill(level_bits: &mut [Vec<bool>], node: Vec<u32>, depth: u32, bits: u32) {
+            if depth == bits || node.is_empty() {
+                return;
+            }
+            let shift = bits - 1 - depth;
+            let mut zeros = Vec::new();
+            let mut ones = Vec::new();
+            for s in node {
+                if (s >> shift) & 1 == 1 {
+                    level_bits[depth as usize].push(true);
+                    ones.push(s);
+                } else {
+                    level_bits[depth as usize].push(false);
+                    zeros.push(s);
+                }
+            }
+            fill(level_bits, zeros, depth + 1, bits);
+            fill(level_bits, ones, depth + 1, bits);
+        }
+        fill(&mut level_bits, sequence.to_vec(), 0, bits);
+        let levels = level_bits
+            .into_iter()
+            .map(|b| RankSelect::from_bits(b.into_iter()))
+            .collect();
+        WaveletTree {
+            levels,
+            len: sequence.len(),
+            sigma,
+        }
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Alphabet bound.
+    pub fn sigma(&self) -> u32 {
+        self.sigma
+    }
+
+    /// The symbol at position `i`. `O(log σ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn access(&self, i: usize) -> u32 {
+        assert!(i < self.len, "position {i} out of bounds (len {})", self.len);
+        let (mut lo, mut hi, mut pos) = (0usize, self.len, i);
+        let mut symbol = 0u32;
+        for level in &self.levels {
+            symbol <<= 1;
+            let zeros_in_node = level.rank0(hi) - level.rank0(lo);
+            if level.get(pos) {
+                symbol |= 1;
+                pos = lo + zeros_in_node + (level.rank1(pos) - level.rank1(lo));
+                lo += zeros_in_node;
+            } else {
+                pos = lo + (level.rank0(pos) - level.rank0(lo));
+                hi = lo + zeros_in_node;
+            }
+        }
+        symbol
+    }
+
+    /// Number of occurrences of `symbol` in the prefix `[0, i)`. `O(log σ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > len`.
+    pub fn rank(&self, symbol: u32, i: usize) -> usize {
+        assert!(i <= self.len, "prefix end {i} out of bounds");
+        if symbol >= self.sigma || i == 0 || self.len == 0 {
+            return 0;
+        }
+        let bits = self.levels.len() as u32;
+        // `pos` is the (exclusive) prefix end mapped into the current node
+        // interval [lo, hi).
+        let (mut lo, mut hi, mut pos) = (0usize, self.len, i);
+        for (l, level) in self.levels.iter().enumerate() {
+            let shift = bits - 1 - l as u32;
+            let zeros_in_node = level.rank0(hi) - level.rank0(lo);
+            if (symbol >> shift) & 1 == 1 {
+                let ones_before = level.rank1(pos) - level.rank1(lo);
+                lo += zeros_in_node;
+                pos = lo + ones_before;
+            } else {
+                pos = lo + (level.rank0(pos) - level.rank0(lo));
+                hi = lo + zeros_in_node;
+            }
+            if pos == lo {
+                return 0;
+            }
+        }
+        pos - lo
+    }
+
+    /// Position of the k-th (0-based) occurrence of `symbol`, or `None`.
+    /// Implemented by binary search over [`rank`](Self::rank):
+    /// `O(log n · log σ)`.
+    pub fn select(&self, symbol: u32, k: usize) -> Option<usize> {
+        if symbol >= self.sigma || self.count(symbol) <= k {
+            return None;
+        }
+        // Smallest i with rank(symbol, i + 1) == k + 1 and position i holds
+        // the symbol.
+        let (mut lo, mut hi) = (0usize, self.len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.rank(symbol, mid + 1) > k {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    }
+
+    /// Total occurrences of `symbol`.
+    pub fn count(&self, symbol: u32) -> usize {
+        self.rank(symbol, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_rank(seq: &[u32], symbol: u32, i: usize) -> usize {
+        seq[..i].iter().filter(|&&s| s == symbol).count()
+    }
+
+    #[test]
+    fn access_reconstructs_sequence() {
+        let seq = vec![3u32, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let wt = WaveletTree::new(&seq, 10);
+        for (i, &s) in seq.iter().enumerate() {
+            assert_eq!(wt.access(i), s, "i={i}");
+        }
+    }
+
+    #[test]
+    fn rank_matches_reference() {
+        let seq: Vec<u32> = (0..200).map(|i| (i * 31) % 17).collect();
+        let wt = WaveletTree::new(&seq, 17);
+        for symbol in 0..17 {
+            for i in (0..=seq.len()).step_by(7) {
+                assert_eq!(
+                    wt.rank(symbol, i),
+                    reference_rank(&seq, symbol, i),
+                    "symbol={symbol} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn select_finds_occurrences() {
+        let seq = vec![2u32, 7, 2, 2, 5, 7, 2];
+        let wt = WaveletTree::new(&seq, 8);
+        assert_eq!(wt.select(2, 0), Some(0));
+        assert_eq!(wt.select(2, 1), Some(2));
+        assert_eq!(wt.select(2, 3), Some(6));
+        assert_eq!(wt.select(2, 4), None);
+        assert_eq!(wt.select(7, 1), Some(5));
+        assert_eq!(wt.select(5, 0), Some(4));
+        assert_eq!(wt.select(3, 0), None);
+    }
+
+    #[test]
+    fn count_per_symbol() {
+        let seq = vec![0u32, 1, 0, 2, 0];
+        let wt = WaveletTree::new(&seq, 3);
+        assert_eq!(wt.count(0), 3);
+        assert_eq!(wt.count(1), 1);
+        assert_eq!(wt.count(2), 1);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let wt = WaveletTree::new(&[], 5);
+        assert!(wt.is_empty());
+        assert_eq!(wt.rank(1, 0), 0);
+        assert_eq!(wt.select(1, 0), None);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let seq = vec![0u32; 10];
+        let wt = WaveletTree::new(&seq, 1);
+        assert_eq!(wt.access(5), 0);
+        assert_eq!(wt.count(0), 10);
+        assert_eq!(wt.select(0, 9), Some(9));
+    }
+
+    #[test]
+    fn power_of_two_alphabet_boundary() {
+        let seq: Vec<u32> = (0..64).collect();
+        let wt = WaveletTree::new(&seq, 64);
+        for (i, &s) in seq.iter().enumerate() {
+            assert_eq!(wt.access(i), s);
+            assert_eq!(wt.select(s, 0), Some(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of alphabet")]
+    fn rejects_out_of_alphabet_symbols() {
+        WaveletTree::new(&[5], 5);
+    }
+}

@@ -1,0 +1,238 @@
+//! Algorithm 5: parallel construction of the differential TCSR.
+//!
+//! The time-sorted event list is divided into one chunk per processor. Each
+//! chunk groups its events by frame and parity-collapses duplicates,
+//! producing per-frame difference lists. A frame that straddles a chunk
+//! boundary appears in two (or more) chunks — "there could be an overlap
+//! similar to that of computation of degree in Section III-A2" — so a merge
+//! step concatenates the boundary pieces (still sorted, because events are
+//! sorted by `(t, u, v)`) and re-collapses parity across the seam. Each
+//! final difference list is then bit-packed in parallel (Algorithm 4's
+//! engine).
+
+use rayon::prelude::*;
+
+use parcsr_graph::{TemporalEdgeList, Timestamp};
+use parcsr_scan::chunk_ranges;
+
+use crate::frame::{key, DeltaFrame, FrameMode};
+use crate::tcsr::Tcsr;
+
+/// Configurable parallel TCSR builder.
+#[derive(Debug, Clone, Copy)]
+pub struct TcsrBuilder {
+    processors: usize,
+    mode: FrameMode,
+}
+
+impl TcsrBuilder {
+    /// Defaults: one chunk per current rayon thread, random-access frames.
+    pub fn new() -> Self {
+        TcsrBuilder {
+            processors: rayon::current_num_threads(),
+            mode: FrameMode::Random,
+        }
+    }
+
+    /// Sets the logical processor count.
+    pub fn processors(mut self, p: usize) -> Self {
+        self.processors = p.max(1);
+        self
+    }
+
+    /// Sets the frame storage mode.
+    pub fn frame_mode(mut self, mode: FrameMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builds the differential TCSR from a time-sorted event list.
+    pub fn build(&self, events: &TemporalEdgeList) -> Tcsr {
+        let num_frames = events.num_frames();
+        let evs = events.events();
+        let ranges = chunk_ranges(evs.len(), self.processors);
+
+        // Per chunk: (frame, sorted parity-collapsed key list) in frame
+        // order. Chunks see disjoint event ranges of the (t, u, v)-sorted
+        // stream, so each chunk's frames are contiguous and its keys sorted.
+        let chunk_frames: Vec<Vec<(Timestamp, Vec<u64>)>> = ranges
+            .par_iter()
+            .map(|r| {
+                let chunk = &evs[r.clone()];
+                let mut frames: Vec<(Timestamp, Vec<u64>)> = Vec::new();
+                let mut i = 0;
+                while i < chunk.len() {
+                    let t = chunk[i].t;
+                    let mut keys: Vec<u64> = Vec::new();
+                    while i < chunk.len() && chunk[i].t == t {
+                        let k = key(chunk[i].u, chunk[i].v);
+                        // Parity collapse within the chunk: equal events are
+                        // adjacent (sorted stream).
+                        let mut count = 0usize;
+                        while i < chunk.len() && chunk[i].t == t && key(chunk[i].u, chunk[i].v) == k
+                        {
+                            count += 1;
+                            i += 1;
+                        }
+                        if count % 2 == 1 {
+                            keys.push(k);
+                        }
+                    }
+                    frames.push((t, keys));
+                }
+                frames
+            })
+            .collect();
+        // collect() is the sync(): all chunk-local CSR pieces exist before
+        // the boundary merge.
+
+        // Merge step: concatenate per-frame pieces across chunks. Only the
+        // boundary frame of adjacent chunks can collide; concatenation keeps
+        // keys sorted, but a key pair split exactly at the seam needs one
+        // more parity collapse.
+        let mut per_frame: Vec<Vec<u64>> = vec![Vec::new(); num_frames];
+        for frames in chunk_frames {
+            for (t, mut keys) in frames {
+                let slot = &mut per_frame[t as usize];
+                if slot.is_empty() {
+                    *slot = keys;
+                } else {
+                    // Seam collapse: identical keys meeting at the join
+                    // cancel in pairs.
+                    while let (Some(&last), Some(&first)) = (slot.last(), keys.first()) {
+                        if last == first {
+                            slot.pop();
+                            keys.remove(0);
+                        } else {
+                            break;
+                        }
+                    }
+                    slot.append(&mut keys);
+                }
+            }
+        }
+
+        // Pack every frame (parallel over frames; each pack is itself
+        // chunk-parallel for large frames).
+        let mode = self.mode;
+        let p = self.processors;
+        let frames: Vec<DeltaFrame> = per_frame
+            .into_par_iter()
+            .map(|keys| DeltaFrame::from_sorted_keys(&keys, mode, p))
+            .collect();
+
+        Tcsr::from_frames(events.num_nodes(), frames)
+    }
+}
+
+impl Default for TcsrBuilder {
+    fn default() -> Self {
+        TcsrBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcsr_graph::gen::{temporal_toggles, TemporalParams};
+    use parcsr_graph::TemporalEdge;
+
+    fn figure_4_events() -> TemporalEdgeList {
+        TemporalEdgeList::new(
+            5,
+            vec![
+                TemporalEdge::new(0, 1, 0),
+                TemporalEdge::new(1, 2, 0),
+                TemporalEdge::new(2, 3, 0),
+                TemporalEdge::new(1, 2, 1), // delete
+                TemporalEdge::new(3, 4, 1), // add
+                TemporalEdge::new(0, 1, 2), // delete
+                TemporalEdge::new(1, 2, 3), // re-add
+            ],
+        )
+    }
+
+    #[test]
+    fn builds_figure_4_deltas() {
+        let tcsr = TcsrBuilder::new().processors(3).build(&figure_4_events());
+        assert_eq!(tcsr.num_frames(), 4);
+        assert_eq!(tcsr.frame(0).decode_edges(), [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(tcsr.frame(1).decode_edges(), [(1, 2), (3, 4)]);
+        assert_eq!(tcsr.frame(2).decode_edges(), [(0, 1)]);
+        assert_eq!(tcsr.frame(3).decode_edges(), [(1, 2)]);
+    }
+
+    #[test]
+    fn processor_count_does_not_change_structure() {
+        let events = temporal_toggles(TemporalParams::new(128, 2_000, 8, 9));
+        let base = TcsrBuilder::new().processors(1).build(&events);
+        for p in [2, 3, 7, 16, 64] {
+            let other = TcsrBuilder::new().processors(p).build(&events);
+            assert_eq!(other, base, "p={p}");
+        }
+    }
+
+    #[test]
+    fn within_frame_double_toggle_cancels() {
+        // (0,1) toggled twice in frame 0 (possible in raw inputs): parity
+        // says it never existed.
+        let events = TemporalEdgeList::new(
+            2,
+            vec![
+                TemporalEdge::new(0, 1, 0),
+                TemporalEdge::new(0, 1, 0),
+                TemporalEdge::new(1, 0, 0),
+            ],
+        );
+        let tcsr = TcsrBuilder::new().processors(2).build(&events);
+        assert_eq!(tcsr.frame(0).decode_edges(), [(1, 0)]);
+    }
+
+    #[test]
+    fn seam_collapse_across_chunk_boundary() {
+        // Two copies of the same event that end up in different chunks with
+        // p = 2 (4 events, boundary after the 2nd): the merge must cancel
+        // them.
+        let events = TemporalEdgeList::new(
+            3,
+            vec![
+                TemporalEdge::new(0, 1, 0),
+                TemporalEdge::new(0, 2, 0),
+                TemporalEdge::new(0, 2, 0),
+                TemporalEdge::new(1, 2, 0),
+            ],
+        );
+        let tcsr = TcsrBuilder::new().processors(2).build(&events);
+        assert_eq!(tcsr.frame(0).decode_edges(), [(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_events() {
+        let tcsr = TcsrBuilder::new().build(&TemporalEdgeList::new(4, vec![]));
+        assert_eq!(tcsr.num_frames(), 0);
+        assert_eq!(tcsr.num_nodes(), 4);
+    }
+
+    #[test]
+    fn quiet_frames_are_empty_deltas() {
+        let events = TemporalEdgeList::new(
+            3,
+            vec![TemporalEdge::new(0, 1, 0), TemporalEdge::new(1, 2, 4)],
+        );
+        let tcsr = TcsrBuilder::new().processors(2).build(&events);
+        assert_eq!(tcsr.num_frames(), 5);
+        for t in 1..4 {
+            assert!(tcsr.frame(t).is_empty(), "frame {t}");
+        }
+    }
+
+    #[test]
+    fn frame_modes_store_same_content() {
+        let events = temporal_toggles(TemporalParams::new(64, 500, 5, 4));
+        let random = TcsrBuilder::new().frame_mode(FrameMode::Random).build(&events);
+        let gap = TcsrBuilder::new().frame_mode(FrameMode::Gap).build(&events);
+        for t in 0..random.num_frames() as u32 {
+            assert_eq!(random.frame(t).decode_keys(), gap.frame(t).decode_keys());
+        }
+    }
+}

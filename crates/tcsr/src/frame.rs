@@ -1,0 +1,339 @@
+//! One time-frame's difference set, bit-packed.
+//!
+//! A frame delta is the sorted set of edges that changed state in that frame
+//! (Figure 4's red deleted edges and dotted added edges, in one set — under
+//! the parity rule a deletion and an addition are the same toggle). Edges
+//! are stored as packed 64-bit keys `u · 2³² + v`, either at a uniform width
+//! for O(log) membership tests via binary search on the packed array, or
+//! gap-coded for maximum compression.
+
+use parcsr_bitpack::{bits_needed, pack_parallel_with_width, PackedArray};
+use parcsr_graph::NodeId;
+
+/// Edge-key encoding shared by the whole temporal crate.
+#[inline]
+pub(crate) fn key(u: NodeId, v: NodeId) -> u64 {
+    (u64::from(u) << 32) | u64::from(v)
+}
+
+#[inline]
+pub(crate) fn unkey(k: u64) -> (NodeId, NodeId) {
+    ((k >> 32) as NodeId, k as NodeId)
+}
+
+/// Storage layout of a [`DeltaFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameMode {
+    /// Absolute packed keys: membership by binary search on the packed
+    /// array, O(log |Δ|) bit reads.
+    Random,
+    /// Gap-coded keys: smallest footprint; membership requires a linear
+    /// decode.
+    Gap,
+}
+
+impl FrameMode {
+    /// Stable name for bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameMode::Random => "random",
+            FrameMode::Gap => "gap",
+        }
+    }
+}
+
+/// A single frame's difference set (sorted, duplicate-free edge keys),
+/// bit-packed.
+///
+/// In [`FrameMode::Gap`] the first key is kept out of the packed array (it is
+/// an absolute ~`2·log2(n)`-bit value that would otherwise force the uniform
+/// width up for every gap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaFrame {
+    mode: FrameMode,
+    /// First key (absolute) in gap mode; unused in random mode.
+    head: Option<u64>,
+    /// Random mode: all keys. Gap mode: the `len - 1` gaps after the head.
+    keys: PackedArray,
+}
+
+impl DeltaFrame {
+    /// Packs a sorted, duplicate-free key list using `processors` packers.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `keys` is not strictly increasing.
+    pub fn from_sorted_keys(keys: &[u64], mode: FrameMode, processors: usize) -> Self {
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "frame keys must be strictly increasing"
+        );
+        match mode {
+            FrameMode::Random => {
+                let width = bits_needed(keys.last().copied().unwrap_or(0));
+                DeltaFrame {
+                    mode,
+                    head: None,
+                    keys: pack_parallel_with_width(keys, processors, width),
+                }
+            }
+            FrameMode::Gap => {
+                let head = keys.first().copied();
+                let gaps: Vec<u64> = keys.windows(2).map(|w| w[1] - w[0]).collect();
+                let width = bits_needed(gaps.iter().copied().max().unwrap_or(0));
+                DeltaFrame {
+                    mode,
+                    head,
+                    keys: pack_parallel_with_width(&gaps, processors, width),
+                }
+            }
+        }
+    }
+
+    /// Number of changed edges in this frame.
+    pub fn len(&self) -> usize {
+        match self.mode {
+            FrameMode::Random => self.keys.len(),
+            FrameMode::Gap => self.head.map_or(0, |_| self.keys.len() + 1),
+        }
+    }
+
+    /// True if nothing changed in this frame.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Storage mode.
+    pub fn mode(&self) -> FrameMode {
+        self.mode
+    }
+
+    /// Compact size in bytes (the out-of-band head counts as 8 bytes).
+    pub fn packed_bytes(&self) -> usize {
+        self.keys.packed_bytes() + self.head.map_or(0, |_| 8)
+    }
+
+    /// Whether edge `(u, v)` toggled in this frame.
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        let k = key(u, v);
+        match self.mode {
+            FrameMode::Random => {
+                // Binary search directly on the packed array.
+                let (mut lo, mut hi) = (0usize, self.keys.len());
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    match self.keys.get(mid).cmp(&k) {
+                        std::cmp::Ordering::Less => lo = mid + 1,
+                        std::cmp::Ordering::Greater => hi = mid,
+                        std::cmp::Ordering::Equal => return true,
+                    }
+                }
+                false
+            }
+            FrameMode::Gap => {
+                let Some(head) = self.head else { return false };
+                let mut acc = head;
+                if acc >= k {
+                    return acc == k;
+                }
+                for g in self.keys.iter() {
+                    acc += g;
+                    if acc >= k {
+                        return acc == k;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Decodes the frame into sorted keys.
+    pub fn decode_keys(&self) -> Vec<u64> {
+        match self.mode {
+            FrameMode::Random => self.keys.to_vec(),
+            FrameMode::Gap => {
+                let Some(head) = self.head else { return Vec::new() };
+                let mut out = Vec::with_capacity(self.keys.len() + 1);
+                let mut acc = head;
+                out.push(acc);
+                for g in self.keys.iter() {
+                    acc += g;
+                    out.push(acc);
+                }
+                out
+            }
+        }
+    }
+
+    /// The out-of-band head key (gap mode only).
+    pub(crate) fn head_key(&self) -> Option<u64> {
+        self.head
+    }
+
+    /// The packed array (all keys in random mode; the gaps in gap mode).
+    pub(crate) fn packed_keys(&self) -> &PackedArray {
+        &self.keys
+    }
+
+    /// Reassembles a frame from serialized parts, rejecting inconsistent
+    /// combinations (`None` on failure).
+    pub(crate) fn from_raw_parts(
+        mode: FrameMode,
+        head: Option<u64>,
+        keys: PackedArray,
+    ) -> Option<DeltaFrame> {
+        match mode {
+            FrameMode::Random if head.is_some() => None,
+            FrameMode::Gap if head.is_none() && !keys.is_empty() => None,
+            _ => Some(DeltaFrame { mode, head, keys }),
+        }
+    }
+
+    /// Decodes the frame into sorted `(u, v)` pairs.
+    pub fn decode_edges(&self) -> Vec<(NodeId, NodeId)> {
+        self.decode_keys().into_iter().map(unkey).collect()
+    }
+
+    /// The toggled neighbors of `u` in this frame (sorted).
+    pub fn row(&self, u: NodeId) -> Vec<NodeId> {
+        // Keys of node u occupy the contiguous key range [u<<32, (u+1)<<32).
+        let lo = key(u, 0);
+        let keys = self.decode_keys();
+        let start = keys.partition_point(|&k| k < lo);
+        keys[start..]
+            .iter()
+            .take_while(|&&k| k >> 32 == u64::from(u))
+            .map(|&k| k as NodeId)
+            .collect()
+    }
+}
+
+/// Symmetric difference of two sorted, duplicate-free key lists — the
+/// "XOR" of edge sets that turns frame deltas into snapshots. `O(|a| + |b|)`.
+pub fn sym_diff(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys_of(pairs: &[(u32, u32)]) -> Vec<u64> {
+        pairs.iter().map(|&(u, v)| key(u, v)).collect()
+    }
+
+    #[test]
+    fn key_roundtrip() {
+        for &(u, v) in &[(0u32, 0u32), (1, 2), (u32::MAX, 0), (7, u32::MAX)] {
+            assert_eq!(unkey(key(u, v)), (u, v));
+        }
+    }
+
+    #[test]
+    fn key_order_matches_pair_order() {
+        let mut pairs = vec![(3u32, 1u32), (0, 9), (3, 0), (2, 5)];
+        let mut keys: Vec<u64> = pairs.iter().map(|&(u, v)| key(u, v)).collect();
+        pairs.sort_unstable();
+        keys.sort_unstable();
+        assert_eq!(keys.iter().map(|&k| unkey(k)).collect::<Vec<_>>(), pairs);
+    }
+
+    #[test]
+    fn frame_roundtrip_both_modes() {
+        let keys = keys_of(&[(0, 1), (0, 5), (2, 3), (7, 0)]);
+        for mode in [FrameMode::Random, FrameMode::Gap] {
+            let f = DeltaFrame::from_sorted_keys(&keys, mode, 2);
+            assert_eq!(f.decode_keys(), keys, "{}", mode.name());
+            assert_eq!(f.len(), 4);
+        }
+    }
+
+    #[test]
+    fn contains_both_modes() {
+        let keys = keys_of(&[(0, 1), (0, 5), (2, 3), (7, 0)]);
+        for mode in [FrameMode::Random, FrameMode::Gap] {
+            let f = DeltaFrame::from_sorted_keys(&keys, mode, 1);
+            assert!(f.contains(0, 1), "{}", mode.name());
+            assert!(f.contains(7, 0));
+            assert!(!f.contains(0, 2));
+            assert!(!f.contains(7, 1));
+            assert!(!f.contains(1, 1));
+        }
+    }
+
+    #[test]
+    fn empty_frame() {
+        for mode in [FrameMode::Random, FrameMode::Gap] {
+            let f = DeltaFrame::from_sorted_keys(&[], mode, 4);
+            assert!(f.is_empty());
+            assert!(!f.contains(0, 0));
+            assert!(f.decode_edges().is_empty());
+            assert!(f.row(3).is_empty());
+        }
+    }
+
+    #[test]
+    fn row_extraction() {
+        let keys = keys_of(&[(1, 0), (1, 7), (2, 2), (5, 1), (5, 3)]);
+        let f = DeltaFrame::from_sorted_keys(&keys, FrameMode::Random, 2);
+        assert_eq!(f.row(1), [0, 7]);
+        assert_eq!(f.row(2), [2]);
+        assert_eq!(f.row(5), [1, 3]);
+        assert!(f.row(0).is_empty());
+        assert!(f.row(6).is_empty());
+    }
+
+    #[test]
+    fn gap_mode_is_smaller_on_clustered_frames() {
+        let keys: Vec<u64> = (0..1000u32).map(|i| key(12345, i * 2)).collect();
+        let random = DeltaFrame::from_sorted_keys(&keys, FrameMode::Random, 2);
+        let gap = DeltaFrame::from_sorted_keys(&keys, FrameMode::Gap, 2);
+        assert!(
+            gap.packed_bytes() * 2 < random.packed_bytes(),
+            "gap {} vs random {}",
+            gap.packed_bytes(),
+            random.packed_bytes()
+        );
+    }
+
+    #[test]
+    fn sym_diff_cases() {
+        assert_eq!(sym_diff(&[], &[]), Vec::<u64>::new());
+        assert_eq!(sym_diff(&[1, 2, 3], &[]), [1, 2, 3]);
+        assert_eq!(sym_diff(&[], &[4]), [4]);
+        assert_eq!(sym_diff(&[1, 2, 3], &[2]), [1, 3]);
+        assert_eq!(sym_diff(&[1, 3], &[2, 4]), [1, 2, 3, 4]);
+        assert_eq!(sym_diff(&[5, 6], &[5, 6]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn sym_diff_is_xor_like() {
+        let a = vec![1u64, 4, 9, 16];
+        let b = vec![2u64, 4, 8, 16];
+        let d = sym_diff(&a, &b);
+        // Self-inverse: (a Δ b) Δ b == a.
+        assert_eq!(sym_diff(&d, &b), a);
+        // Commutative.
+        assert_eq!(d, sym_diff(&b, &a));
+    }
+}

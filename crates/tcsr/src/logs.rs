@@ -1,0 +1,352 @@
+//! "Log of events" temporal baselines from the paper's related work
+//! (Section II): EveLog and EdgeLog (Caro, Rodríguez, Brisaboa 2015).
+//!
+//! * [`EveLog`] — per vertex, a compressed log of `(time, neighbor)` toggle
+//!   events: time-frames gap-encoded, neighbor ids varint-coded. Answering
+//!   "is the arc active at frame t" requires *sequentially scanning the
+//!   log*, "possibly deactivating/reactivating the arc, until the time-frame
+//!   is reached" — the linear-time weakness the paper's related work calls
+//!   out and that the TCSR's parallel reductions avoid.
+//! * [`EdgeLog`] — per vertex, an adjacency list where "each neighbor has a
+//!   sublist indicating the time intervals when the arc is active",
+//!   gap-encoded. Point queries become a binary search over intervals after
+//!   locating the neighbor.
+//!
+//! Both expose the same query API as [`crate::Tcsr`] so the benches compare
+//! the three structures on identical workloads.
+
+use parcsr_bitpack::{varint_decode, varint_encode};
+use parcsr_graph::{NodeId, TemporalEdgeList, Timestamp};
+
+/// EveLog: per-vertex compressed toggle logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EveLog {
+    num_nodes: usize,
+    num_frames: usize,
+    /// Per-vertex byte offsets into `bytes` (`num_nodes + 1` entries).
+    offsets: Vec<usize>,
+    /// Concatenated per-vertex logs: each event is
+    /// `varint(time gap) ++ varint(neighbor)`, times non-decreasing within a
+    /// vertex.
+    bytes: Vec<u8>,
+}
+
+impl EveLog {
+    /// Builds the per-vertex logs from a time-sorted event stream.
+    pub fn build(events: &TemporalEdgeList) -> Self {
+        let n = events.num_nodes();
+        // Bucket events per source vertex, preserving time order (the input
+        // is (t, u, v)-sorted, so per-vertex order stays time-sorted).
+        let mut per_vertex: Vec<Vec<(Timestamp, NodeId)>> = vec![Vec::new(); n];
+        for e in events.events() {
+            per_vertex[e.u as usize].push((e.t, e.v));
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut bytes = Vec::new();
+        offsets.push(0);
+        for log in &per_vertex {
+            let mut prev_t = 0u32;
+            for &(t, v) in log {
+                varint_encode(u64::from(t - prev_t), &mut bytes);
+                varint_encode(u64::from(v), &mut bytes);
+                prev_t = t;
+            }
+            offsets.push(bytes.len());
+        }
+        EveLog {
+            num_nodes: n,
+            num_frames: events.num_frames(),
+            offsets,
+            bytes,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of frames.
+    pub fn num_frames(&self) -> usize {
+        self.num_frames
+    }
+
+    /// Compressed size in bytes (logs + directory).
+    pub fn packed_bytes(&self) -> usize {
+        self.bytes.len() + self.offsets.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Whether arc `(u, v)` is active at frame `t`: the characteristic
+    /// sequential log scan.
+    pub fn edge_active_at(&self, u: NodeId, v: NodeId, t: Timestamp) -> bool {
+        let mut active = false;
+        self.scan(u, t, |_, w| {
+            if w == v {
+                active = !active;
+            }
+        });
+        active
+    }
+
+    /// Active neighbors of `u` at frame `t` (sorted), by replaying the log.
+    pub fn neighbors_at(&self, u: NodeId, t: Timestamp) -> Vec<NodeId> {
+        let mut toggles: Vec<NodeId> = Vec::new();
+        self.scan(u, t, |_, w| toggles.push(w));
+        toggles.sort_unstable();
+        // Odd multiplicity = active.
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < toggles.len() {
+            let mut j = i + 1;
+            while j < toggles.len() && toggles[j] == toggles[i] {
+                j += 1;
+            }
+            if (j - i) % 2 == 1 {
+                out.push(toggles[i]);
+            }
+            i = j;
+        }
+        out
+    }
+
+    /// Scans `u`'s log up to and including frame `t`.
+    fn scan(&self, u: NodeId, t: Timestamp, mut f: impl FnMut(Timestamp, NodeId)) {
+        let i = u as usize;
+        assert!(i < self.num_nodes, "node {u} out of range");
+        let (mut pos, end) = (self.offsets[i], self.offsets[i + 1]);
+        let mut time = 0u32;
+        while pos < end {
+            let (gap, next) = varint_decode(&self.bytes, pos);
+            let (v, next) = varint_decode(&self.bytes, next);
+            time += gap as u32;
+            if time > t {
+                return;
+            }
+            f(time, v as NodeId);
+            pos = next;
+        }
+    }
+}
+
+/// EdgeLog: per-vertex neighbor directory with per-arc activity intervals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeLog {
+    num_nodes: usize,
+    num_frames: usize,
+    /// Per-vertex range into `directory` (`num_nodes + 1` entries).
+    vertex_offsets: Vec<usize>,
+    /// Sorted neighbor ids per vertex, with each entry's byte offset into
+    /// `intervals`.
+    directory: Vec<(NodeId, usize)>,
+    /// Per-arc interval lists: `varint(count)` then gap-encoded varint
+    /// boundaries `s0, e0-s0, s1-e0, …`; a trailing open interval is encoded
+    /// with end = num_frames.
+    intervals: Vec<u8>,
+}
+
+impl EdgeLog {
+    /// Builds the interval lists from a time-sorted toggle stream.
+    pub fn build(events: &TemporalEdgeList) -> Self {
+        let n = events.num_nodes();
+        let num_frames = events.num_frames();
+        // Group toggles per (u, v), times sorted (input is (t,u,v)-sorted,
+        // so re-bucketing by (u, v) preserves per-arc time order).
+        let mut per_arc: std::collections::BTreeMap<(NodeId, NodeId), Vec<Timestamp>> =
+            std::collections::BTreeMap::new();
+        for e in events.events() {
+            per_arc.entry((e.u, e.v)).or_default().push(e.t);
+        }
+
+        let mut vertex_offsets = vec![0usize; n + 1];
+        let mut directory = Vec::with_capacity(per_arc.len());
+        let mut intervals = Vec::new();
+        let mut counts = vec![0usize; n];
+        for (&(u, v), toggles) in &per_arc {
+            counts[u as usize] += 1;
+            directory.push((v, intervals.len()));
+            // Pair up toggles into [start, end) intervals; an unmatched
+            // trailing toggle stays active through the last frame.
+            let mut bounds: Vec<u32> = Vec::with_capacity(toggles.len() + 1);
+            for pair in toggles.chunks(2) {
+                bounds.push(pair[0]);
+                bounds.push(if pair.len() == 2 { pair[1] } else { num_frames as u32 });
+            }
+            varint_encode((bounds.len() / 2) as u64, &mut intervals);
+            let mut prev = 0u32;
+            for &b in &bounds {
+                varint_encode(u64::from(b - prev), &mut intervals);
+                prev = b;
+            }
+        }
+        // Prefix-sum the per-vertex arc counts into directory offsets.
+        for u in 0..n {
+            vertex_offsets[u + 1] = vertex_offsets[u] + counts[u];
+        }
+        EdgeLog {
+            num_nodes: n,
+            num_frames,
+            vertex_offsets,
+            directory,
+            intervals,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of frames.
+    pub fn num_frames(&self) -> usize {
+        self.num_frames
+    }
+
+    /// Compressed size in bytes (intervals + directory).
+    pub fn packed_bytes(&self) -> usize {
+        self.intervals.len()
+            + self.directory.len() * std::mem::size_of::<(NodeId, usize)>()
+            + self.vertex_offsets.len() * std::mem::size_of::<usize>()
+    }
+
+    fn arcs_of(&self, u: NodeId) -> &[(NodeId, usize)] {
+        let i = u as usize;
+        assert!(i < self.num_nodes, "node {u} out of range");
+        &self.directory[self.vertex_offsets[i]..self.vertex_offsets[i + 1]]
+    }
+
+    /// Whether arc `(u, v)` is active at frame `t`: binary search the
+    /// neighbor directory, then scan the (short) interval list.
+    pub fn edge_active_at(&self, u: NodeId, v: NodeId, t: Timestamp) -> bool {
+        let arcs = self.arcs_of(u);
+        let Ok(idx) = arcs.binary_search_by_key(&v, |&(w, _)| w) else {
+            return false;
+        };
+        let (count, mut pos) = varint_decode(&self.intervals, arcs[idx].1);
+        let mut prev = 0u32;
+        for _ in 0..count {
+            let (s_gap, p) = varint_decode(&self.intervals, pos);
+            let (e_gap, p) = varint_decode(&self.intervals, p);
+            let start = prev + s_gap as u32;
+            let end = start + e_gap as u32;
+            if t >= start && t < end {
+                return true;
+            }
+            prev = end;
+            pos = p;
+        }
+        false
+    }
+
+    /// Active neighbors of `u` at frame `t` (sorted — the directory is).
+    pub fn neighbors_at(&self, u: NodeId, t: Timestamp) -> Vec<NodeId> {
+        self.arcs_of(u)
+            .iter()
+            .filter(|&&(v, _)| self.edge_active_at(u, v, t))
+            .map(|&(v, _)| v)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TcsrBuilder;
+    use parcsr_graph::gen::{temporal_toggles, TemporalParams};
+    use parcsr_graph::TemporalEdge;
+
+    fn workload(seed: u64) -> TemporalEdgeList {
+        temporal_toggles(TemporalParams::new(48, 500, 8, seed))
+    }
+
+    #[test]
+    fn evelog_matches_replay() {
+        let events = workload(1);
+        let log = EveLog::build(&events);
+        for t in 0..events.num_frames() as u32 {
+            let snap = events.snapshot_at(t);
+            for u in 0..48u32 {
+                let expect: Vec<u32> =
+                    snap.iter().filter(|&&(s, _)| s == u).map(|&(_, v)| v).collect();
+                assert_eq!(log.neighbors_at(u, t), expect, "u={u} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn edgelog_matches_replay() {
+        let events = workload(2);
+        let log = EdgeLog::build(&events);
+        for t in 0..events.num_frames() as u32 {
+            let snap = events.snapshot_at(t);
+            for u in 0..48u32 {
+                let expect: Vec<u32> =
+                    snap.iter().filter(|&&(s, _)| s == u).map(|&(_, v)| v).collect();
+                assert_eq!(log.neighbors_at(u, t), expect, "u={u} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_structures_agree_on_point_queries() {
+        let events = workload(3);
+        let tcsr = TcsrBuilder::new().build(&events);
+        let eve = EveLog::build(&events);
+        let edge = EdgeLog::build(&events);
+        let last = (events.num_frames() - 1) as u32;
+        for u in 0..48u32 {
+            for v in (0..48u32).step_by(3) {
+                let want = tcsr.edge_active_at(u, v, last);
+                assert_eq!(eve.edge_active_at(u, v, last), want, "eve ({u},{v})");
+                assert_eq!(edge.edge_active_at(u, v, last), want, "edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn open_interval_stays_active() {
+        // One toggle, never closed: active from t=2 onward.
+        let events = TemporalEdgeList::new(3, vec![TemporalEdge::new(0, 1, 2), TemporalEdge::new(1, 2, 5)]);
+        let edge = EdgeLog::build(&events);
+        assert!(!edge.edge_active_at(0, 1, 1));
+        assert!(edge.edge_active_at(0, 1, 2));
+        assert!(edge.edge_active_at(0, 1, 5));
+        let eve = EveLog::build(&events);
+        assert!(!eve.edge_active_at(0, 1, 1));
+        assert!(eve.edge_active_at(0, 1, 5));
+    }
+
+    #[test]
+    fn closed_then_reopened_interval() {
+        let events = TemporalEdgeList::new(
+            2,
+            vec![
+                TemporalEdge::new(0, 1, 1), // on
+                TemporalEdge::new(0, 1, 3), // off
+                TemporalEdge::new(0, 1, 6), // on again
+                TemporalEdge::new(1, 0, 7),
+            ],
+        );
+        let edge = EdgeLog::build(&events);
+        for (t, want) in [(0, false), (1, true), (2, true), (3, false), (5, false), (6, true), (7, true)] {
+            assert_eq!(edge.edge_active_at(0, 1, t), want, "t={t}");
+        }
+    }
+
+    #[test]
+    fn empty_events() {
+        let events = TemporalEdgeList::new(4, vec![]);
+        let eve = EveLog::build(&events);
+        let edge = EdgeLog::build(&events);
+        assert!(!eve.edge_active_at(0, 1, 0));
+        assert!(edge.neighbors_at(2, 0).is_empty());
+    }
+
+    #[test]
+    fn queries_on_missing_vertex_arcs() {
+        let events = TemporalEdgeList::new(5, vec![TemporalEdge::new(0, 1, 0)]);
+        let edge = EdgeLog::build(&events);
+        assert!(!edge.edge_active_at(0, 2, 0));
+        assert!(!edge.edge_active_at(3, 1, 0));
+        assert!(edge.neighbors_at(4, 0).is_empty());
+    }
+}

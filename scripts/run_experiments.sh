@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every evaluation artifact into results/.
+#
+# Usage: scripts/run_experiments.sh [extra table2/fig flags...]
+# e.g.:  scripts/run_experiments.sh --full --procs 1,4,8,16,64
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+echo "== building release binaries =="
+cargo build --release -p parcsr-bench
+
+echo "== Table II =="
+cargo run --release -q -p parcsr-bench --bin table2 -- "$@" | tee results/table2.md
+echo "== Figure 6 =="
+cargo run --release -q -p parcsr-bench --bin fig6 -- "$@" | tee results/fig6.txt
+echo "== Figure 7 =="
+cargo run --release -q -p parcsr-bench --bin fig7 -- "$@" | tee results/fig7.txt
+
+echo "results written to results/"
