@@ -17,7 +17,11 @@ use parcsr_graph::NodeId;
 
 /// Brandes' single-source dependency pass: returns this source's
 /// contribution to every node's betweenness.
-fn brandes_pass<S: NeighborSource>(graph: &S, source: NodeId, row_buf: &mut Vec<NodeId>) -> Vec<f64> {
+fn brandes_pass<S: NeighborSource>(
+    graph: &S,
+    source: NodeId,
+    row_buf: &mut Vec<NodeId>,
+) -> Vec<f64> {
     let n = graph.num_nodes();
     let mut sigma = vec![0.0f64; n]; // shortest-path counts
     let mut dist = vec![-1i64; n];
@@ -104,7 +108,9 @@ pub fn betweenness_sampled<S: NeighborSource>(graph: &S, samples: usize, seed: u
         return vec![0.0; n];
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let sources: Vec<NodeId> = (0..samples).map(|_| rng.gen_range(0..n) as NodeId).collect();
+    let sources: Vec<NodeId> = (0..samples)
+        .map(|_| rng.gen_range(0..n) as NodeId)
+        .collect();
     let scale = n as f64 / samples as f64;
     let mut total = sources
         .par_iter()

@@ -20,19 +20,17 @@ pub fn bfs_sequential<S: NeighborSource>(graph: &S, source: NodeId) -> Vec<u32> 
     let mut dist = vec![UNREACHABLE; n];
     dist[source as usize] = 0;
     let mut frontier = vec![source];
-    let mut row = Vec::new();
     let mut level = 0u32;
     while !frontier.is_empty() {
         level += 1;
         let mut next = Vec::new();
         for &u in &frontier {
-            graph.row_into(u, &mut row);
-            for &v in &row {
+            graph.for_each_neighbor(u, &mut |v| {
                 if dist[v as usize] == UNREACHABLE {
                     dist[v as usize] = level;
                     next.push(v);
                 }
-            }
+            });
         }
         frontier = next;
     }
@@ -55,17 +53,18 @@ pub fn bfs_parallel<S: NeighborSource>(graph: &S, source: NodeId) -> Vec<u32> {
         level += 1;
         let mut next: Vec<NodeId> = frontier
             .par_iter()
-            .map_init(Vec::new, |row, &u| {
+            .map(|&u| {
                 let mut claimed = Vec::new();
-                graph.row_into(u, row);
-                for &v in row.iter() {
+                // Stream the row straight off the (possibly packed)
+                // structure — no per-node row buffer.
+                graph.for_each_neighbor(u, &mut |v| {
                     if dist[v as usize]
                         .compare_exchange(UNREACHABLE, level, Ordering::Relaxed, Ordering::Relaxed)
                         .is_ok()
                     {
                         claimed.push(v);
                     }
-                }
+                });
                 claimed
             })
             .flatten()
@@ -91,7 +90,10 @@ mod tests {
         let csr = CsrBuilder::new().build(&g);
         assert_eq!(bfs_sequential(&csr, 0), [0, 1, 2, 3, 4]);
         assert_eq!(bfs_parallel(&csr, 0), [0, 1, 2, 3, 4]);
-        assert_eq!(bfs_sequential(&csr, 4), [UNREACHABLE; 4].into_iter().chain([0]).collect::<Vec<_>>());
+        assert_eq!(
+            bfs_sequential(&csr, 4),
+            [UNREACHABLE; 4].into_iter().chain([0]).collect::<Vec<_>>()
+        );
     }
 
     #[test]

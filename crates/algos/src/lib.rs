@@ -44,4 +44,6 @@ pub use kcore::{kcore_parallel, kcore_sequential};
 pub use pagerank::{pagerank, PageRankConfig};
 pub use shortest_paths::{dijkstra, parallel_sssp, INF};
 pub use spgemm::{spgemm_bool, two_hop};
-pub use triangles::{count_triangles, count_triangles_sequential};
+pub use triangles::{
+    count_triangles, count_triangles_oriented, count_triangles_sequential, orient,
+};

@@ -8,7 +8,7 @@
 
 use rayon::prelude::*;
 
-use parcsr::{Csr, CsrBuilder};
+use parcsr::{Csr, CsrBuilder, NeighborSource};
 use parcsr_graph::{EdgeList, NodeId};
 
 /// PageRank parameters.
@@ -32,11 +32,13 @@ impl Default for PageRankConfig {
     }
 }
 
-/// Computes PageRank over a CSR. Returns `(ranks, iterations_used)`.
+/// Computes PageRank over any [`NeighborSource`] — the plain CSR or the
+/// bit-packed one, whose rows are streamed during the one-time transpose
+/// without decompressing the structure. Returns `(ranks, iterations_used)`.
 /// Dangling nodes (out-degree 0) redistribute uniformly, so ranks always
 /// sum to ~1.
-pub fn pagerank(csr: &Csr, config: PageRankConfig) -> (Vec<f64>, usize) {
-    let n = csr.num_nodes();
+pub fn pagerank<S: NeighborSource>(graph: &S, config: PageRankConfig) -> (Vec<f64>, usize) {
+    let n = graph.num_nodes();
     if n == 0 {
         return (Vec::new(), 0);
     }
@@ -46,8 +48,8 @@ pub fn pagerank(csr: &Csr, config: PageRankConfig) -> (Vec<f64>, usize) {
     );
 
     // Transpose: in-neighbors of every node, for the pull step.
-    let transposed = transpose(csr);
-    let out_deg: Vec<u64> = (0..n).map(|u| csr.degree(u as NodeId) as u64).collect();
+    let transposed = transpose(graph);
+    let out_deg: Vec<u64> = (0..n).map(|u| graph.degree(u as NodeId) as u64).collect();
 
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
@@ -85,13 +87,14 @@ pub fn pagerank(csr: &Csr, config: PageRankConfig) -> (Vec<f64>, usize) {
     (rank, config.max_iterations)
 }
 
-/// Builds the transposed CSR (in-edges become out-edges).
-fn transpose(csr: &Csr) -> Csr {
-    let mut edges = Vec::with_capacity(csr.num_edges());
-    for u in 0..csr.num_nodes() as NodeId {
-        edges.extend(csr.neighbors(u).iter().map(|&v| (v, u)));
+/// Builds the transposed CSR (in-edges become out-edges), streaming the
+/// source's rows.
+fn transpose<S: NeighborSource>(graph: &S) -> Csr {
+    let mut edges = Vec::new();
+    for u in 0..graph.num_nodes() as NodeId {
+        graph.for_each_neighbor(u, &mut |v| edges.push((v, u)));
     }
-    CsrBuilder::new().build(&EdgeList::new(csr.num_nodes(), edges))
+    CsrBuilder::new().build(&EdgeList::new(graph.num_nodes(), edges))
 }
 
 #[cfg(test)]
@@ -172,6 +175,18 @@ mod tests {
         let (r, iters) = pagerank(&csr, PageRankConfig::default());
         assert!(r.is_empty());
         assert_eq!(iters, 0);
+    }
+
+    #[test]
+    fn identical_on_packed_csr() {
+        use parcsr::{BitPackedCsr, PackedCsrMode};
+        let g = rmat(RmatParams::new(256, 3_000, 11));
+        let csr = CsrBuilder::new().build(&g);
+        let base = pagerank(&csr, PageRankConfig::default());
+        for mode in [PackedCsrMode::Raw, PackedCsrMode::Gap] {
+            let packed = BitPackedCsr::from_csr(&csr, mode, 4);
+            assert_eq!(pagerank(&packed, PageRankConfig::default()), base);
+        }
     }
 
     #[test]

@@ -98,7 +98,10 @@ mod tests {
     #[test]
     fn textbook_example() {
         // 0 -> 1 (4), 0 -> 2 (1), 2 -> 1 (2), 1 -> 3 (1), 2 -> 3 (5).
-        let g = wcsr(4, vec![(0, 1, 4), (0, 2, 1), (2, 1, 2), (1, 3, 1), (2, 3, 5)]);
+        let g = wcsr(
+            4,
+            vec![(0, 1, 4), (0, 2, 1), (2, 1, 2), (1, 3, 1), (2, 3, 5)],
+        );
         let want = vec![0, 3, 1, 4];
         assert_eq!(dijkstra(&g, 0), want);
         assert_eq!(parallel_sssp(&g, 0), want);

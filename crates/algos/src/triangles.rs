@@ -10,24 +10,54 @@
 
 use rayon::prelude::*;
 
-use parcsr::{Csr, CsrBuilder};
+use parcsr::{Csr, CsrBuilder, NeighborSource};
 use parcsr_graph::{EdgeList, NodeId};
 
 /// Counts triangles in the undirected simplification of `graph`.
 /// Parallel over nodes.
 pub fn count_triangles(graph: &EdgeList) -> u64 {
-    let oriented = orient(graph);
+    count_triangles_oriented(&orient(graph))
+}
+
+/// Counts triangles over an already degree-oriented [`NeighborSource`]
+/// (every edge pointing from the lower-rank endpoint; see [`orient`]) —
+/// runs directly on a bit-packed oriented CSR. Per worker, one reusable
+/// buffer holds the current node's row; the counterpart row of each
+/// neighbor is *streamed* through the source's visitor and co-scanned
+/// against that buffer, so the inner loop never touches the heap.
+pub fn count_triangles_oriented<S: NeighborSource>(oriented: &S) -> u64 {
     (0..oriented.num_nodes() as NodeId)
         .into_par_iter()
-        .map(|u| {
-            let nu = oriented.neighbors(u);
+        .map_init(Vec::new, |nu, u| {
+            oriented.row_into(u, nu);
             let mut count = 0u64;
-            for &v in nu {
-                count += intersection_size(nu, oriented.neighbors(v));
+            for &v in nu.iter() {
+                count += streamed_intersection_size(nu, oriented, v);
             }
             count
         })
         .sum()
+}
+
+/// `|nu ∩ N(v)|` with `N(v)` streamed from the source: a sorted-merge scan
+/// that early-exits once the stream passes the end of `nu`.
+fn streamed_intersection_size<S: NeighborSource>(nu: &[NodeId], source: &S, v: NodeId) -> u64 {
+    let mut i = 0usize;
+    let mut count = 0u64;
+    source.for_each_neighbor_while(v, &mut |w| {
+        while i < nu.len() && nu[i] < w {
+            i += 1;
+        }
+        if i == nu.len() {
+            return false;
+        }
+        if nu[i] == w {
+            count += 1;
+            i += 1;
+        }
+        true
+    });
+    count
 }
 
 /// Sequential reference: brute-force over node triples via adjacency sets.
@@ -69,8 +99,10 @@ fn simple_undirected(graph: &EdgeList) -> EdgeList {
 
 /// Degree-ordered orientation: keep `(u, v)` iff
 /// `(deg(u), u) < (deg(v), v)`. Bounds every oriented out-degree by
-/// `O(√m)` on simple graphs.
-fn orient(graph: &EdgeList) -> Csr {
+/// `O(√m)` on simple graphs. Public so callers can pack the oriented
+/// structure (e.g. into a `BitPackedCsr`) and count on the compressed form
+/// via [`count_triangles_oriented`].
+pub fn orient(graph: &EdgeList) -> Csr {
     let simple = simple_undirected(graph);
     let degrees = simple.degrees_sequential();
     let rank = |x: NodeId| (degrees[x as usize], x);
@@ -81,23 +113,6 @@ fn orient(graph: &EdgeList) -> Csr {
         .filter(|&(u, v)| rank(u) < rank(v))
         .collect();
     CsrBuilder::new().build(&EdgeList::new(simple.num_nodes(), oriented))
-}
-
-/// Size of the intersection of two sorted slices.
-fn intersection_size(a: &[NodeId], b: &[NodeId]) -> u64 {
-    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                count += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    count
 }
 
 #[cfg(test)]
@@ -177,5 +192,17 @@ mod tests {
     #[test]
     fn empty_graph() {
         assert_eq!(count_triangles(&EdgeList::new(0, vec![])), 0);
+    }
+
+    #[test]
+    fn counts_on_packed_oriented_structure() {
+        use parcsr::{BitPackedCsr, PackedCsrMode};
+        let g = rmat(RmatParams::new(128, 1_500, 41));
+        let want = count_triangles(&g);
+        let oriented = orient(&g);
+        for mode in [PackedCsrMode::Raw, PackedCsrMode::Gap] {
+            let packed = BitPackedCsr::from_csr(&oriented, mode, 4);
+            assert_eq!(count_triangles_oriented(&packed), want, "{}", mode.name());
+        }
     }
 }

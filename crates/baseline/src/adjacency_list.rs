@@ -75,10 +75,7 @@ mod tests {
     use super::*;
 
     fn sample() -> AdjacencyList {
-        AdjacencyList::from_edge_list(&EdgeList::new(
-            4,
-            vec![(0, 3), (0, 1), (2, 0), (0, 1)],
-        ))
+        AdjacencyList::from_edge_list(&EdgeList::new(4, vec![(0, 3), (0, 1), (2, 0), (0, 1)]))
     }
 
     #[test]

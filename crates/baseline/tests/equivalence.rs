@@ -9,11 +9,10 @@ use parcsr_baseline::{AdjacencyList, AdjacencyMatrix, EdgeListStore, GraphStore}
 use parcsr_graph::EdgeList;
 
 fn arb_graph() -> impl Strategy<Value = EdgeList> {
-    prop::collection::vec((0u32..60, 0u32..60), 0..200)
-        .prop_map(|edges| {
-            let n = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(1);
-            EdgeList::new(n as usize, edges)
-        })
+    prop::collection::vec((0u32..60, 0u32..60), 0..200).prop_map(|edges| {
+        let n = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(1);
+        EdgeList::new(n as usize, edges)
+    })
 }
 
 proptest! {

@@ -7,8 +7,7 @@ use std::hint::black_box;
 
 use parcsr::{BitPackedCsr, Csr, CsrBuilder, PackedCsrMode};
 use parcsr_algos::{
-    bfs_parallel, connected_components_parallel, count_triangles, pagerank, two_hop,
-    PageRankConfig,
+    bfs_parallel, connected_components_parallel, count_triangles, pagerank, two_hop, PageRankConfig,
 };
 use parcsr_graph::gen::{rmat, RmatParams};
 use parcsr_graph::EdgeList;
@@ -22,7 +21,9 @@ fn fixtures() -> (EdgeList, Csr, BitPackedCsr) {
 
 fn bench_bfs(c: &mut Criterion) {
     let (_, csr, packed) = fixtures();
-    let hub = (0..csr.num_nodes() as u32).max_by_key(|&u| csr.degree(u)).unwrap();
+    let hub = (0..csr.num_nodes() as u32)
+        .max_by_key(|&u| csr.degree(u))
+        .unwrap();
     let mut group = c.benchmark_group("bfs");
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));

@@ -10,7 +10,9 @@ use parcsr_bitpack::{pack_parallel, varint_encode_stream, PackedArray};
 use parcsr_graph::gen::{rmat, RmatParams};
 
 fn bench_pack_parallel(c: &mut Criterion) {
-    let values: Vec<u64> = (0..1_000_000u64).map(|i| (i * 2654435761) % (1 << 20)).collect();
+    let values: Vec<u64> = (0..1_000_000u64)
+        .map(|i| (i * 2654435761) % (1 << 20))
+        .collect();
     let mut group = c.benchmark_group("pack_parallel");
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
@@ -74,5 +76,10 @@ fn bench_gap_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pack_parallel, bench_codecs, bench_gap_ablation);
+criterion_group!(
+    benches,
+    bench_pack_parallel,
+    bench_codecs,
+    bench_gap_ablation
+);
 criterion_main!(benches);

@@ -15,7 +15,10 @@ const M: usize = 1 << 19;
 fn bench_construction(c: &mut Criterion) {
     let graphs: [(&str, EdgeList); 2] = [
         ("rmat", rmat(RmatParams::new(N, M, 42)).sorted_by_source()),
-        ("er", erdos_renyi(ErParams::new(N, M, 42)).sorted_by_source()),
+        (
+            "er",
+            erdos_renyi(ErParams::new(N, M, 42)).sorted_by_source(),
+        ),
     ];
     let mut group = c.benchmark_group("construction");
     group.measurement_time(std::time::Duration::from_secs(3));
@@ -78,5 +81,10 @@ fn bench_sort_stage(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_construction, bench_packing_stage, bench_sort_stage);
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_packing_stage,
+    bench_sort_stage
+);
 criterion_main!(benches);

@@ -17,7 +17,9 @@ fn bench_pma_inserts(c: &mut Criterion) {
     for &n in &[10_000usize, 50_000] {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("random", n), &n, |b, &n| {
-            let keys: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % (4 * n as u64)).collect();
+            let keys: Vec<u64> = (0..n as u64)
+                .map(|i| (i * 2654435761) % (4 * n as u64))
+                .collect();
             b.iter(|| {
                 let mut pma = Pma::new();
                 for &k in &keys {
@@ -100,5 +102,10 @@ fn bench_dynamic_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pma_inserts, bench_update_vs_rebuild, bench_dynamic_queries);
+criterion_group!(
+    benches,
+    bench_pma_inserts,
+    bench_update_vs_rebuild,
+    bench_dynamic_queries
+);
 criterion_main!(benches);

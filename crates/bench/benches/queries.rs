@@ -43,10 +43,7 @@ fn fixtures() -> Fixtures {
             if i % 2 == 0 {
                 graph.edges()[(i * 31) % graph.num_edges()]
             } else {
-                (
-                    ((i * 48271) % N) as NodeId,
-                    ((i * 16807) % N) as NodeId,
-                )
+                (((i * 48271) % N) as NodeId, ((i * 16807) % N) as NodeId)
             }
         })
         .collect();
@@ -87,7 +84,9 @@ fn bench_neighbors_batch(c: &mut Criterion) {
     group.throughput(Throughput::Elements(f.node_queries.len() as u64));
     for &p in &[1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("csr", p), &f, |b, f| {
-            with_processors(p, || b.iter(|| black_box(neighbors_batch(&f.csr, &f.node_queries, p))));
+            with_processors(p, || {
+                b.iter(|| black_box(neighbors_batch(&f.csr, &f.node_queries, p)))
+            });
         });
         group.bench_with_input(BenchmarkId::new("packed", p), &f, |b, f| {
             with_processors(p, || {
@@ -135,6 +134,62 @@ fn bench_edges_exist_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The streaming-vs-materializing row-access dimension: for both packing
+/// modes, answer the same batch of neighborhood queries by (a) decoding each
+/// row into a reused `Vec` (`row_into`) and (b) streaming it through the
+/// allocation-free cursor (`row_iter`). Each variant folds the visited
+/// neighbor ids so the decode work cannot be optimized away.
+fn bench_row_access(c: &mut Criterion) {
+    let graph = rmat(RmatParams::new(N, M, 42));
+    let csr = CsrBuilder::new().build(&graph);
+    let node_queries: Vec<NodeId> = (0..QUERIES)
+        .map(|i| ((i * 2654435761) % N) as NodeId)
+        .collect();
+    let visited: u64 = node_queries.iter().map(|&u| csr.degree(u) as u64).sum();
+
+    let mut group = c.benchmark_group("row_access");
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(visited));
+    for mode in [PackedCsrMode::Raw, PackedCsrMode::Gap] {
+        let packed = BitPackedCsr::from_csr(&csr, mode, 8);
+        group.bench_with_input(
+            BenchmarkId::new(mode.name(), "decode"),
+            &packed,
+            |b, packed| {
+                let mut row = Vec::new();
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &u in &node_queries {
+                        packed.row_into(u, &mut row);
+                        for &v in &row {
+                            acc ^= u64::from(v);
+                        }
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(mode.name(), "stream"),
+            &packed,
+            |b, packed| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &u in &node_queries {
+                        for v in packed.row_iter(u) {
+                            acc ^= u64::from(v);
+                        }
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_single_edge_split(c: &mut Criterion) {
     // A dedicated hub graph: Algorithm 8's split search only pays off on
     // long rows.
@@ -150,7 +205,9 @@ fn bench_single_edge_split(c: &mut Criterion) {
     group.sample_size(20);
     for &p in &[1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("linear", p), &packed, |b, packed| {
-            with_processors(p, || b.iter(|| black_box(edge_exists_split(packed, 0, probe, p))));
+            with_processors(p, || {
+                b.iter(|| black_box(edge_exists_split(packed, 0, probe, p)))
+            });
         });
         group.bench_with_input(BenchmarkId::new("binary", p), &packed, |b, packed| {
             with_processors(p, || {
@@ -165,6 +222,7 @@ criterion_group!(
     benches,
     bench_neighbors_batch,
     bench_edges_exist_batch,
+    bench_row_access,
     bench_single_edge_split
 );
 criterion_main!(benches);

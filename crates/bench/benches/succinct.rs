@@ -33,10 +33,7 @@ fn fixtures() -> Fixtures {
             if i % 2 == 0 {
                 graph.edges()[(i * 37) % graph.num_edges()]
             } else {
-                (
-                    ((i * 48271) % N) as u32,
-                    ((i * 16807) % N) as u32,
-                )
+                (((i * 48271) % N) as u32, ((i * 16807) % N) as u32)
             }
         })
         .collect();

@@ -89,12 +89,18 @@ fn bench_frame_modes(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.sample_size(10);
     for mode in [FrameMode::Random, FrameMode::Gap] {
-        group.bench_with_input(BenchmarkId::from_parameter(mode.name()), &events, |b, events| {
-            let builder = TcsrBuilder::new().frame_mode(mode);
-            b.iter(|| black_box(builder.build(events)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &events,
+            |b, events| {
+                let builder = TcsrBuilder::new().frame_mode(mode);
+                b.iter(|| black_box(builder.build(events)));
+            },
+        );
     }
-    let r = TcsrBuilder::new().frame_mode(FrameMode::Random).build(&events);
+    let r = TcsrBuilder::new()
+        .frame_mode(FrameMode::Random)
+        .build(&events);
     let g = TcsrBuilder::new().frame_mode(FrameMode::Gap).build(&events);
     eprintln!(
         "tcsr frame-mode sizes: random={} B, gap={} B",

@@ -56,8 +56,12 @@ fn bench_point_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("temporal_point_query");
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    group.bench_function("tcsr", |b| b.iter(|| black_box(tcsr.edge_active_at(u, v, t))));
-    group.bench_function("evelog-scan", |b| b.iter(|| black_box(eve.edge_active_at(u, v, t))));
+    group.bench_function("tcsr", |b| {
+        b.iter(|| black_box(tcsr.edge_active_at(u, v, t)))
+    });
+    group.bench_function("evelog-scan", |b| {
+        b.iter(|| black_box(eve.edge_active_at(u, v, t)))
+    });
     group.bench_function("edgelog-intervals", |b| {
         b.iter(|| black_box(edge.edge_active_at(u, v, t)))
     });
@@ -100,5 +104,10 @@ fn bench_neighborhood_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_builds, bench_point_queries, bench_neighborhood_queries);
+criterion_group!(
+    benches,
+    bench_builds,
+    bench_point_queries,
+    bench_neighborhood_queries
+);
 criterion_main!(benches);

@@ -15,7 +15,7 @@ fn main() {
     );
     let results = run_experiment(&opts);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&results).expect("results serialize"));
+        println!("{}", parcsr_bench::results_to_json_pretty(&results));
     } else {
         print!("{}", print_fig7(&results));
     }

@@ -31,20 +31,28 @@ fn main() {
         csr.num_edges()
     );
 
-    let node_queries: Vec<NodeId> = (0..BATCH).map(|i| ((i * 48271) % n as usize) as u32).collect();
+    let node_queries: Vec<NodeId> = (0..BATCH)
+        .map(|i| ((i * 48271) % n as usize) as u32)
+        .collect();
     let edge_queries: Vec<(NodeId, NodeId)> = (0..BATCH)
         .map(|i| {
             if i % 2 == 0 {
                 graph.edges()[(i * 31) % graph.num_edges()]
             } else {
-                (((i * 16807) % n as usize) as u32, ((i * 69621) % n as usize) as u32)
+                (
+                    ((i * 16807) % n as usize) as u32,
+                    ((i * 69621) % n as usize) as u32,
+                )
             }
         })
         .collect();
     let hub = (0..n).max_by_key(|&u| csr.degree(u)).expect("non-empty");
     let target = *csr.neighbors(hub).last().expect("hub has neighbors");
 
-    println!("| p | neighbors (kq/s) | edge-exist (kq/s) | single split on hub deg {} (µs) |", csr.degree(hub));
+    println!(
+        "| p | neighbors (kq/s) | edge-exist (kq/s) | single split on hub deg {} (µs) |",
+        csr.degree(hub)
+    );
     println!("|---:|---:|---:|---:|");
     for &p in &opts.processors {
         let (nq, eq, sq) = with_processors(p, || {

@@ -15,11 +15,13 @@ fn main() {
         opts.processors,
         opts.reps,
         opts.seed,
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
     let results = run_experiment(&opts);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&results).expect("results serialize"));
+        println!("{}", parcsr_bench::results_to_json_pretty(&results));
     } else {
         print!("{}", print_table2(&results));
     }

@@ -16,15 +16,13 @@
 
 use std::time::Instant;
 
-use serde::Serialize;
-
 use parcsr::{with_processors, BitPackedCsr, CsrBuilder, PackedCsrMode};
 use parcsr_graph::{paper_datasets, DatasetProfile, EdgeList};
 
 use crate::options::Options;
 
 /// One processor-count measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ProcessorSample {
     /// Processor count (chunks and pool width).
     pub processors: usize,
@@ -39,7 +37,7 @@ pub struct ProcessorSample {
 }
 
 /// One dataset's full Table II row group.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DatasetResult {
     /// Dataset name.
     pub name: &'static str,
@@ -66,9 +64,9 @@ pub fn run_experiment(opts: &Options) -> Vec<DatasetResult> {
     paper_datasets()
         .into_iter()
         .filter(|d| {
-            opts.only.as_deref().is_none_or(|needle| {
-                d.name.to_lowercase().contains(&needle.to_lowercase())
-            })
+            opts.only
+                .as_deref()
+                .is_none_or(|needle| d.name.to_lowercase().contains(&needle.to_lowercase()))
         })
         .map(|profile| run_dataset(&profile, opts))
         .collect()

@@ -1,0 +1,224 @@
+//! Minimal JSON emission for bench results.
+//!
+//! The workspace builds without crates.io access, so instead of `serde` +
+//! `serde_json` the bench harness hand-rolls the one serialization shape it
+//! needs: pretty-printed JSON of the experiment result tree. The output is
+//! byte-compatible with what `serde_json::to_string_pretty` produced for the
+//! same derive layout (2-space indent, field order = declaration order), so
+//! downstream tooling that parses `BENCH_*.json` files keeps working.
+
+use crate::experiment::{DatasetResult, ProcessorSample};
+
+/// A JSON value tree.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer (emitted without a decimal point).
+    Int(i64),
+    /// Float (emitted via Rust's shortest-roundtrip formatting).
+    Float(f64),
+    /// String (escaped on emission).
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Pretty-prints with 2-space indentation and a trailing newline-free
+    /// final line, matching `serde_json::to_string_pretty`.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // serde_json always keeps a decimal point on floats.
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can render themselves as a [`Json`] tree.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for ProcessorSample {
+    fn to_json(&self) -> Json {
+        let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Float);
+        Json::Object(vec![
+            ("processors".into(), Json::Int(self.processors as i64)),
+            ("time_ms".into(), Json::Float(self.time_ms)),
+            ("speedup_percent".into(), Json::Float(self.speedup_percent)),
+            ("paper_time_ms".into(), opt(self.paper_time_ms)),
+            (
+                "paper_speedup_percent".into(),
+                opt(self.paper_speedup_percent),
+            ),
+        ])
+    }
+}
+
+impl ToJson for DatasetResult {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".into(), Json::Str(self.name.to_string())),
+            ("real_data".into(), Json::Bool(self.real_data)),
+            ("nodes".into(), Json::Int(self.nodes as i64)),
+            ("edges".into(), Json::Int(self.edges as i64)),
+            (
+                "edgelist_text_bytes".into(),
+                Json::Int(self.edgelist_text_bytes as i64),
+            ),
+            (
+                "edgelist_binary_bytes".into(),
+                Json::Int(self.edgelist_binary_bytes as i64),
+            ),
+            (
+                "csr_packed_bytes".into(),
+                Json::Int(self.csr_packed_bytes as i64),
+            ),
+            ("csr_raw_bytes".into(), Json::Int(self.csr_raw_bytes as i64)),
+            (
+                "samples".into(),
+                Json::Array(self.samples.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+/// Pretty-prints experiment results — the drop-in replacement for
+/// `serde_json::to_string_pretty(&results)` in the bench binaries.
+pub fn results_to_json_pretty(results: &[DatasetResult]) -> String {
+    results.to_json().pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_escaping() {
+        assert_eq!(Json::Null.pretty(), "null");
+        assert_eq!(Json::Bool(true).pretty(), "true");
+        assert_eq!(Json::Int(-3).pretty(), "-3");
+        assert_eq!(Json::Float(1.5).pretty(), "1.5");
+        assert_eq!(Json::Float(2.0).pretty(), "2.0");
+        assert_eq!(Json::Str("a\"b\\c\nd".into()).pretty(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn pretty_layout_matches_serde_json_shape() {
+        let v = Json::Object(vec![
+            ("xs".into(), Json::Array(vec![Json::Int(1), Json::Int(2)])),
+            ("empty".into(), Json::Array(vec![])),
+        ]);
+        assert_eq!(
+            v.pretty(),
+            "{\n  \"xs\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn sample_round_trips_field_order() {
+        let s = ProcessorSample {
+            processors: 4,
+            time_ms: 1.25,
+            speedup_percent: 50.0,
+            paper_time_ms: None,
+            paper_speedup_percent: Some(61.0),
+        };
+        let text = s.to_json().pretty();
+        let procs_at = text.find("processors").unwrap();
+        let time_at = text.find("time_ms").unwrap();
+        assert!(procs_at < time_at);
+        assert!(text.contains("\"paper_time_ms\": null"));
+        assert!(text.contains("\"paper_speedup_percent\": 61.0"));
+    }
+}

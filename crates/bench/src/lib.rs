@@ -18,9 +18,11 @@
 //! instead of synthesizing.
 
 pub mod experiment;
+pub mod json;
 pub mod options;
 pub mod report;
 
 pub use experiment::{run_experiment, DatasetResult, ProcessorSample};
+pub use json::{results_to_json_pretty, Json, ToJson};
 pub use options::Options;
 pub use report::{format_bytes, print_fig6, print_fig7, print_table2};

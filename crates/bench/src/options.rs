@@ -44,10 +44,8 @@ impl Options {
         let mut opts = Options::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next()
-                    .ok_or_else(|| format!("{name} requires a value"))
-            };
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
             match flag.as_str() {
                 "--scale" => {
                     opts.scale = value("--scale")?

@@ -29,22 +29,29 @@ pub fn print_table2(results: &[DatasetResult]) -> String {
         out,
         "| Graph | Nodes | Edges | EdgeList (text) | CSR (packed) | p | Time (ms) | Speed-Up (%) | Paper t (ms) | Paper SU (%) |"
     );
-    let _ = writeln!(
-        out,
-        "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|"
-    );
+    let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|");
     for r in results {
         for (i, s) in r.samples.iter().enumerate() {
             let (name, nodes, edges, el, csr) = if i == 0 {
                 (
-                    format!("{}{}", r.name, if r.real_data { "" } else { " (synthetic)" }),
+                    format!(
+                        "{}{}",
+                        r.name,
+                        if r.real_data { "" } else { " (synthetic)" }
+                    ),
                     r.nodes.to_string(),
                     r.edges.to_string(),
                     format_bytes(r.edgelist_text_bytes),
                     format_bytes(r.csr_packed_bytes),
                 )
             } else {
-                (String::new(), String::new(), String::new(), String::new(), String::new())
+                (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                )
             };
             let su = if s.processors == 1 {
                 "-".to_string()
@@ -97,7 +104,10 @@ pub fn print_fig6(results: &[DatasetResult]) -> String {
 pub fn print_fig7(results: &[DatasetResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Figure 7: speed-up gained vs processors");
-    let _ = writeln!(out, "dataset,processors,speedup_percent,paper_speedup_percent");
+    let _ = writeln!(
+        out,
+        "dataset,processors,speedup_percent,paper_speedup_percent"
+    );
     for r in results {
         for s in &r.samples {
             let _ = writeln!(
@@ -125,11 +135,25 @@ fn ascii_series(results: &[DatasetResult], speedup: bool) -> String {
         let max = r
             .samples
             .iter()
-            .map(|s| if speedup { s.speedup_percent.max(1.0) } else { s.time_ms })
+            .map(|s| {
+                if speedup {
+                    s.speedup_percent.max(1.0)
+                } else {
+                    s.time_ms
+                }
+            })
             .fold(f64::MIN, f64::max);
         for s in &r.samples {
-            let v = if speedup { s.speedup_percent } else { s.time_ms };
-            let bar_len = if max > 0.0 { (v / max * 40.0).round() as usize } else { 0 };
+            let v = if speedup {
+                s.speedup_percent
+            } else {
+                s.time_ms
+            };
+            let bar_len = if max > 0.0 {
+                (v / max * 40.0).round() as usize
+            } else {
+                0
+            };
             let _ = writeln!(
                 out,
                 "  p={:<3} {:>10.3} {} {}",

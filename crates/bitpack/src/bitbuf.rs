@@ -105,7 +105,11 @@ impl BitBuf {
         }
         let word = pos / 64;
         let bit = pos % 64;
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let lo = self.words[word] >> bit;
         if bit + width as usize <= 64 {
             lo & mask
@@ -124,7 +128,10 @@ impl BitBuf {
             self.words.extend_from_slice(&other.words);
         } else {
             for (i, &w) in other.words.iter().enumerate() {
-                *self.words.last_mut().expect("non-word-aligned buffer has words") |= w << shift;
+                *self
+                    .words
+                    .last_mut()
+                    .expect("non-word-aligned buffer has words") |= w << shift;
                 let remaining_bits = other.len - i * 64;
                 if shift + remaining_bits > 64 {
                     self.words.push(w >> (64 - shift));
@@ -236,7 +243,14 @@ mod tests {
 
     #[test]
     fn roundtrip_single_values() {
-        for (v, w) in [(0u64, 1u32), (1, 1), (5, 3), (255, 8), (u64::MAX, 64), (1 << 33, 40)] {
+        for (v, w) in [
+            (0u64, 1u32),
+            (1, 1),
+            (5, 3),
+            (255, 8),
+            (u64::MAX, 64),
+            (1 << 33, 40),
+        ] {
             let mut b = BitBuf::new();
             b.push_bits(v, w);
             assert_eq!(b.read_bits(0, w), v, "v={v} w={w}");
@@ -268,8 +282,14 @@ mod tests {
     #[test]
     fn writer_reader_stream() {
         let mut w = BitWriter::new();
-        let values: Vec<(u64, u32)> =
-            (0..200).map(|i| ((i * 2654435761u64) % (1 << (i % 37 + 1)), (i % 37 + 1) as u32)).collect();
+        let values: Vec<(u64, u32)> = (0..200)
+            .map(|i| {
+                (
+                    (i * 2654435761u64) % (1 << (i % 37 + 1)),
+                    (i % 37 + 1) as u32,
+                )
+            })
+            .collect();
         for &(v, width) in &values {
             w.write(v, width);
         }

@@ -7,7 +7,8 @@
 //! \[28\] relies on to fetch a node's row from the packed structure without
 //! decompressing anything else.
 
-use crate::bitbuf::{BitBuf, BitReader};
+use crate::bitbuf::BitBuf;
+use crate::cursor::RowCursor;
 
 /// Number of bits needed to represent `value` (at least 1, so that a packed
 /// array of zeros still occupies addressable slots).
@@ -51,7 +52,11 @@ impl PackedArray {
     pub fn pack_with_width(values: &[u64], width: u32) -> Self {
         assert!((1..=64).contains(&width), "width must be in 1..=64");
         let mut buf = BitBuf::with_capacity(values.len() * width as usize);
-        let limit = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let limit = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         for &v in values {
             assert!(v <= limit, "value {v} does not fit in {width} bits");
             buf.push_bits(v, width);
@@ -112,29 +117,34 @@ impl PackedArray {
     /// Iterates over the packed values in order (a streaming cursor, faster
     /// than repeated [`get`](Self::get) because the position advances
     /// incrementally).
-    pub fn iter(&self) -> PackedIter<'_> {
-        PackedIter {
-            reader: BitReader::new(&self.buf),
-            width: self.width,
-            remaining: self.len,
-        }
+    pub fn iter(&self) -> RowCursor<'_> {
+        self.range_cursor(0, self.len)
     }
 
-    /// Decodes `count` elements starting at index `start` into `out`
-    /// (`out` is cleared first). The row-extraction primitive.
-    pub fn decode_range_into(&self, start: usize, count: usize, out: &mut Vec<u64>) {
+    /// Streaming cursor over elements `[start, start + count)` — the
+    /// allocation-free row-extraction primitive. O(1) to create; seekable
+    /// via [`RowCursor::advance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range reaches past the end of the array.
+    pub fn range_cursor(&self, start: usize, count: usize) -> RowCursor<'_> {
         assert!(
             start + count <= self.len,
             "range {start}..{} out of bounds (len {})",
             start + count,
             self.len
         );
+        RowCursor::new(&self.buf, self.width, start, count)
+    }
+
+    /// Decodes `count` elements starting at index `start` into `out`
+    /// (`out` is cleared first). The materializing counterpart of
+    /// [`range_cursor`](Self::range_cursor).
+    pub fn decode_range_into(&self, start: usize, count: usize, out: &mut Vec<u64>) {
         out.clear();
         out.reserve(count);
-        let mut r = BitReader::at(&self.buf, start * self.width as usize);
-        for _ in 0..count {
-            out.push(r.read(self.width));
-        }
+        out.extend(self.range_cursor(start, count));
     }
 
     /// Bytes of bit data when stored compactly.
@@ -153,32 +163,9 @@ impl PackedArray {
     }
 }
 
-/// Streaming iterator over a [`PackedArray`].
-#[derive(Debug, Clone)]
-pub struct PackedIter<'a> {
-    reader: BitReader<'a>,
-    width: u32,
-    remaining: usize,
-}
-
-impl Iterator for PackedIter<'_> {
-    type Item = u64;
-
-    #[inline]
-    fn next(&mut self) -> Option<u64> {
-        if self.remaining == 0 {
-            return None;
-        }
-        self.remaining -= 1;
-        Some(self.reader.read(self.width))
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        (self.remaining, Some(self.remaining))
-    }
-}
-
-impl ExactSizeIterator for PackedIter<'_> {}
+/// Streaming iterator over a whole [`PackedArray`] (a [`RowCursor`] spanning
+/// every element).
+pub type PackedIter<'a> = RowCursor<'a>;
 
 #[cfg(test)]
 mod tests {

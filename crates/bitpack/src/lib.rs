@@ -39,12 +39,14 @@
 //! ```
 
 pub mod bitbuf;
+pub mod cursor;
 pub mod fixed;
 pub mod gap;
 pub mod parallel;
 pub mod varint;
 
 pub use bitbuf::{BitBuf, BitReader, BitWriter};
+pub use cursor::{GapDecode, RowCursor};
 pub use fixed::{bits_needed, PackedArray};
 pub use gap::{decode_gaps, decode_gaps_into, encode_gaps, encode_gaps_in_place, max_gap};
 pub use parallel::{pack_parallel, pack_parallel_with_width};

@@ -159,8 +159,7 @@ fn generate(
         Model::ErdosRenyi => erdos_renyi(ErParams::new(nodes, edges, seed)),
         Model::BarabasiAlbert => barabasi_albert(BaParams::new(nodes, edges, seed)),
     };
-    gio::write_edge_list_file(&graph, out)
-        .map_err(|e| err(format!("writing {out}: {e}")))?;
+    gio::write_edge_list_file(&graph, out).map_err(|e| err(format!("writing {out}: {e}")))?;
     Ok(format!(
         "generated {} nodes / {} edges ({:?}, seed {seed}) -> {out}",
         graph.num_nodes(),
@@ -170,9 +169,13 @@ fn generate(
 }
 
 fn compress(input: &str, out: &str, gap: bool, procs: usize) -> Result<String, CliError> {
-    let graph = gio::read_edge_list_file(input)
-        .map_err(|e| err(format!("reading {input}: {e}")))?;
-    let mode = if gap { PackedCsrMode::Gap } else { PackedCsrMode::Raw };
+    let graph =
+        gio::read_edge_list_file(input).map_err(|e| err(format!("reading {input}: {e}")))?;
+    let mode = if gap {
+        PackedCsrMode::Gap
+    } else {
+        PackedCsrMode::Raw
+    };
 
     let t = Instant::now();
     let (csr, timings) = CsrBuilder::new().processors(procs).build_timed(&graph);
@@ -210,8 +213,8 @@ fn compress(input: &str, out: &str, gap: bool, procs: usize) -> Result<String, C
 }
 
 fn stats(input: &str) -> Result<String, CliError> {
-    let graph = gio::read_edge_list_file(input)
-        .map_err(|e| err(format!("reading {input}: {e}")))?;
+    let graph =
+        gio::read_edge_list_file(input).map_err(|e| err(format!("reading {input}: {e}")))?;
     let s = DegreeStats::of(&graph);
     Ok(format!(
         "{input}: {} nodes, {} edges\n  max degree {}, mean degree {:.2}, isolated {}, gini {:.3}",
@@ -246,7 +249,10 @@ fn query(
 ) -> Result<String, CliError> {
     let packed = load_pcsr(input)?;
     let n = packed.num_nodes() as u32;
-    for &u in neighbors.iter().chain(edges.iter().flat_map(|(u, v)| [u, v])) {
+    for &u in neighbors
+        .iter()
+        .chain(edges.iter().flat_map(|(u, v)| [u, v]))
+    {
         if u >= n {
             return Err(err(format!("node {u} out of range ({n} nodes)")));
         }
@@ -309,7 +315,10 @@ mod tests {
         .unwrap();
         assert!(report.contains("packed CSR"), "{report}");
 
-        let report = execute(&Command::Info { input: pcsr.clone() }).unwrap();
+        let report = execute(&Command::Info {
+            input: pcsr.clone(),
+        })
+        .unwrap();
         assert!(report.contains("gap mode"), "{report}");
         assert!(report.contains("2000 edges"), "{report}");
 
@@ -385,8 +394,14 @@ mod tests {
             count: true,
         })
         .unwrap();
-        assert!(report.contains(&format!("edge ({u}, {v}) at T3: true")), "{report}");
-        assert!(report.contains(&format!("active edges at T3: {}", snap.len())), "{report}");
+        assert!(
+            report.contains(&format!("edge ({u}, {v}) at T3: true")),
+            "{report}"
+        );
+        assert!(
+            report.contains(&format!("active edges at T3: {}", snap.len())),
+            "{report}"
+        );
     }
 
     #[test]
@@ -419,9 +434,15 @@ mod tests {
 
     #[test]
     fn missing_files_error_cleanly() {
-        let e = execute(&Command::Stats { input: "/nonexistent/g.txt".into() }).unwrap_err();
+        let e = execute(&Command::Stats {
+            input: "/nonexistent/g.txt".into(),
+        })
+        .unwrap_err();
         assert!(e.to_string().contains("reading"));
-        let e = execute(&Command::Info { input: "/nonexistent/g.pcsr".into() }).unwrap_err();
+        let e = execute(&Command::Info {
+            input: "/nonexistent/g.pcsr".into(),
+        })
+        .unwrap_err();
         assert!(e.to_string().contains("opening"));
     }
 

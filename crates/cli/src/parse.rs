@@ -150,8 +150,12 @@ fn parse_pair(s: &str, flag: &str) -> Result<(u32, u32), ParseError> {
         .split_once(',')
         .ok_or_else(|| invalid(format!("{flag} expects 'u,v'")))?;
     Ok((
-        a.trim().parse().map_err(|e| invalid(format!("{flag}: {e}")))?,
-        b.trim().parse().map_err(|e| invalid(format!("{flag}: {e}")))?,
+        a.trim()
+            .parse()
+            .map_err(|e| invalid(format!("{flag}: {e}")))?,
+        b.trim()
+            .parse()
+            .map_err(|e| invalid(format!("{flag}: {e}")))?,
     ))
 }
 
@@ -197,7 +201,8 @@ impl Command {
                 })
             }
             "compress" => {
-                let input = args.value("compress")
+                let input = args
+                    .value("compress")
                     .map_err(|_| invalid("compress requires an input path"))?;
                 let (mut out, mut gap, mut procs) = (None, true, 0usize);
                 while let Some(flag) = args.items.next() {
@@ -222,15 +227,18 @@ impl Command {
                 })
             }
             "stats" => Ok(Command::Stats {
-                input: args.value("stats")
+                input: args
+                    .value("stats")
                     .map_err(|_| invalid("stats requires an input path"))?,
             }),
             "info" => Ok(Command::Info {
-                input: args.value("info")
+                input: args
+                    .value("info")
                     .map_err(|_| invalid("info requires an input path"))?,
             }),
             "query" => {
-                let input = args.value("query")
+                let input = args
+                    .value("query")
                     .map_err(|_| invalid("query requires an input path"))?;
                 let (mut neighbors, mut edges, mut procs) = (Vec::new(), Vec::new(), 0usize);
                 while let Some(flag) = args.items.next() {
@@ -309,7 +317,9 @@ impl Command {
                     }
                 }
                 if edges.is_empty() && neighbors.is_empty() && !count {
-                    return Err(invalid("temporal-query needs --edge, --neighbors or --count"));
+                    return Err(invalid(
+                        "temporal-query needs --edge, --neighbors or --count",
+                    ));
                 }
                 Ok(Command::TemporalQuery {
                     input,
@@ -335,8 +345,17 @@ mod tests {
     #[test]
     fn generate_full() {
         let c = parse(&[
-            "generate", "--model", "er", "--nodes", "100", "--edges", "500", "--seed", "7",
-            "--out", "/tmp/g.txt",
+            "generate",
+            "--model",
+            "er",
+            "--nodes",
+            "100",
+            "--edges",
+            "500",
+            "--seed",
+            "7",
+            "--out",
+            "/tmp/g.txt",
         ])
         .unwrap();
         assert_eq!(
@@ -373,13 +392,33 @@ mod tests {
 
     #[test]
     fn compress_raw_mode() {
-        let c = parse(&["compress", "in.txt", "--out", "o", "--mode", "raw", "--procs", "8"]).unwrap();
-        assert!(matches!(c, Command::Compress { gap: false, procs: 8, .. }));
+        let c = parse(&[
+            "compress", "in.txt", "--out", "o", "--mode", "raw", "--procs", "8",
+        ])
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Compress {
+                gap: false,
+                procs: 8,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn query_mixed() {
-        let c = parse(&["query", "g.pcsr", "--neighbors", "1, 2,3", "--edge", "4,5", "--edge", "6,7"]).unwrap();
+        let c = parse(&[
+            "query",
+            "g.pcsr",
+            "--neighbors",
+            "1, 2,3",
+            "--edge",
+            "4,5",
+            "--edge",
+            "6,7",
+        ])
+        .unwrap();
         assert_eq!(
             c,
             Command::Query {
@@ -398,7 +437,15 @@ mod tests {
 
     #[test]
     fn temporal_compress() {
-        let c = parse(&["temporal-compress", "ev.txt", "--out", "g.tcsr", "--mode", "random"]).unwrap();
+        let c = parse(&[
+            "temporal-compress",
+            "ev.txt",
+            "--out",
+            "g.tcsr",
+            "--mode",
+            "random",
+        ])
+        .unwrap();
         assert_eq!(
             c,
             Command::TemporalCompress {
@@ -414,7 +461,14 @@ mod tests {
     #[test]
     fn temporal_query() {
         let c = parse(&[
-            "temporal-query", "g.tcsr", "--frame", "3", "--edge", "1,2", "--neighbors", "0,4",
+            "temporal-query",
+            "g.tcsr",
+            "--frame",
+            "3",
+            "--edge",
+            "1,2",
+            "--neighbors",
+            "0,4",
             "--count",
         ])
         .unwrap();
@@ -429,7 +483,10 @@ mod tests {
             }
         );
         assert!(parse(&["temporal-query", "g.tcsr", "--frame", "1"]).is_err());
-        assert!(parse(&["temporal-query", "g.tcsr", "--count"]).is_err(), "frame required");
+        assert!(
+            parse(&["temporal-query", "g.tcsr", "--count"]).is_err(),
+            "frame required"
+        );
     }
 
     #[test]

@@ -343,7 +343,10 @@ mod tests {
         let g = erdos_renyi(ErParams::new(700, 5_000, 5));
         let want = Csr::from_edge_list_sequential(&g);
         for alg in ScanAlgorithm::ALL {
-            let got = CsrBuilder::new().processors(6).scan_algorithm(alg).build(&g);
+            let got = CsrBuilder::new()
+                .processors(6)
+                .scan_algorithm(alg)
+                .build(&g);
             assert_eq!(got, want, "{}", alg.name());
         }
     }

@@ -68,7 +68,7 @@ pub mod weighted;
 
 pub use build::{BuildTimings, Csr, CsrBuilder};
 pub use degree::{degrees_atomic, degrees_parallel};
-pub use packed::{BitPackedCsr, PackedCsrMode};
+pub use packed::{BitPackedCsr, PackedCsrMode, PackedRowIter};
 pub use pool::with_processors;
 pub use query::NeighborSource;
 pub use serial::ReadError;

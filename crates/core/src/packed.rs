@@ -16,7 +16,7 @@
 
 use rayon::prelude::*;
 
-use parcsr_bitpack::{bits_needed, pack_parallel_with_width, PackedArray};
+use parcsr_bitpack::{bits_needed, pack_parallel_with_width, GapDecode, PackedArray, RowCursor};
 use parcsr_graph::NodeId;
 
 use crate::build::Csr;
@@ -140,32 +140,40 @@ impl BitPackedCsr {
         (self.offsets.get(i + 1) - self.offsets.get(i)) as usize
     }
 
+    /// `GetRowFromCSR` \[28\] as a stream: an iterator over `u`'s sorted
+    /// neighbor row, decoded lazily out of the packed bit array. O(1) to
+    /// create (two offset probes position a cursor at bit
+    /// `offsets[u] · width`); each `next()` is one fixed-width bit read, plus
+    /// the running gap sum in [`PackedCsrMode::Gap`]. No heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn row_iter(&self, u: NodeId) -> PackedRowIter<'_> {
+        let i = u as usize;
+        assert!(i < self.num_nodes, "node {u} out of range");
+        let start = self.offsets.get(i) as usize;
+        let deg = self.offsets.get(i + 1) as usize - start;
+        let cursor = self.columns.range_cursor(start, deg);
+        match self.mode {
+            PackedCsrMode::Raw => PackedRowIter::Raw(cursor),
+            PackedCsrMode::Gap => PackedRowIter::Gap(GapDecode::new(cursor)),
+        }
+    }
+
     /// `GetRowFromCSR` \[28\]: decodes `u`'s neighbor row out of the packed
     /// bit array into `out` (cleared first). O(deg(u)) bit reads starting at
-    /// bit `offsets[u] · width`.
+    /// bit `offsets[u] · width`. The materializing counterpart of
+    /// [`row_iter`](Self::row_iter).
     ///
     /// # Panics
     ///
     /// Panics if `u` is out of range.
     pub fn row_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
-        let i = u as usize;
-        assert!(i < self.num_nodes, "node {u} out of range");
-        let start = self.offsets.get(i) as usize;
-        let deg = self.offsets.get(i + 1) as usize - start;
+        let it = self.row_iter(u);
         out.clear();
-        out.reserve(deg);
-        let mut raw = Vec::with_capacity(deg);
-        self.columns.decode_range_into(start, deg, &mut raw);
-        match self.mode {
-            PackedCsrMode::Raw => out.extend(raw.iter().map(|&v| v as NodeId)),
-            PackedCsrMode::Gap => {
-                let mut acc = 0u64;
-                for (k, &g) in raw.iter().enumerate() {
-                    acc = if k == 0 { g } else { acc + g };
-                    out.push(acc as NodeId);
-                }
-            }
-        }
+        out.reserve(it.len());
+        out.extend(it);
     }
 
     /// Allocating convenience wrapper over [`row_into`](Self::row_into).
@@ -175,25 +183,38 @@ impl BitPackedCsr {
         out
     }
 
-    /// Edge existence by decoding `u`'s row and scanning — the primitive the
-    /// query algorithms batch and split. In [`PackedCsrMode::Raw`] the scan
-    /// stops early (rows are sorted); in gap mode the running sum must pass
-    /// `v` anyway, so the cost is the same.
+    /// Edge existence straight off the packed bit array — the primitive the
+    /// query algorithms batch and split. No allocation in either mode:
+    ///
+    /// * [`PackedCsrMode::Raw`] rows store sorted absolute ids at a fixed
+    ///   width, so the row supports O(1) random access and the probe is a
+    ///   binary search of O(log deg) direct bit reads.
+    /// * [`PackedCsrMode::Gap`] rows must be prefix-summed from the head, so
+    ///   the probe streams the row with an early exit once the running sum
+    ///   reaches `v` (rows are sorted, so the sum is non-decreasing).
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         let i = u as usize;
         assert!(i < self.num_nodes, "node {u} out of range");
         let start = self.offsets.get(i) as usize;
         let deg = self.offsets.get(i + 1) as usize - start;
-        let mut raw = Vec::with_capacity(deg);
-        self.columns.decode_range_into(start, deg, &mut raw);
+        let target = u64::from(v);
         match self.mode {
-            PackedCsrMode::Raw => raw.binary_search(&u64::from(v)).is_ok(),
+            PackedCsrMode::Raw => {
+                let (mut lo, mut hi) = (start, start + deg);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if self.columns.get(mid) < target {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo < start + deg && self.columns.get(lo) == target
+            }
             PackedCsrMode::Gap => {
-                let mut acc = 0u64;
-                for (k, &g) in raw.iter().enumerate() {
-                    acc = if k == 0 { g } else { acc + g };
-                    if acc >= u64::from(v) {
-                        return acc == u64::from(v);
+                for w in GapDecode::new(self.columns.range_cursor(start, deg)) {
+                    if w >= target {
+                        return w == target;
                     }
                 }
                 false
@@ -258,6 +279,39 @@ impl BitPackedCsr {
         Csr::from_edge_list_sequential(&graph)
     }
 }
+
+/// Streaming iterator over one packed neighbor row (the return type of
+/// [`BitPackedCsr::row_iter`]). Yields sorted absolute neighbor ids in both
+/// packing modes; in [`PackedCsrMode::Gap`] the running sum is maintained
+/// internally.
+#[derive(Debug, Clone)]
+pub enum PackedRowIter<'a> {
+    /// Raw mode: the cursor yields absolute ids directly.
+    Raw(RowCursor<'a>),
+    /// Gap mode: the cursor yields gaps, decoded by the running-sum adapter.
+    Gap(GapDecode<RowCursor<'a>>),
+}
+
+impl Iterator for PackedRowIter<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            PackedRowIter::Raw(c) => c.next().map(|v| v as NodeId),
+            PackedRowIter::Gap(g) => g.next().map(|v| v as NodeId),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            PackedRowIter::Raw(c) => c.size_hint(),
+            PackedRowIter::Gap(g) => g.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for PackedRowIter<'_> {}
 
 #[cfg(test)]
 mod tests {

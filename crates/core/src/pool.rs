@@ -37,7 +37,9 @@ mod tests {
 
     #[test]
     fn oversubscription_is_allowed() {
-        let logical = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let logical = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         let p = logical * 2;
         assert_eq!(with_processors(p, rayon::current_num_threads), p);
     }

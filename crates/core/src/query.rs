@@ -38,8 +38,37 @@ pub trait NeighborSource: Sync {
     fn row_into(&self, u: NodeId, out: &mut Vec<NodeId>);
 
     /// Edge existence using the source's native access path (binary search
-    /// on a plain CSR; decode-and-scan on a packed one).
+    /// on a plain CSR; packed-probe binary search or gap-stream scan on a
+    /// packed one).
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool;
+
+    /// Streams `u`'s sorted neighbor row in order, calling `visit` on each
+    /// neighbor until it returns `false` (early exit) or the row ends.
+    ///
+    /// The default implementation materializes the row through
+    /// [`row_into`](Self::row_into) — correct for any source. Sources with a
+    /// native streaming path (the bit-packed CSR's row cursor, the plain
+    /// CSR's row slice) override this to visit neighbors without touching
+    /// the heap; the batch query drivers below rely on that to stay
+    /// allocation-free per query.
+    fn for_each_neighbor_while(&self, u: NodeId, visit: &mut dyn FnMut(NodeId) -> bool) {
+        let mut row = Vec::with_capacity(self.degree(u));
+        self.row_into(u, &mut row);
+        for &v in &row {
+            if !visit(v) {
+                return;
+            }
+        }
+    }
+
+    /// Streams `u`'s full sorted neighbor row through `visit` (no early
+    /// exit).
+    fn for_each_neighbor(&self, u: NodeId, visit: &mut dyn FnMut(NodeId)) {
+        self.for_each_neighbor_while(u, &mut |v| {
+            visit(v);
+            true
+        });
+    }
 }
 
 impl NeighborSource for Csr {
@@ -59,6 +88,14 @@ impl NeighborSource for Csr {
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         Csr::has_edge(self, u, v)
     }
+
+    fn for_each_neighbor_while(&self, u: NodeId, visit: &mut dyn FnMut(NodeId) -> bool) {
+        for &v in self.neighbors(u) {
+            if !visit(v) {
+                return;
+            }
+        }
+    }
 }
 
 impl NeighborSource for BitPackedCsr {
@@ -77,6 +114,14 @@ impl NeighborSource for BitPackedCsr {
     fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         BitPackedCsr::has_edge(self, u, v)
     }
+
+    fn for_each_neighbor_while(&self, u: NodeId, visit: &mut dyn FnMut(NodeId) -> bool) {
+        for v in self.row_iter(u) {
+            if !visit(v) {
+                return;
+            }
+        }
+    }
 }
 
 /// Algorithm 6: answers an array of neighborhood queries, the query array
@@ -94,8 +139,11 @@ pub fn neighbors_batch<S: NeighborSource>(
         .map(|r| {
             let mut out = Vec::with_capacity(r.len());
             for &u in &queries[r.clone()] {
-                let mut row = Vec::new();
-                source.row_into(u, &mut row);
+                // The result row is the one unavoidable allocation (it is
+                // the output); sized exactly from the packed degree so the
+                // streaming fill never reallocates.
+                let mut row = Vec::with_capacity(source.degree(u));
+                source.for_each_neighbor(u, &mut |v| row.push(v));
                 out.push(row);
             }
             out
@@ -105,34 +153,42 @@ pub fn neighbors_batch<S: NeighborSource>(
 }
 
 /// Algorithm 7: answers an array of edge-existence queries, the query array
-/// split into `processors` chunks. Each processor fetches the source row and
-/// linearly scans for the target (the paper's formulation; early exit on the
-/// sorted row).
+/// split into `processors` chunks. Each processor streams the source row
+/// through [`NeighborSource::for_each_neighbor_while`] and exits at the
+/// first neighbor ≥ the target (the paper's linear scan with early exit on
+/// the sorted row) — no row materialization, no per-query allocation.
 pub fn edges_exist_batch<S: NeighborSource>(
     source: &S,
     queries: &[(NodeId, NodeId)],
     processors: usize,
 ) -> Vec<bool> {
-    batch_edge_queries(source, queries, processors, |row, v| {
-        for &w in row {
+    batch_edge_queries(source, queries, processors, |source, u, v| {
+        let mut found = false;
+        source.for_each_neighbor_while(u, &mut |w| {
             if w >= v {
-                return w == v;
+                found = w == v;
+                false
+            } else {
+                true
             }
-        }
-        false
+        });
+        found
     })
 }
 
 /// The binary-search refinement of Algorithm 7 ("this could also be extended
-/// to a binary search to speed up the process"): identical contract, O(log
-/// deg) per query after the row fetch.
+/// to a binary search to speed up the process"): each query goes through the
+/// source's native [`NeighborSource::has_edge`] path — binary search on a
+/// plain CSR row slice, O(log deg) direct bit probes on a raw-mode packed
+/// CSR, streaming early-exit scan on a gap-mode one (where random access
+/// inside a row does not exist). No per-query allocation in any of those.
 pub fn edges_exist_batch_binary<S: NeighborSource>(
     source: &S,
     queries: &[(NodeId, NodeId)],
     processors: usize,
 ) -> Vec<bool> {
-    batch_edge_queries(source, queries, processors, |row, v| {
-        row.binary_search(&v).is_ok()
+    batch_edge_queries(source, queries, processors, |source, u, v| {
+        source.has_edge(u, v)
     })
 }
 
@@ -140,21 +196,16 @@ fn batch_edge_queries<S: NeighborSource>(
     source: &S,
     queries: &[(NodeId, NodeId)],
     processors: usize,
-    probe: impl Fn(&[NodeId], NodeId) -> bool + Sync,
+    probe: impl Fn(&S, NodeId, NodeId) -> bool + Sync,
 ) -> Vec<bool> {
     let ranges = chunk_ranges(queries.len(), processors);
     let mut results: Vec<Vec<bool>> = Vec::new();
     ranges
         .par_iter()
         .map(|r| {
-            // Workhorse row buffer reused across the chunk's queries.
-            let mut row = Vec::new();
             queries[r.clone()]
                 .iter()
-                .map(|&(u, v)| {
-                    source.row_into(u, &mut row);
-                    probe(&row, v)
-                })
+                .map(|&(u, v)| probe(source, u, v))
                 .collect()
         })
         .collect_into_vec(&mut results);
@@ -171,7 +222,10 @@ pub fn edge_exists_split<S: NeighborSource>(
     v: NodeId,
     processors: usize,
 ) -> bool {
-    let mut row = Vec::new();
+    // Splitting one row across workers needs random access into it, so this
+    // is the one query where materialization is unavoidable on a streaming
+    // source; the buffer is sized exactly once from the degree.
+    let mut row = Vec::with_capacity(source.degree(u));
     source.row_into(u, &mut row);
     let ranges = chunk_ranges(row.len(), processors);
     ranges.par_iter().any(|r| row[r.clone()].contains(&v))
@@ -185,7 +239,7 @@ pub fn edge_exists_split_binary<S: NeighborSource>(
     v: NodeId,
     processors: usize,
 ) -> bool {
-    let mut row = Vec::new();
+    let mut row = Vec::with_capacity(source.degree(u));
     source.row_into(u, &mut row);
     let ranges = chunk_ranges(row.len(), processors);
     ranges
@@ -259,7 +313,11 @@ mod tests {
         let want: Vec<bool> = queries.iter().map(|&(u, v)| csr.has_edge(u, v)).collect();
         for p in [1, 3, 16] {
             assert_eq!(edges_exist_batch(&csr, &queries, p), want, "csr p={p}");
-            assert_eq!(edges_exist_batch(&packed, &queries, p), want, "packed p={p}");
+            assert_eq!(
+                edges_exist_batch(&packed, &queries, p),
+                want,
+                "packed p={p}"
+            );
             assert_eq!(
                 edges_exist_batch_binary(&packed, &queries, p),
                 want,

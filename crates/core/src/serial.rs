@@ -154,7 +154,14 @@ fn read_packed<R: Read>(r: &mut R, width: u32, len: usize) -> Result<PackedArray
         if take < 64 && (word >> take) != 0 {
             return Err(ReadError::Corrupt("padding bits must be zero"));
         }
-        buf.push_bits(if take == 64 { word } else { word & ((1u64 << take) - 1) }, take);
+        buf.push_bits(
+            if take == 64 {
+                word
+            } else {
+                word & ((1u64 << take) - 1)
+            },
+            take,
+        );
         remaining -= take as usize;
     }
     Ok(PackedArray::from_raw_parts(buf, width, len))

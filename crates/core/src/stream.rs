@@ -44,7 +44,10 @@ impl std::fmt::Display for StreamError {
                 write!(f, "edge {edge:?} references a node out of range")
             }
             StreamError::OutOfOrder { previous, edge } => {
-                write!(f, "edge {edge:?} arrived after {previous:?}; stream must be sorted")
+                write!(
+                    f,
+                    "edge {edge:?} arrived after {previous:?}; stream must be sorted"
+                )
             }
         }
     }
@@ -113,8 +116,7 @@ impl StreamingCsrPacker {
         exclusive_scan_seq(&mut offsets);
         offsets.push(num_edges as u64);
         let offsets = PackedArray::pack_with_width(&offsets, bits_needed(num_edges as u64));
-        let columns =
-            PackedArray::from_raw_parts(self.columns.finish(), self.col_width, num_edges);
+        let columns = PackedArray::from_raw_parts(self.columns.finish(), self.col_width, num_edges);
         BitPackedCsr::from_parts(
             self.num_nodes,
             num_edges,

@@ -86,7 +86,10 @@ impl Pma {
         // Shift the leaf's tail right by one (room is guaranteed: a full
         // leaf is rebalanced *before* the next insert reaches it).
         let base = leaf * self.segment;
-        debug_assert!(self.counts[leaf] < self.segment, "leaf overfull before insert");
+        debug_assert!(
+            self.counts[leaf] < self.segment,
+            "leaf overfull before insert"
+        );
         let count = self.counts[leaf];
         self.slots
             .copy_within(base + pos..base + count, base + pos + 1);
@@ -222,7 +225,9 @@ impl Pma {
             let max_allowed = if leaves_in_window == 1 {
                 // A leaf must keep one free slot so the *next* insert has
                 // room before its own rebalance runs.
-                (self.upper(depth) * slots as f64).floor().min((slots - 1) as f64) as usize
+                (self.upper(depth) * slots as f64)
+                    .floor()
+                    .min((slots - 1) as f64) as usize
             } else {
                 (self.upper(depth) * slots as f64).floor() as usize
             };

@@ -81,7 +81,13 @@ pub fn paper_datasets() -> [DatasetProfile; 4] {
             paper_edgelist_bytes: (1.1 * GB as f64) as u64,
             paper_csr_bytes: (24.73 * MB as f64) as u64,
             quadrants: (0.57, 0.19, 0.19, 0.05),
-            paper_times_ms: &[(1, 164.76), (4, 57.94), (8, 48.35), (16, 40.09), (64, 17.613)],
+            paper_times_ms: &[
+                (1, 164.76),
+                (4, 57.94),
+                (8, 48.35),
+                (16, 40.09),
+                (64, 17.613),
+            ],
         },
         DatasetProfile {
             name: "Pokec",
@@ -99,7 +105,13 @@ pub fn paper_datasets() -> [DatasetProfile; 4] {
             paper_edgelist_bytes: (1.7 * GB as f64) as u64,
             paper_csr_bytes: (313.19 * MB as f64) as u64,
             quadrants: (0.57, 0.19, 0.19, 0.05),
-            paper_times_ms: &[(1, 235.52), (4, 75.09), (8, 58.38), (16, 55.15), (64, 38.09)],
+            paper_times_ms: &[
+                (1, 235.52),
+                (4, 75.09),
+                (8, 58.38),
+                (16, 55.15),
+                (64, 38.09),
+            ],
         },
         DatasetProfile {
             name: "WebNotreDame",
@@ -141,13 +153,17 @@ mod tests {
         let d = &paper_datasets()[3];
         let g = d.synthesize(0.05, 7);
         let s = DegreeStats::of(&g);
-        assert!(s.gini > 0.4, "stand-in should be heavy-tailed, gini={}", s.gini);
+        assert!(
+            s.gini > 0.4,
+            "stand-in should be heavy-tailed, gini={}",
+            s.gini
+        );
     }
 
     #[test]
     fn paper_speedup_matches_published_column() {
         let d = &paper_datasets()[2]; // Orkut
-        // Table II prints 83.83% at 64 processors.
+                                      // Table II prints 83.83% at 64 processors.
         let s = d.paper_speedup_percent(64).unwrap();
         assert!((s - 83.83).abs() < 0.05, "computed {s}");
         assert_eq!(d.paper_speedup_percent(3), None);

@@ -129,7 +129,12 @@ mod tests {
             g.edges().iter().map(|&(u, v)| (v, u)).collect(),
         );
         let s = DegreeStats::of(&reversed);
-        assert!(s.max_degree as f64 > 10.0 * s.mean_degree, "max={} mean={}", s.max_degree, s.mean_degree);
+        assert!(
+            s.max_degree as f64 > 10.0 * s.mean_degree,
+            "max={} mean={}",
+            s.max_degree,
+            s.mean_degree
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ const GEN_CHUNK: usize = 1 << 16;
 
 /// Generates a G(n, m) graph, parallel and deterministic (per-chunk PRNGs).
 pub fn erdos_renyi(params: ErParams) -> EdgeList {
-    assert!(params.num_nodes > 0 || params.num_edges == 0, "edges need nodes");
+    assert!(
+        params.num_nodes > 0 || params.num_edges == 0,
+        "edges need nodes"
+    );
     if params.num_edges == 0 {
         return EdgeList::new(params.num_nodes, Vec::new());
     }
@@ -48,14 +51,10 @@ pub fn erdos_renyi(params: ErParams) -> EdgeList {
         .flat_map_iter(|chunk| {
             let start = chunk * GEN_CHUNK;
             let count = GEN_CHUNK.min(params.num_edges - start);
-            let mut rng =
-                SmallRng::seed_from_u64(params.seed ^ (chunk as u64).wrapping_mul(0xD1B54A32D192ED03));
-            (0..count).map(move |_| {
-                (
-                    rng.gen_range(0..n) as NodeId,
-                    rng.gen_range(0..n) as NodeId,
-                )
-            })
+            let mut rng = SmallRng::seed_from_u64(
+                params.seed ^ (chunk as u64).wrapping_mul(0xD1B54A32D192ED03),
+            );
+            (0..count).map(move |_| (rng.gen_range(0..n) as NodeId, rng.gen_range(0..n) as NodeId))
         })
         .collect();
     EdgeList::new(params.num_nodes, edges)

@@ -88,7 +88,9 @@ pub fn rmat(params: RmatParams) -> EdgeList {
         .flat_map_iter(|chunk| {
             let start = chunk * GEN_CHUNK;
             let count = GEN_CHUNK.min(params.num_edges - start);
-            let mut rng = SmallRng::seed_from_u64(params.seed ^ (chunk as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng = SmallRng::seed_from_u64(
+                params.seed ^ (chunk as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
             (0..count).map(move |_| sample_edge(&mut rng, scale, &params))
         })
         .collect();
@@ -146,13 +148,17 @@ mod tests {
         let g = rmat(RmatParams::new(1000, 20_000, 3)); // non-power-of-two n
         assert_eq!(g.num_edges(), 20_000);
         assert_eq!(g.num_nodes(), 1000);
-        assert!(g.edges().iter().all(|&(u, v)| (u as usize) < 1000 && (v as usize) < 1000));
+        assert!(g
+            .edges()
+            .iter()
+            .all(|&(u, v)| (u as usize) < 1000 && (v as usize) < 1000));
     }
 
     #[test]
     fn skewed_parameters_give_skewed_degrees() {
         let skewed = rmat(RmatParams::new(1 << 12, 1 << 16, 11));
-        let uniform = rmat(RmatParams::new(1 << 12, 1 << 16, 11).with_quadrants(0.25, 0.25, 0.25, 0.25));
+        let uniform =
+            rmat(RmatParams::new(1 << 12, 1 << 16, 11).with_quadrants(0.25, 0.25, 0.25, 0.25));
         let s = DegreeStats::of(&skewed);
         let u = DegreeStats::of(&uniform);
         assert!(

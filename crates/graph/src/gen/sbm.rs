@@ -131,9 +131,7 @@ mod tests {
         let intra = g
             .edges()
             .iter()
-            .filter(|&&(u, v)| {
-                sbm_block_of(u, 1_000, 10) == sbm_block_of(v, 1_000, 10)
-            })
+            .filter(|&&(u, v)| sbm_block_of(u, 1_000, 10) == sbm_block_of(v, 1_000, 10))
             .count();
         let frac = intra as f64 / g.num_edges() as f64;
         assert!(frac > 0.85, "intra fraction {frac}");

@@ -71,7 +71,8 @@ pub fn temporal_toggles(params: TemporalParams) -> TemporalEdgeList {
         return TemporalEdgeList::new(params.num_nodes, Vec::new());
     }
 
-    let mut rng = SmallRng::seed_from_u64(params.seed.wrapping_mul(0xA24BAED4963EE407).wrapping_add(1));
+    let mut rng =
+        SmallRng::seed_from_u64(params.seed.wrapping_mul(0xA24BAED4963EE407).wrapping_add(1));
     let mut events = Vec::with_capacity(params.num_frames * params.events_per_frame);
 
     // Frame 0: activate roughly half the population.

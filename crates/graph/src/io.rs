@@ -33,7 +33,11 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::Io(e) => write!(f, "i/o error: {e}"),
-            ParseError::Malformed { line, content, reason } => {
+            ParseError::Malformed {
+                line,
+                content,
+                reason,
+            } => {
                 write!(f, "line {line}: {reason}: {content:?}")
             }
         }
@@ -55,10 +59,7 @@ impl From<io::Error> for ParseError {
     }
 }
 
-fn parse_fields<const N: usize>(
-    line: &str,
-    lineno: usize,
-) -> Result<Option<[u64; N]>, ParseError> {
+fn parse_fields<const N: usize>(line: &str, lineno: usize) -> Result<Option<[u64; N]>, ParseError> {
     let trimmed = line.trim();
     if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
         return Ok(None);
@@ -153,7 +154,11 @@ pub fn read_temporal_edge_list<R: BufRead>(reader: R) -> Result<TemporalEdgeList
             ));
         }
     }
-    let num_nodes = if events.is_empty() { 0 } else { max_node as usize + 1 };
+    let num_nodes = if events.is_empty() {
+        0
+    } else {
+        max_node as usize + 1
+    };
     Ok(TemporalEdgeList::new(num_nodes, events))
 }
 
@@ -165,10 +170,7 @@ pub fn read_temporal_edge_list_file<P: AsRef<Path>>(
 }
 
 /// Writes temporal triplet text (`u\tv\tt` per line).
-pub fn write_temporal_edge_list<W: Write>(
-    graph: &TemporalEdgeList,
-    writer: W,
-) -> io::Result<()> {
+pub fn write_temporal_edge_list<W: Write>(graph: &TemporalEdgeList, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
     writeln!(
         w,
@@ -207,7 +209,10 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         let err = read_edge_list(Cursor::new("0 x\n")).unwrap_err();
-        assert!(matches!(err, ParseError::Malformed { line: 1, .. }), "{err}");
+        assert!(
+            matches!(err, ParseError::Malformed { line: 1, .. }),
+            "{err}"
+        );
 
         let err = read_edge_list(Cursor::new("0\n")).unwrap_err();
         assert!(err.to_string().contains("too few fields"));

@@ -123,8 +123,11 @@ impl TemporalEdgeList {
             }
             *parity.entry((e.u, e.v)).or_insert(false) ^= true;
         }
-        let mut active: Vec<(NodeId, NodeId)> =
-            parity.into_iter().filter(|&(_, p)| p).map(|(k, _)| k).collect();
+        let mut active: Vec<(NodeId, NodeId)> = parity
+            .into_iter()
+            .filter(|&(_, p)| p)
+            .map(|(k, _)| k)
+            .collect();
         active.sort_unstable();
         active
     }
@@ -198,7 +201,10 @@ mod tests {
 
     #[test]
     fn frame_with_no_events_is_empty_slice() {
-        let t = TemporalEdgeList::new(3, vec![TemporalEdge::new(0, 1, 0), TemporalEdge::new(1, 2, 5)]);
+        let t = TemporalEdgeList::new(
+            3,
+            vec![TemporalEdge::new(0, 1, 0), TemporalEdge::new(1, 2, 5)],
+        );
         assert_eq!(t.num_frames(), 6);
         assert!(t.frame_events(3).is_empty());
         // Snapshot is unchanged through the quiet frames.

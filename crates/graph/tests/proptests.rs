@@ -4,7 +4,9 @@ use std::io::Cursor;
 
 use proptest::prelude::*;
 
-use parcsr_graph::io::{read_edge_list, read_temporal_edge_list, write_edge_list, write_temporal_edge_list};
+use parcsr_graph::io::{
+    read_edge_list, read_temporal_edge_list, write_edge_list, write_temporal_edge_list,
+};
 use parcsr_graph::{EdgeList, TemporalEdge, TemporalEdgeList};
 
 fn arb_edges(max_node: u32, max_len: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {

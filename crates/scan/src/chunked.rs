@@ -331,8 +331,7 @@ mod tests {
             for t in 0..8 {
                 s.spawn(move || {
                     for round in 0..200 {
-                        let input: Vec<u64> =
-                            (0..64).map(|i| (i + t * 31 + round) % 17).collect();
+                        let input: Vec<u64> = (0..64).map(|i| (i + t * 31 + round) % 17).collect();
                         let mut got = input.clone();
                         inclusive_scan_chunked_lockstep(&mut got, 8);
                         let mut want = input;

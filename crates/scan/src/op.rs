@@ -124,7 +124,12 @@ mod tests {
         let add = AddOp;
         let max = MaxOp;
         let xor = XorOp;
-        for &(a, b, c) in &[(1u64, 2, 3), (u64::MAX, 7, 9), (0, 0, 0), (42, 0, u64::MAX / 2)] {
+        for &(a, b, c) in &[
+            (1u64, 2, 3),
+            (u64::MAX, 7, 9),
+            (0, 0, 0),
+            (42, 0, u64::MAX / 2),
+        ] {
             assert_eq!(
                 add.combine(a, add.combine(b, c)),
                 add.combine(add.combine(a, b), c)

@@ -168,7 +168,11 @@ impl K2Tree {
     /// virtual root.
     fn collect_row(&self, row: usize, col0: usize, size: usize, pos: usize, out: &mut Vec<NodeId>) {
         let half = size / 2;
-        let base = if pos == usize::MAX { 0 } else { self.children(pos) };
+        let base = if pos == usize::MAX {
+            0
+        } else {
+            self.children(pos)
+        };
         let r = row / half;
         for c in 0..2 {
             let child = base + r * 2 + c;
@@ -195,7 +199,11 @@ impl K2Tree {
         out: &mut Vec<NodeId>,
     ) {
         let half = size / 2;
-        let base = if pos == usize::MAX { 0 } else { self.children(pos) };
+        let base = if pos == usize::MAX {
+            0
+        } else {
+            self.children(pos)
+        };
         let c = col / half;
         for r in 0..2 {
             let child = base + r * 2 + c;
@@ -281,9 +289,17 @@ mod tests {
             for v in 0..n {
                 assert_eq!(t.has_edge(u, v), set.contains(&(u, v)), "({u}, {v})");
             }
-            let row: Vec<u32> = set.iter().filter(|&&(s, _)| s == u).map(|&(_, v)| v).collect();
+            let row: Vec<u32> = set
+                .iter()
+                .filter(|&&(s, _)| s == u)
+                .map(|&(_, v)| v)
+                .collect();
             assert_eq!(t.row(u), row, "row {u}");
-            let col: Vec<u32> = set.iter().filter(|&&(_, d)| d == u).map(|&(s, _)| s).collect();
+            let col: Vec<u32> = set
+                .iter()
+                .filter(|&&(_, d)| d == u)
+                .map(|&(s, _)| s)
+                .collect();
             assert_eq!(t.column(u), col, "column {u}");
         }
     }

@@ -40,13 +40,18 @@ impl WaveletTree {
         for &s in sequence {
             assert!(s < sigma, "symbol {s} out of alphabet 0..{sigma}");
         }
-        let bits = if sigma <= 1 { 1 } else { 32 - (sigma - 1).leading_zeros() };
+        let bits = if sigma <= 1 {
+            1
+        } else {
+            32 - (sigma - 1).leading_zeros()
+        };
         // Depth-first construction: each node appends its bits to its
         // level's buffer, then recurses into its zero- and one-children.
         // Visiting depth-d nodes left to right keeps every level buffer in
         // node order, and partitioning *within* the node (rather than
         // globally) is what keeps sibling subtrees from interleaving.
-        let mut level_bits: Vec<Vec<bool>> = vec![Vec::with_capacity(sequence.len()); bits as usize];
+        let mut level_bits: Vec<Vec<bool>> =
+            vec![Vec::with_capacity(sequence.len()); bits as usize];
         fn fill(level_bits: &mut [Vec<bool>], node: Vec<u32>, depth: u32, bits: u32) {
             if depth == bits || node.is_empty() {
                 return;
@@ -67,10 +72,7 @@ impl WaveletTree {
             fill(level_bits, ones, depth + 1, bits);
         }
         fill(&mut level_bits, sequence.to_vec(), 0, bits);
-        let levels = level_bits
-            .into_iter()
-            .map(|b| RankSelect::from_bits(b.into_iter()))
-            .collect();
+        let levels = level_bits.into_iter().map(RankSelect::from_bits).collect();
         WaveletTree {
             levels,
             len: sequence.len(),
@@ -99,7 +101,11 @@ impl WaveletTree {
     ///
     /// Panics if `i >= len`.
     pub fn access(&self, i: usize) -> u32 {
-        assert!(i < self.len, "position {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "position {i} out of bounds (len {})",
+            self.len
+        );
         let (mut lo, mut hi, mut pos) = (0usize, self.len, i);
         let mut symbol = 0u32;
         for level in &self.levels {

@@ -105,8 +105,10 @@ mod tests {
 
     #[test]
     fn absolute_storage_grows_with_frames() {
-        let short = temporal_toggles(TemporalParams::new(128, 2_000, 3, 1).with_events_per_frame(8));
-        let long = temporal_toggles(TemporalParams::new(128, 2_000, 24, 1).with_events_per_frame(8));
+        let short =
+            temporal_toggles(TemporalParams::new(128, 2_000, 3, 1).with_events_per_frame(8));
+        let long =
+            temporal_toggles(TemporalParams::new(128, 2_000, 24, 1).with_events_per_frame(8));
         let a_short = AbsoluteFrames::build(&short, 2);
         let a_long = AbsoluteFrames::build(&long, 2);
         assert!(a_long.packed_bytes() > a_short.packed_bytes() * 4);

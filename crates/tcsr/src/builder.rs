@@ -229,7 +229,9 @@ mod tests {
     #[test]
     fn frame_modes_store_same_content() {
         let events = temporal_toggles(TemporalParams::new(64, 500, 5, 4));
-        let random = TcsrBuilder::new().frame_mode(FrameMode::Random).build(&events);
+        let random = TcsrBuilder::new()
+            .frame_mode(FrameMode::Random)
+            .build(&events);
         let gap = TcsrBuilder::new().frame_mode(FrameMode::Gap).build(&events);
         for t in 0..random.num_frames() as u32 {
             assert_eq!(random.frame(t).decode_keys(), gap.frame(t).decode_keys());

@@ -152,7 +152,9 @@ impl DeltaFrame {
         match self.mode {
             FrameMode::Random => self.keys.to_vec(),
             FrameMode::Gap => {
-                let Some(head) = self.head else { return Vec::new() };
+                let Some(head) = self.head else {
+                    return Vec::new();
+                };
                 let mut out = Vec::with_capacity(self.keys.len() + 1);
                 let mut acc = head;
                 out.push(acc);

@@ -169,7 +169,11 @@ impl EdgeLog {
             let mut bounds: Vec<u32> = Vec::with_capacity(toggles.len() + 1);
             for pair in toggles.chunks(2) {
                 bounds.push(pair[0]);
-                bounds.push(if pair.len() == 2 { pair[1] } else { num_frames as u32 });
+                bounds.push(if pair.len() == 2 {
+                    pair[1]
+                } else {
+                    num_frames as u32
+                });
             }
             varint_encode((bounds.len() / 2) as u64, &mut intervals);
             let mut prev = 0u32;
@@ -265,8 +269,11 @@ mod tests {
         for t in 0..events.num_frames() as u32 {
             let snap = events.snapshot_at(t);
             for u in 0..48u32 {
-                let expect: Vec<u32> =
-                    snap.iter().filter(|&&(s, _)| s == u).map(|&(_, v)| v).collect();
+                let expect: Vec<u32> = snap
+                    .iter()
+                    .filter(|&&(s, _)| s == u)
+                    .map(|&(_, v)| v)
+                    .collect();
                 assert_eq!(log.neighbors_at(u, t), expect, "u={u} t={t}");
             }
         }
@@ -279,8 +286,11 @@ mod tests {
         for t in 0..events.num_frames() as u32 {
             let snap = events.snapshot_at(t);
             for u in 0..48u32 {
-                let expect: Vec<u32> =
-                    snap.iter().filter(|&&(s, _)| s == u).map(|&(_, v)| v).collect();
+                let expect: Vec<u32> = snap
+                    .iter()
+                    .filter(|&&(s, _)| s == u)
+                    .map(|&(_, v)| v)
+                    .collect();
                 assert_eq!(log.neighbors_at(u, t), expect, "u={u} t={t}");
             }
         }
@@ -305,7 +315,10 @@ mod tests {
     #[test]
     fn open_interval_stays_active() {
         // One toggle, never closed: active from t=2 onward.
-        let events = TemporalEdgeList::new(3, vec![TemporalEdge::new(0, 1, 2), TemporalEdge::new(1, 2, 5)]);
+        let events = TemporalEdgeList::new(
+            3,
+            vec![TemporalEdge::new(0, 1, 2), TemporalEdge::new(1, 2, 5)],
+        );
         let edge = EdgeLog::build(&events);
         assert!(!edge.edge_active_at(0, 1, 1));
         assert!(edge.edge_active_at(0, 1, 2));
@@ -327,7 +340,15 @@ mod tests {
             ],
         );
         let edge = EdgeLog::build(&events);
-        for (t, want) in [(0, false), (1, true), (2, true), (3, false), (5, false), (6, true), (7, true)] {
+        for (t, want) in [
+            (0, false),
+            (1, true),
+            (2, true),
+            (3, false),
+            (5, false),
+            (6, true),
+            (7, true),
+        ] {
             assert_eq!(edge.edge_active_at(0, 1, t), want, "t={t}");
         }
     }

@@ -143,7 +143,11 @@ impl DeltaFrame {
                 return Err(ReadError::Corrupt("padding bits must be zero"));
             }
             buf.push_bits(
-                if take == 64 { word } else { word & ((1u64 << take) - 1) },
+                if take == 64 {
+                    word
+                } else {
+                    word & ((1u64 << take) - 1)
+                },
                 take,
             );
             remaining -= take as usize;
@@ -208,7 +212,10 @@ mod tests {
         let back = Tcsr::read_from(&mut bytes.as_slice()).unwrap();
         let last = (tcsr.num_frames() - 1) as u32;
         assert_eq!(back.snapshot_at(last), tcsr.snapshot_at(last));
-        assert_eq!(back.edge_active_at(3, 7, last), tcsr.edge_active_at(3, 7, last));
+        assert_eq!(
+            back.edge_active_at(3, 7, last),
+            tcsr.edge_active_at(3, 7, last)
+        );
     }
 
     #[test]

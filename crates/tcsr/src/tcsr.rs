@@ -305,9 +305,8 @@ mod tests {
     fn differential_storage_beats_absolute_on_slow_change() {
         // 20 frames, tiny per-frame churn: differential storage must be far
         // smaller than 20 full snapshots.
-        let events = temporal_toggles(
-            TemporalParams::new(256, 4_000, 20, 5).with_events_per_frame(16),
-        );
+        let events =
+            temporal_toggles(TemporalParams::new(256, 4_000, 20, 5).with_events_per_frame(16));
         let tcsr = TcsrBuilder::new().build(&events);
         let absolute_total: usize = (0..events.num_frames() as u32)
             .map(|t| tcsr.snapshot_at(t).len() * 8)
@@ -343,10 +342,8 @@ mod tests {
         for (t1, t2) in [(0u32, last), (1, last / 2), (last, 0), (2, 2)] {
             let changed = tcsr.edges_changed_between(t1, t2);
             // Reference: elements in exactly one of the two snapshots.
-            let a: std::collections::BTreeSet<_> =
-                tcsr.snapshot_at(t1).into_iter().collect();
-            let b: std::collections::BTreeSet<_> =
-                tcsr.snapshot_at(t2).into_iter().collect();
+            let a: std::collections::BTreeSet<_> = tcsr.snapshot_at(t1).into_iter().collect();
+            let b: std::collections::BTreeSet<_> = tcsr.snapshot_at(t2).into_iter().collect();
             let want: Vec<_> = a.symmetric_difference(&b).copied().collect();
             assert_eq!(changed, want, "t1={t1} t2={t2}");
         }
@@ -370,7 +367,9 @@ mod tests {
             );
         }
         // A never-seen edge has no history.
-        assert!(tcsr.activity_history(63, 62).is_empty() || !ev.iter().any(|e| e.u == 63 && e.v == 62));
+        assert!(
+            tcsr.activity_history(63, 62).is_empty() || !ev.iter().any(|e| e.u == 63 && e.v == 62)
+        );
     }
 
     #[test]

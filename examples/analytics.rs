@@ -41,7 +41,11 @@ fn main() {
     let packed_ms = t.elapsed().as_secs_f64() * 1e3;
     assert_eq!(dist_plain, dist_packed, "packed BFS must match plain BFS");
     let reached = dist_plain.iter().filter(|&&d| d != UNREACHABLE).count();
-    let ecc = dist_plain.iter().filter(|&&d| d != UNREACHABLE).max().unwrap();
+    let ecc = dist_plain
+        .iter()
+        .filter(|&&d| d != UNREACHABLE)
+        .max()
+        .unwrap();
     println!(
         "BFS from hub {hub} (degree {}): reaches {reached}/{} nodes, eccentricity {ecc}",
         csr.degree(hub),
@@ -52,7 +56,12 @@ fn main() {
     // Influence: PageRank.
     let t = Instant::now();
     let (ranks, iters) = pagerank(&csr, PageRankConfig::default());
-    let mut top: Vec<(u32, f64)> = ranks.iter().copied().enumerate().map(|(u, r)| (u as u32, r)).collect();
+    let mut top: Vec<(u32, f64)> = ranks
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(u, r)| (u as u32, r))
+        .collect();
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!(
         "PageRank converged in {iters} iterations ({:.1} ms); top influencers:",

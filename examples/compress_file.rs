@@ -53,9 +53,12 @@ fn main() {
     let packed = BitPackedCsr::from_csr(&csr, PackedCsrMode::Gap, p);
     let total_ms = t.elapsed().as_secs_f64() * 1e3;
 
-    let text_bytes = std::fs::metadata(&path).map(|m| m.len() as usize).unwrap_or(0);
+    let text_bytes = std::fs::metadata(&path)
+        .map(|m| m.len() as usize)
+        .unwrap_or(0);
     println!("compressed with {p} processors in {total_ms:.1} ms:");
-    println!("  sort {:.1} ms, degrees {:.1} ms, scan {:.1} ms, fill {:.1} ms, pack {:.1} ms",
+    println!(
+        "  sort {:.1} ms, degrees {:.1} ms, scan {:.1} ms, fill {:.1} ms, pack {:.1} ms",
         timings.sort_ms,
         timings.degree_ms,
         timings.scan_ms,
@@ -63,7 +66,10 @@ fn main() {
         total_ms - timings.total_ms(),
     );
     println!("  edge list (text file):   {:>12} bytes", text_bytes);
-    println!("  edge list (in memory):   {:>12} bytes", graph.binary_bytes());
+    println!(
+        "  edge list (in memory):   {:>12} bytes",
+        graph.binary_bytes()
+    );
     println!("  CSR (uncompressed):      {:>12} bytes", csr.heap_bytes());
     println!(
         "  CSR (bit-packed):        {:>12} bytes  ({}-bit columns, {}-bit offsets)",
@@ -81,6 +87,9 @@ fn main() {
     for u in sample {
         let row = packed.row(u);
         let preview: Vec<u32> = row.iter().copied().take(6).collect();
-        println!("  row({u}) = {preview:?}{}", if row.len() > 6 { " …" } else { "" });
+        println!(
+            "  row({u}) = {preview:?}{}",
+            if row.len() > 6 { " …" } else { "" }
+        );
     }
 }

@@ -49,7 +49,10 @@ fn main() {
     let hoods = neighbors_batch(&packed, &who, p);
     for (u, hood) in who.iter().zip(&hoods) {
         let preview: Vec<u32> = hood.iter().copied().take(8).collect();
-        println!("  neighbors({u}) = {preview:?}{}", if hood.len() > 8 { " …" } else { "" });
+        println!(
+            "  neighbors({u}) = {preview:?}{}",
+            if hood.len() > 8 { " …" } else { "" }
+        );
     }
 
     let probes = vec![(0u32, 1u32), (1, 0), (100, 200), (42, 4242)];

@@ -65,10 +65,38 @@ fn main() {
         "{:<16} {:>12} {:>16} {:>16}",
         "structure", "memory", "friends-of (qps)", "connected? (qps)"
     );
-    report("edge list", flat.heap_bytes(), &StoreAdapter(&flat), &friend_lookups, &connection_checks, p);
-    report("adjacency list", adj.heap_bytes(), &StoreAdapter(&adj), &friend_lookups, &connection_checks, p);
-    report("csr", csr.heap_bytes(), &csr, &friend_lookups, &connection_checks, p);
-    report("packed csr", packed.packed_bytes(), &packed, &friend_lookups, &connection_checks, p);
+    report(
+        "edge list",
+        flat.heap_bytes(),
+        &StoreAdapter(&flat),
+        &friend_lookups,
+        &connection_checks,
+        p,
+    );
+    report(
+        "adjacency list",
+        adj.heap_bytes(),
+        &StoreAdapter(&adj),
+        &friend_lookups,
+        &connection_checks,
+        p,
+    );
+    report(
+        "csr",
+        csr.heap_bytes(),
+        &csr,
+        &friend_lookups,
+        &connection_checks,
+        p,
+    );
+    report(
+        "packed csr",
+        packed.packed_bytes(),
+        &packed,
+        &friend_lookups,
+        &connection_checks,
+        p,
+    );
 
     println!(
         "\npacked CSR serves the same queries in {:.1}% of the edge list's memory",

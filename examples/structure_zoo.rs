@@ -51,7 +51,10 @@ fn main() {
 
     println!("{:<22} {:>12} {:>14}", "structure", "bytes", "100k probes");
     row("adjacency matrix", matrix.heap_bytes(), || {
-        probes.iter().filter(|&&(u, v)| matrix.has_edge(u, v)).count()
+        probes
+            .iter()
+            .filter(|&&(u, v)| matrix.has_edge(u, v))
+            .count()
     });
     row("adjacency list", adj.heap_bytes(), || {
         probes.iter().filter(|&&(u, v)| adj.has_edge(u, v)).count()
@@ -63,13 +66,19 @@ fn main() {
         probes.iter().filter(|&&(u, v)| csr.has_edge(u, v)).count()
     });
     row("bit-packed csr", packed.packed_bytes(), || {
-        probes.iter().filter(|&&(u, v)| packed.has_edge(u, v)).count()
+        probes
+            .iter()
+            .filter(|&&(u, v)| packed.has_edge(u, v))
+            .count()
     });
     row("k2-tree", k2.packed_bytes(), || {
         probes.iter().filter(|&&(u, v)| k2.has_edge(u, v)).count()
     });
     row("pcsr (dynamic)", 0, || {
-        probes.iter().filter(|&&(u, v)| dynamic.has_edge(u, v)).count()
+        probes
+            .iter()
+            .filter(|&&(u, v)| dynamic.has_edge(u, v))
+            .count()
     });
 
     // The wavelet tree answers a different question: in-neighbors without a

@@ -53,9 +53,8 @@ fn figure_4_walkthrough() {
 /// where differential storage shines.
 fn differential_at_scale() {
     println!("== Differential vs copy-per-frame storage ==");
-    let events = temporal_toggles(
-        TemporalParams::new(1 << 12, 1 << 15, 48, 11).with_events_per_frame(256),
-    );
+    let events =
+        temporal_toggles(TemporalParams::new(1 << 12, 1 << 15, 48, 11).with_events_per_frame(256));
     println!(
         "workload: {} nodes, {} toggle events across {} frames",
         events.num_nodes(),

@@ -75,7 +75,10 @@ fn figure_2() {
     println!("  after phase 2:  {v:?}   (chunk tails carry the global prefix)");
 
     // Phase 3: each chunk adds its predecessor's tail to the rest.
-    let carries: Vec<u64> = ranges[..ranges.len() - 1].iter().map(|r| v[r.end - 1]).collect();
+    let carries: Vec<u64> = ranges[..ranges.len() - 1]
+        .iter()
+        .map(|r| v[r.end - 1])
+        .collect();
     for (r, carry) in ranges[1..].iter().zip(carries) {
         for x in &mut v[r.start..r.end - 1] {
             *x += carry;

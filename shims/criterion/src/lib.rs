@@ -1,0 +1,256 @@
+//! In-tree shim of the `criterion` API subset this workspace's benches use.
+//!
+//! The build environment has no crates.io access, so the benches run on this
+//! lightweight wall-clock harness instead. Semantics:
+//!
+//! * By default each benchmark body executes **once** and the elapsed time
+//!   is reported — fast enough that compiling-and-smoking the bench targets
+//!   stays cheap in CI and under `cargo test`.
+//! * Set `PARCSR_BENCH_MS=<millis>` to measure for real: each benchmark is
+//!   warmed up once, then iterated until the budget elapses, and the mean
+//!   ns/iter (plus throughput when declared) is printed.
+//!
+//! Output format (one line per benchmark, machine-greppable):
+//! `bench <group>/<id> <ns_per_iter> ns/iter [<elems_per_sec> elem/s] (<iters> iters)`
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn measure_budget() -> Duration {
+    std::env::var("PARCSR_BENCH_MS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::ZERO)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark timing driver.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f` (see crate docs for the budget rules).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let budget = measure_budget();
+        // One call always runs: it is the smoke test and the warm-up.
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed();
+        if budget.is_zero() {
+            self.ns_per_iter = first.as_nanos() as f64;
+            self.iters = 1;
+            return;
+        }
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        while spent < budget {
+            let t = Instant::now();
+            black_box(f());
+            spent += t.elapsed();
+            iters += 1;
+        }
+        self.ns_per_iter = spent.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count hint; accepted for API parity, unused by this harness.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Warm-up-time hint; accepted for API parity, unused by this harness.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time hint; the `PARCSR_BENCH_MS` env var rules instead.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id.name), &b, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self.criterion
+            .report(&format!("{}/{}", self.name, id.name), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The harness entry object handed to each bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.report(&id.name, &b, None);
+        self
+    }
+
+    fn report(&self, name: &str, b: &Bencher, throughput: Option<Throughput>) {
+        let mut line = format!("bench {name} {:.0} ns/iter", b.ns_per_iter);
+        if let Some(tp) = throughput {
+            let per_sec = |units: u64| units as f64 / (b.ns_per_iter / 1e9);
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(" {:.0} elem/s", per_sec(n)));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(" {:.0} B/s", per_sec(n)));
+                }
+            }
+        }
+        line.push_str(&format!(" ({} iters)", b.iters));
+        println!("{line}");
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+    }
+}

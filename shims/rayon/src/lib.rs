@@ -1,0 +1,486 @@
+//! In-tree shim of the `rayon` API used by this workspace.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal, API-compatible subset of rayon that executes **sequentially**.
+//! Parallel semantics the codebase relies on are preserved:
+//!
+//! * `ThreadPoolBuilder` / `ThreadPool::install` / `current_num_threads`
+//!   round-trip the requested pool width (the paper's processor sweep reads
+//!   it), tracked per thread so nested `install`s nest correctly.
+//! * All `par_*` adapters have rayon's signatures (`reduce(identity, op)`,
+//!   `map_init`, `collect_into_vec`, …) and are drop-in at the type level, so
+//!   swapping the real rayon back in is a one-line Cargo.toml change.
+//!
+//! Determinism notes: every algorithm in this workspace is already written
+//! to be result-deterministic under rayon's nondeterministic scheduling
+//! (first-writer-wins via CAS, fixed-shape reductions, canonicalized
+//! frontiers). Sequential execution is one legal schedule of those programs,
+//! so outputs are unchanged.
+
+use std::cell::Cell;
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+thread_local! {
+    static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads in the current pool: the width `install`ed on this
+/// thread, or the machine's available parallelism outside any pool.
+pub fn current_num_threads() -> usize {
+    POOL_WIDTH.with(|w| w.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error building a thread pool (the shim never fails; kept for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (machine-width) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool width; `0` means "use the default width".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A "pool" that records its width and runs installed closures inline.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with [`current_num_threads`] reporting this pool's width.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        POOL_WIDTH.with(|w| {
+            let prev = w.replace(Some(self.num_threads));
+            let out = f();
+            w.set(prev);
+            out
+        })
+    }
+
+    /// The pool's width.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Runs two closures and returns both results (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod iter {
+    //! Sequential stand-ins for rayon's parallel iterator traits.
+
+    /// The shim's parallel iterator: a transparent wrapper over a standard
+    /// iterator exposing rayon-shaped adapter methods.
+    #[derive(Debug, Clone)]
+    pub struct Par<I>(pub I);
+
+    impl<I: Iterator> IntoIterator for Par<I> {
+        type Item = I::Item;
+        type IntoIter = I;
+        fn into_iter(self) -> I {
+            self.0
+        }
+    }
+
+    /// Anything convertible into a [`Par`] iterator (rayon's
+    /// `IntoParallelIterator`).
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Underlying sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Par<Self::Iter>;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type Item = T::Item;
+        type Iter = T::IntoIter;
+        fn into_par_iter(self) -> Par<T::IntoIter> {
+            Par(self.into_iter())
+        }
+    }
+
+    /// `par_iter` by shared reference.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type (a reference).
+        type Item: 'a;
+        /// Underlying sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterates `self` by reference.
+        fn par_iter(&'a self) -> Par<Self::Iter>;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+    where
+        &'a T: IntoIterator,
+    {
+        type Item = <&'a T as IntoIterator>::Item;
+        type Iter = <&'a T as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Par<Self::Iter> {
+            Par(self.into_iter())
+        }
+    }
+
+    /// `par_iter_mut` by exclusive reference.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Element type (a mutable reference).
+        type Item: 'a;
+        /// Underlying sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterates `self` by mutable reference.
+        fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+    where
+        &'a mut T: IntoIterator,
+    {
+        type Item = <&'a mut T as IntoIterator>::Item;
+        type Iter = <&'a mut T as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+            Par(self.into_iter())
+        }
+    }
+
+    /// Marker re-export so `use rayon::prelude::*` brings the adapter
+    /// methods into scope exactly like rayon's `ParallelIterator` trait
+    /// does. The methods themselves are inherent on [`Par`].
+    pub trait ParallelIterator {}
+    impl<I: Iterator> ParallelIterator for Par<I> {}
+
+    impl<I: Iterator> Par<I> {
+        /// Maps each element.
+        pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> Par<std::iter::Map<I, F>> {
+            Par(self.0.map(f))
+        }
+
+        /// rayon's `map_init`: `init` would run once per worker; here it
+        /// runs once total, which is one legal schedule.
+        pub fn map_init<T, R, INIT, F>(self, init: INIT, mut f: F) -> Par<impl Iterator<Item = R>>
+        where
+            INIT: Fn() -> T,
+            F: FnMut(&mut T, I::Item) -> R,
+        {
+            let mut state = init();
+            Par(self.0.map(move |x| f(&mut state, x)))
+        }
+
+        /// Keeps elements satisfying the predicate.
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+            Par(self.0.filter(f))
+        }
+
+        /// Maps then keeps the `Some`s.
+        pub fn filter_map<R, F: FnMut(I::Item) -> Option<R>>(
+            self,
+            f: F,
+        ) -> Par<std::iter::FilterMap<I, F>> {
+            Par(self.0.filter_map(f))
+        }
+
+        /// Maps each element to an iterable and flattens.
+        pub fn flat_map<R: IntoIterator, F: FnMut(I::Item) -> R>(
+            self,
+            f: F,
+        ) -> Par<std::iter::FlatMap<I, R, F>> {
+            Par(self.0.flat_map(f))
+        }
+
+        /// rayon's serial-inner `flat_map`; identical here.
+        pub fn flat_map_iter<R: IntoIterator, F: FnMut(I::Item) -> R>(
+            self,
+            f: F,
+        ) -> Par<std::iter::FlatMap<I, R, F>> {
+            Par(self.0.flat_map(f))
+        }
+
+        /// Flattens nested iterables.
+        pub fn flatten(self) -> Par<std::iter::Flatten<I>>
+        where
+            I::Item: IntoIterator,
+        {
+            Par(self.0.flatten())
+        }
+
+        /// Copies referenced elements.
+        pub fn copied<'a, T: 'a + Copy>(self) -> Par<std::iter::Copied<I>>
+        where
+            I: Iterator<Item = &'a T>,
+        {
+            Par(self.0.copied())
+        }
+
+        /// Clones referenced elements.
+        pub fn cloned<'a, T: 'a + Clone>(self) -> Par<std::iter::Cloned<I>>
+        where
+            I: Iterator<Item = &'a T>,
+        {
+            Par(self.0.cloned())
+        }
+
+        /// Pairs elements with their index.
+        pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+            Par(self.0.enumerate())
+        }
+
+        /// Skips the first `n` items.
+        pub fn skip(self, n: usize) -> Par<std::iter::Skip<I>> {
+            Par(self.0.skip(n))
+        }
+
+        /// Takes only the first `n` items.
+        pub fn take(self, n: usize) -> Par<std::iter::Take<I>> {
+            Par(self.0.take(n))
+        }
+
+        /// Zips with another (into-)parallel iterator.
+        pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> Par<std::iter::Zip<I, Z::Iter>> {
+            Par(self.0.zip(other.into_par_iter().0))
+        }
+
+        /// Chains another (into-)parallel iterator after this one.
+        pub fn chain<C>(self, other: C) -> Par<std::iter::Chain<I, C::Iter>>
+        where
+            C: IntoParallelIterator<Item = I::Item>,
+        {
+            Par(self.0.chain(other.into_par_iter().0))
+        }
+
+        /// Consumes the iterator, calling `f` on each element.
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+
+        /// rayon's `reduce`: folds with `op` from `identity()`.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: Fn(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+
+        /// Sums the elements.
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        /// Maximum element, if any.
+        pub fn max(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.max()
+        }
+
+        /// Minimum element, if any.
+        pub fn min(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.min()
+        }
+
+        /// Element count.
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+
+        /// True if any element satisfies the predicate.
+        pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+            let mut iter = self.0;
+            iter.any(f)
+        }
+
+        /// True if all elements satisfy the predicate.
+        pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+            let mut iter = self.0;
+            iter.all(f)
+        }
+
+        /// Collects into any `FromIterator` collection.
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        /// rayon's `collect_into_vec`: clears `out` and fills it.
+        pub fn collect_into_vec(self, out: &mut Vec<I::Item>) {
+            out.clear();
+            out.extend(self.0);
+        }
+
+        /// Minimum split length hint — a no-op sequentially.
+        pub fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+
+        /// Maximum split length hint — a no-op sequentially.
+        pub fn with_max_len(self, _len: usize) -> Self {
+            self
+        }
+    }
+}
+
+pub mod slice {
+    //! `par_chunks` / `par_sort_*` extension traits over slices.
+
+    use crate::iter::Par;
+
+    /// Shared-slice parallel views.
+    pub trait ParallelSlice<T> {
+        /// Chunks of at most `size` elements.
+        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>>;
+        /// Overlapping windows of exactly `size` elements.
+        fn par_windows(&self, size: usize) -> Par<std::slice::Windows<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+            Par(self.chunks(size))
+        }
+        fn par_windows(&self, size: usize) -> Par<std::slice::Windows<'_, T>> {
+            Par(self.windows(size))
+        }
+    }
+
+    /// Exclusive-slice parallel views and sorts.
+    pub trait ParallelSliceMut<T> {
+        /// Mutable chunks of at most `size` elements.
+        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+        /// Mutable chunks of exactly `size` elements (remainder dropped).
+        fn par_chunks_exact_mut(&mut self, size: usize) -> Par<std::slice::ChunksExactMut<'_, T>>;
+        /// Unstable sort.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+        /// Unstable sort by key.
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+        /// Unstable sort by comparator.
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F);
+        /// Stable sort.
+        fn par_sort(&mut self)
+        where
+            T: Ord;
+        /// Stable sort by key.
+        fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+            Par(self.chunks_mut(size))
+        }
+        fn par_chunks_exact_mut(&mut self, size: usize) -> Par<std::slice::ChunksExactMut<'_, T>> {
+            Par(self.chunks_exact_mut(size))
+        }
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable()
+        }
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+            self.sort_unstable_by_key(f)
+        }
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
+            self.sort_unstable_by(f)
+        }
+        fn par_sort(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort()
+        }
+        fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+            self.sort_by_key(f)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pool_width_round_trips_and_nests() {
+        let outer = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let inner = crate::ThreadPoolBuilder::new()
+            .num_threads(7)
+            .build()
+            .unwrap();
+        outer.install(|| {
+            assert_eq!(crate::current_num_threads(), 3);
+            inner.install(|| assert_eq!(crate::current_num_threads(), 7));
+            assert_eq!(crate::current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn adapters_match_sequential_results() {
+        let v: Vec<u64> = (0..100).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled[99], 198);
+        let s: u64 = v.par_iter().copied().sum();
+        assert_eq!(s, 4950);
+        let r = (0..10u64).into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(r, 45);
+        let mut out = Vec::new();
+        v.par_iter().map(|&x| x + 1).collect_into_vec(&mut out);
+        assert_eq!(out.len(), 100);
+        let mut arr = [3u64, 1, 2];
+        arr.par_sort_unstable();
+        assert_eq!(arr, [1, 2, 3]);
+    }
+}

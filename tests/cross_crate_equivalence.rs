@@ -36,9 +36,21 @@ fn check_all_structures(graph: &EdgeList, label: &str) {
             let want = csr.has_edge(u, v);
             assert_eq!(packed_raw.has_edge(u, v), want, "{label} ({u},{v}) raw");
             assert_eq!(packed_gap.has_edge(u, v), want, "{label} ({u},{v}) gap");
-            assert_eq!(GraphStore::has_edge(&adj, u, v), want, "{label} ({u},{v}) adj");
-            assert_eq!(GraphStore::has_edge(&matrix, u, v), want, "{label} ({u},{v}) mat");
-            assert_eq!(GraphStore::has_edge(&flat, u, v), want, "{label} ({u},{v}) flat");
+            assert_eq!(
+                GraphStore::has_edge(&adj, u, v),
+                want,
+                "{label} ({u},{v}) adj"
+            );
+            assert_eq!(
+                GraphStore::has_edge(&matrix, u, v),
+                want,
+                "{label} ({u},{v}) mat"
+            );
+            assert_eq!(
+                GraphStore::has_edge(&flat, u, v),
+                want,
+                "{label} ({u},{v}) flat"
+            );
         }
     }
 }

@@ -72,7 +72,10 @@ fn queries_on_packed_structures_match_plain_csr() {
         let edge_queries: Vec<(u32, u32)> = (0..400)
             .map(|i| ((i * 16807) % n, (i * 69621) % n))
             .collect();
-        let want: Vec<bool> = edge_queries.iter().map(|&(u, v)| csr.has_edge(u, v)).collect();
+        let want: Vec<bool> = edge_queries
+            .iter()
+            .map(|&(u, v)| csr.has_edge(u, v))
+            .collect();
         assert_eq!(edges_exist_batch(&packed, &edge_queries, 4), want);
         assert_eq!(edges_exist_batch_binary(&packed, &edge_queries, 4), want);
     }

@@ -26,7 +26,11 @@ fn tcsr_agrees_with_replay_and_copy_baseline() {
 
     let last = (events.num_frames() - 1) as u32;
     for u in (0..256u32).step_by(13) {
-        assert_eq!(diff.neighbors_at(u, last), copies.neighbors_at(u, last), "u={u}");
+        assert_eq!(
+            diff.neighbors_at(u, last),
+            copies.neighbors_at(u, last),
+            "u={u}"
+        );
         for v in (0..256u32).step_by(29) {
             assert_eq!(
                 diff.edge_active_at(u, v, last),
@@ -67,9 +71,8 @@ fn differential_compression_beats_copies_on_slowly_evolving_graphs() {
     // The motivating regime: a large active graph with small per-frame
     // churn ("not all nodes have changed state from one time-frame to
     // another").
-    let events = temporal_toggles(
-        TemporalParams::new(2_048, 30_000, 32, 51).with_events_per_frame(64),
-    );
+    let events =
+        temporal_toggles(TemporalParams::new(2_048, 30_000, 32, 51).with_events_per_frame(64));
     let diff = TcsrBuilder::new().frame_mode(FrameMode::Gap).build(&events);
     let copies = AbsoluteFrames::build(&events, 4);
     assert!(
@@ -85,12 +88,9 @@ fn rapid_churn_shrinks_the_differential_advantage() {
     // Control for the claim above: when nearly everything toggles every
     // frame, differential storage approaches the copy strategy's size
     // (modulo constant factors) — the trade-off is workload-dependent.
-    let slow = temporal_toggles(
-        TemporalParams::new(512, 4_000, 16, 61).with_events_per_frame(16),
-    );
-    let fast = temporal_toggles(
-        TemporalParams::new(512, 4_000, 16, 61).with_events_per_frame(2_000),
-    );
+    let slow = temporal_toggles(TemporalParams::new(512, 4_000, 16, 61).with_events_per_frame(16));
+    let fast =
+        temporal_toggles(TemporalParams::new(512, 4_000, 16, 61).with_events_per_frame(2_000));
     let slow_diff = TcsrBuilder::new().build(&slow).packed_bytes();
     let slow_abs = AbsoluteFrames::build(&slow, 2).packed_bytes();
     let fast_diff = TcsrBuilder::new().build(&fast).packed_bytes();

@@ -75,8 +75,16 @@ fn queries_are_processor_invariant() {
     let exists_base = edges_exist_batch(&packed, &edge_queries, 1);
     for p in SWEEP {
         with_processors(p.min(16), || {
-            assert_eq!(neighbors_batch(&packed, &node_queries, p), hoods_base, "p={p}");
-            assert_eq!(edges_exist_batch(&packed, &edge_queries, p), exists_base, "p={p}");
+            assert_eq!(
+                neighbors_batch(&packed, &node_queries, p),
+                hoods_base,
+                "p={p}"
+            );
+            assert_eq!(
+                edges_exist_batch(&packed, &edge_queries, p),
+                exists_base,
+                "p={p}"
+            );
         });
     }
 }
@@ -86,7 +94,9 @@ fn tcsr_is_processor_invariant() {
     let events = temporal_toggles(TemporalParams::new(1 << 10, 1 << 13, 16, 9));
     let base = with_processors(1, || TcsrBuilder::new().processors(1).build(&events));
     for p in SWEEP {
-        let tcsr = with_processors(p.min(16), || TcsrBuilder::new().processors(p).build(&events));
+        let tcsr = with_processors(p.min(16), || {
+            TcsrBuilder::new().processors(p).build(&events)
+        });
         assert_eq!(tcsr, base, "p={p}");
         let last = (tcsr.num_frames() - 1) as u32;
         assert_eq!(tcsr.snapshot_at(last), base.snapshot_at(last), "p={p}");
