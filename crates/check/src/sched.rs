@@ -1,0 +1,270 @@
+//! The deterministic scheduler: one OS thread per logical thread, exactly one
+//! granted the right to run at any moment, with every scheduling decision
+//! recorded so the driver can replay a prefix and branch to the next
+//! unexplored interleaving (depth-first over the schedule tree).
+//!
+//! Scheduling decisions ("picks") happen at *schedule points*: immediately
+//! before every instrumented shared-memory access, at [`Exec::finish`] when a
+//! logical thread completes, and when a joiner blocks on an unfinished
+//! target. Code between two schedule points is invisible to other threads
+//! (it touches no instrumented shared state), so interleaving at this
+//! granularity is exhaustive over everything the race detector can observe.
+
+use std::sync::{Condvar, Mutex};
+
+/// Sentinel for "no thread granted" (execution complete).
+const NO_THREAD: usize = usize::MAX;
+
+/// A vector clock: `get(t)` is the number of events of logical thread `t`
+/// known to happen-before the clock's owner.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The component for thread `tid` (0 if never observed).
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances `tid`'s own component by one event.
+    pub(crate) fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum (the happens-before join).
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(b);
+        }
+    }
+}
+
+/// A detected race: two accesses to the same location with no
+/// happens-before edge between them.
+#[derive(Debug, Clone)]
+pub struct Race {
+    /// Name of the [`Slice`](crate::Slice)/[`Cell`](crate::Cell) involved.
+    pub location: String,
+    /// Index within the slice (0 for cells).
+    pub index: usize,
+    /// Conflict shape: `"write-write"`, `"read-write"` or `"write-read"`.
+    pub kind: &'static str,
+    /// Logical thread ids of the (earlier, current) access.
+    pub threads: (usize, usize),
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} race on `{}`[{}] between logical threads {} and {}",
+            self.kind, self.location, self.index, self.threads.0, self.threads.1
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(usize),
+    Finished,
+}
+
+/// One recorded scheduling decision: the index picked out of the sorted
+/// enabled set, and how many threads were enabled (the branching factor).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Point {
+    pub(crate) pick: usize,
+    pub(crate) n_enabled: usize,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Sched {
+    granted: usize,
+    status: Vec<Status>,
+    clocks: Vec<VClock>,
+    /// Picks to replay from the previous executions (DFS prefix).
+    prefix: Vec<usize>,
+    cursor: usize,
+    /// Every pick taken this execution (replayed + fresh).
+    pub(crate) points: Vec<Point>,
+    pub(crate) race: Option<Race>,
+    /// Ordered `(tid, tag)` log from [`crate::trace`] calls.
+    pub(crate) trace: Vec<(usize, u32)>,
+}
+
+/// Shared state of one execution (one complete run under one schedule).
+#[derive(Debug)]
+pub(crate) struct Exec {
+    pub(crate) sched: Mutex<Sched>,
+    cv: Condvar,
+}
+
+impl Exec {
+    /// Creates an execution that will replay `prefix` then extend it with
+    /// first-enabled picks.
+    pub(crate) fn new(prefix: Vec<usize>) -> Self {
+        let mut clock0 = VClock::default();
+        clock0.bump(0);
+        Exec {
+            sched: Mutex::new(Sched {
+                granted: 0,
+                status: vec![Status::Runnable],
+                clocks: vec![clock0],
+                prefix,
+                ..Sched::default()
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Sorted list of runnable thread ids.
+    fn enabled(s: &Sched) -> Vec<usize> {
+        s.status
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| **st == Status::Runnable)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Takes the next scheduling decision: replays the DFS prefix, then
+    /// defaults to the lowest-id enabled thread. Records the pick.
+    fn pick_next(&self, s: &mut Sched) {
+        let enabled = Self::enabled(s);
+        if enabled.is_empty() {
+            let all_done = s.status.iter().all(|st| *st == Status::Finished);
+            assert!(
+                all_done,
+                "parcsr-check: deadlock — every unfinished thread is blocked \
+                 (a join cycle, or a thread was never granted); statuses: {:?}",
+                s.status
+            );
+            s.granted = NO_THREAD;
+            return;
+        }
+        let pick = if s.cursor < s.prefix.len() {
+            s.prefix[s.cursor]
+        } else {
+            0
+        };
+        s.cursor += 1;
+        debug_assert!(pick < enabled.len(), "replayed pick out of range");
+        s.points.push(Point {
+            pick,
+            n_enabled: enabled.len(),
+        });
+        s.granted = enabled[pick];
+    }
+
+    /// Yields at a schedule point: offers the scheduler a choice among all
+    /// enabled threads and blocks until this thread is granted again.
+    pub(crate) fn schedule_point(&self, me: usize) {
+        let mut s = self.sched.lock().unwrap();
+        debug_assert_eq!(s.granted, me, "schedule point from a non-granted thread");
+        self.pick_next(&mut s);
+        if s.granted != me {
+            self.cv.notify_all();
+            while s.granted != me {
+                s = self.cv.wait(s).unwrap();
+            }
+        }
+    }
+
+    /// Registers a child thread spawned by `parent`; returns its id.
+    /// Establishes the fork happens-before edge.
+    pub(crate) fn spawn_register(&self, parent: usize) -> usize {
+        let mut s = self.sched.lock().unwrap();
+        debug_assert_eq!(s.granted, parent);
+        let tid = s.status.len();
+        s.status.push(Status::Runnable);
+        let mut child = s.clocks[parent].clone();
+        child.bump(tid);
+        s.clocks.push(child);
+        s.clocks[parent].bump(parent);
+        tid
+    }
+
+    /// Gate a freshly spawned OS thread until the scheduler first grants it.
+    pub(crate) fn wait_first_grant(&self, tid: usize) {
+        let mut s = self.sched.lock().unwrap();
+        while s.granted != tid {
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    /// Marks `me` finished, wakes any joiner blocked on it, and hands the
+    /// turn to the next scheduled thread.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut s = self.sched.lock().unwrap();
+        debug_assert_eq!(s.granted, me);
+        s.status[me] = Status::Finished;
+        for st in s.status.iter_mut() {
+            if *st == Status::Blocked(me) {
+                *st = Status::Runnable;
+            }
+        }
+        self.pick_next(&mut s);
+        self.cv.notify_all();
+    }
+
+    /// Joins logical thread `target` from `me`: blocks (yielding the turn)
+    /// until `target` finishes, then absorbs its clock (the join edge).
+    pub(crate) fn join_logical(&self, me: usize, target: usize) {
+        let mut s = self.sched.lock().unwrap();
+        debug_assert_eq!(s.granted, me);
+        if s.status[target] != Status::Finished {
+            s.status[me] = Status::Blocked(target);
+            self.pick_next(&mut s);
+            self.cv.notify_all();
+            while s.granted != me {
+                s = self.cv.wait(s).unwrap();
+            }
+            debug_assert_eq!(s.status[target], Status::Finished);
+        }
+        let tc = s.clocks[target].clone();
+        s.clocks[me].join(&tc);
+        s.clocks[me].bump(me);
+    }
+
+    /// Advances `me`'s clock for one shared access and returns a snapshot.
+    pub(crate) fn access_clock(&self, me: usize) -> VClock {
+        let mut s = self.sched.lock().unwrap();
+        s.clocks[me].bump(me);
+        s.clocks[me].clone()
+    }
+
+    /// Records the first detected race (later ones are dropped — the first
+    /// is already a complete counterexample).
+    pub(crate) fn set_race(&self, race: Race) {
+        let mut s = self.sched.lock().unwrap();
+        if s.race.is_none() {
+            s.race = Some(race);
+        }
+    }
+
+    /// Appends to the execution's trace log.
+    pub(crate) fn push_trace(&self, me: usize, tag: u32) {
+        self.sched.lock().unwrap().trace.push((me, tag));
+    }
+
+    /// Panics unless every spawned thread has finished (a model must join
+    /// everything it spawns before returning).
+    pub(crate) fn assert_all_finished(&self) {
+        let s = self.sched.lock().unwrap();
+        let leaked = s.status[1..]
+            .iter()
+            .filter(|st| **st != Status::Finished)
+            .count();
+        assert!(
+            leaked == 0,
+            "parcsr-check: model body returned with {leaked} spawned thread(s) not joined"
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Instrumented shared memory: every access yields to the scheduler first,
+//! then runs a FastTrack-style happens-before check against the location's
+//! recorded access history.
+
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{Exec, Race, VClock};
+use crate::{current, current_exec};
+
+#[derive(Debug, Default, Clone)]
+struct LocMeta {
+    /// Last write: `(thread, epoch)` — epoch is the writer's own clock
+    /// component at the time of the write.
+    write: Option<(usize, u32)>,
+    /// Reads since the last write, at most one entry per thread.
+    reads: Vec<(usize, u32)>,
+}
+
+impl LocMeta {
+    /// Conflict check + history update for a read by `me` at clock `vc`.
+    fn on_read(&mut self, me: usize, vc: &VClock) -> Option<(&'static str, usize)> {
+        let conflict = match self.write {
+            Some((wt, we)) if wt != me && vc.get(wt) < we => Some(("write-read", wt)),
+            _ => None,
+        };
+        match self.reads.iter_mut().find(|(rt, _)| *rt == me) {
+            Some(entry) => entry.1 = vc.get(me),
+            None => self.reads.push((me, vc.get(me))),
+        }
+        conflict
+    }
+
+    /// Conflict check + history update for a write by `me` at clock `vc`.
+    fn on_write(&mut self, me: usize, vc: &VClock) -> Option<(&'static str, usize)> {
+        let mut conflict = match self.write {
+            Some((wt, we)) if wt != me && vc.get(wt) < we => Some(("write-write", wt)),
+            _ => None,
+        };
+        if conflict.is_none() {
+            if let Some(&(rt, _)) = self
+                .reads
+                .iter()
+                .find(|&&(rt, re)| rt != me && vc.get(rt) < re)
+            {
+                conflict = Some(("read-write", rt));
+            }
+        }
+        self.write = Some((me, vc.get(me)));
+        self.reads.clear();
+        conflict
+    }
+}
+
+#[derive(Debug)]
+struct SliceInner<T> {
+    data: Vec<T>,
+    meta: Vec<LocMeta>,
+    name: String,
+}
+
+/// A shared array of `T` whose element accesses are schedule points and are
+/// checked for happens-before races. Clone handles to move into
+/// [`crate::spawn`]ed closures; all clones view the same storage.
+///
+/// Plain `read`/`write` model *non-atomic* memory operations. This is
+/// deliberate even for code that ships with relaxed atomics: the kernels'
+/// correctness argument is disjointness-by-construction, and the checker
+/// verifies exactly that claim.
+#[derive(Debug)]
+pub struct Slice<T> {
+    exec: Arc<Exec>,
+    inner: Arc<Mutex<SliceInner<T>>>,
+}
+
+impl<T> Clone for Slice<T> {
+    fn clone(&self) -> Self {
+        Slice {
+            exec: Arc::clone(&self.exec),
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Clone> Slice<T> {
+    /// Creates a shared slice from `init`. Must be called inside a model.
+    pub fn new(init: Vec<T>) -> Self {
+        let exec = current_exec();
+        let meta = vec![LocMeta::default(); init.len()];
+        Slice {
+            exec,
+            inner: Arc::new(Mutex::new(SliceInner {
+                data: init,
+                meta,
+                name: "slice".to_string(),
+            })),
+        }
+    }
+
+    /// Names the slice for race reports.
+    pub fn named(self, name: &str) -> Self {
+        self.inner.lock().unwrap().name = name.to_string();
+        self
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().data.len()
+    }
+
+    /// True if the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Yields to the scheduler and returns `(me, access clock)`.
+    fn access(&self) -> (usize, VClock) {
+        let (exec, me) = current();
+        assert!(
+            Arc::ptr_eq(&exec, &self.exec),
+            "parcsr-check: slice used outside the execution that created it"
+        );
+        self.exec.schedule_point(me);
+        let vc = self.exec.access_clock(me);
+        (me, vc)
+    }
+
+    fn flag(&self, name: String, i: usize, me: usize, conflict: (&'static str, usize)) {
+        self.exec.set_race(Race {
+            location: name,
+            index: i,
+            kind: conflict.0,
+            threads: (conflict.1, me),
+        });
+    }
+
+    /// Checked read of element `i`.
+    pub fn read(&self, i: usize) -> T {
+        let (me, vc) = self.access();
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(c) = inner.meta[i].on_read(me, &vc) {
+            let name = inner.name.clone();
+            self.flag(name, i, me, c);
+        }
+        inner.data[i].clone()
+    }
+
+    /// Checked write of element `i`.
+    pub fn write(&self, i: usize, value: T) {
+        let (me, vc) = self.access();
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(c) = inner.meta[i].on_write(me, &vc) {
+            let name = inner.name.clone();
+            self.flag(name, i, me, c);
+        }
+        inner.data[i] = value;
+    }
+
+    /// One schedule point covering a whole mutable range: every index in `r`
+    /// is conflict-checked as a write (which also conflicts with foreign
+    /// reads), then `f` runs on the range. Use for chunk-local phases (a
+    /// per-chunk scan) where the interesting interleavings are *between*
+    /// chunks, not within one.
+    pub fn with_range<R>(&self, r: std::ops::Range<usize>, f: impl FnOnce(&mut [T]) -> R) -> R {
+        let (me, vc) = self.access();
+        let mut inner = self.inner.lock().unwrap();
+        for i in r.clone() {
+            if let Some(c) = inner.meta[i].on_write(me, &vc) {
+                let name = inner.name.clone();
+                self.flag(name, i, me, c);
+                break;
+            }
+        }
+        f(&mut inner.data[r])
+    }
+
+    /// One schedule point covering a read of a whole range.
+    pub fn read_range(&self, r: std::ops::Range<usize>) -> Vec<T> {
+        let (me, vc) = self.access();
+        let mut inner = self.inner.lock().unwrap();
+        for i in r.clone() {
+            if let Some(c) = inner.meta[i].on_read(me, &vc) {
+                let name = inner.name.clone();
+                self.flag(name, i, me, c);
+                break;
+            }
+        }
+        inner.data[r].to_vec()
+    }
+
+    /// Checked read of the entire slice (typically after all joins).
+    pub fn snapshot(&self) -> Vec<T> {
+        let len = self.len();
+        self.read_range(0..len)
+    }
+}
+
+/// A single shared value: a one-element [`Slice`].
+#[derive(Debug)]
+pub struct Cell<T>(Slice<T>);
+
+impl<T> Clone for Cell<T> {
+    fn clone(&self) -> Self {
+        Cell(self.0.clone())
+    }
+}
+
+impl<T: Clone> Cell<T> {
+    /// Creates a shared cell holding `value`. Must be called inside a model.
+    pub fn new(value: T) -> Self {
+        Cell(Slice::new(vec![value]).named("cell"))
+    }
+
+    /// Names the cell for race reports.
+    pub fn named(self, name: &str) -> Self {
+        Cell(self.0.named(name))
+    }
+
+    /// Checked read.
+    pub fn get(&self) -> T {
+        self.0.read(0)
+    }
+
+    /// Checked write.
+    pub fn set(&self, value: T) {
+        self.0.write(0, value);
+    }
+}

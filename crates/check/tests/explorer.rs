@@ -1,0 +1,269 @@
+//! Tier-1 tests for the schedule explorer itself (these run without the
+//! `parcsr_check` cfg; the kernel models live in the kernel crates and are
+//! cfg-gated).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use parcsr_check as check;
+
+/// Two threads, two trace points each: the explorer must visit all
+/// C(4, 2) = 6 interleavings of the four points.
+#[test]
+fn exhaustive_two_threads_two_points() {
+    let report = check::model(|| {
+        let a = check::spawn(|| {
+            check::trace(10);
+            check::trace(11);
+        });
+        let b = check::spawn(|| {
+            check::trace(20);
+            check::trace(21);
+        });
+        a.join();
+        b.join();
+    });
+    let distinct: BTreeSet<Vec<(usize, u32)>> = report.traces.iter().cloned().collect();
+    // Program order within each thread is fixed, so a trace is determined by
+    // which of the 4 slots thread A occupies: C(4, 2) = 6.
+    assert_eq!(distinct.len(), 6, "traces: {distinct:?}");
+    // Both serial orders must be among them.
+    assert!(distinct.contains(&vec![(1, 10), (1, 11), (2, 20), (2, 21)]));
+    assert!(distinct.contains(&vec![(2, 20), (2, 21), (1, 10), (1, 11)]));
+    assert!(report.executions >= 6);
+}
+
+/// Three threads, one trace point each: all 3! = 6 orders.
+#[test]
+fn exhaustive_three_threads() {
+    let report = check::model(|| {
+        let hs: Vec<_> = (0..3u32)
+            .map(|i| check::spawn(move || check::trace(i)))
+            .collect();
+        for h in hs {
+            h.join();
+        }
+    });
+    let distinct: BTreeSet<Vec<(usize, u32)>> = report.traces.iter().cloned().collect();
+    assert_eq!(distinct.len(), 6, "traces: {distinct:?}");
+}
+
+/// The exploration is deterministic: same model, same execution count.
+#[test]
+fn deterministic_execution_count() {
+    let run = || {
+        check::model(|| {
+            let s = check::Slice::new(vec![0u64; 4]);
+            let hs: Vec<_> = (0..2)
+                .map(|i| {
+                    let s = s.clone();
+                    check::spawn(move || {
+                        s.write(i, 1);
+                        s.write(i + 2, 2);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+        })
+        .executions
+    };
+    let a = run();
+    assert_eq!(a, run());
+    assert!(a >= 6);
+}
+
+/// Unsynchronized write-write on one slot is caught.
+#[test]
+fn detects_write_write_race() {
+    let err = check::check(|| {
+        let s = check::Slice::new(vec![0u32; 1]).named("slot");
+        let a = {
+            let s = s.clone();
+            check::spawn(move || s.write(0, 1))
+        };
+        let b = {
+            let s = s.clone();
+            check::spawn(move || s.write(0, 2))
+        };
+        a.join();
+        b.join();
+    })
+    .expect_err("two unordered writes to one slot must race");
+    assert_eq!(err.kind, "write-write");
+    assert_eq!(err.location, "slot");
+    assert_eq!(err.index, 0);
+}
+
+/// A read concurrent with a write is caught (either direction).
+#[test]
+fn detects_read_write_race() {
+    let err = check::check(|| {
+        let s = check::Slice::new(vec![7u32; 1]).named("slot");
+        let a = {
+            let s = s.clone();
+            check::spawn(move || s.write(0, 1))
+        };
+        let b = {
+            let s = s.clone();
+            check::spawn(move || {
+                let _ = s.read(0);
+            })
+        };
+        a.join();
+        b.join();
+    })
+    .expect_err("unordered read/write must race");
+    assert!(
+        err.kind == "read-write" || err.kind == "write-read",
+        "{err}"
+    );
+}
+
+/// Join is a real happens-before edge: write → join → read is race-free,
+/// and the reader always sees the written value.
+#[test]
+fn join_orders_accesses() {
+    let report = check::model(|| {
+        let s = check::Slice::new(vec![0u32; 1]).named("slot");
+        let a = {
+            let s = s.clone();
+            check::spawn(move || s.write(0, 42))
+        };
+        a.join();
+        let b = {
+            let s = s.clone();
+            check::spawn(move || assert_eq!(s.read(0), 42))
+        };
+        b.join();
+    });
+    assert!(report.executions >= 1);
+}
+
+/// Fork is a happens-before edge: a pre-spawn write is visible, race-free,
+/// to every child.
+#[test]
+fn fork_orders_accesses() {
+    check::model(|| {
+        let s = check::Slice::new(vec![0u32; 1]);
+        s.write(0, 9);
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let s = s.clone();
+                check::spawn(move || assert_eq!(s.read(0), 9))
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+    });
+}
+
+/// Disjoint `with_range` chunks do not race; overlapping ones do.
+#[test]
+fn range_ops_check_per_index() {
+    check::model(|| {
+        let s = check::Slice::new(vec![1u64; 6]);
+        let hs: Vec<_> = [0..3usize, 3..6usize]
+            .into_iter()
+            .map(|r| {
+                let s = s.clone();
+                check::spawn(move || {
+                    s.with_range(r, |chunk| {
+                        for x in chunk.iter_mut() {
+                            *x += 1;
+                        }
+                    })
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        assert_eq!(s.snapshot(), vec![2; 6]);
+    });
+
+    let err = check::check(|| {
+        let s = check::Slice::new(vec![1u64; 6]).named("overlap");
+        let hs: Vec<_> = [0..4usize, 3..6usize]
+            .into_iter()
+            .map(|r| {
+                let s = s.clone();
+                check::spawn(move || s.with_range(r, |_| ()))
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+    })
+    .expect_err("overlapping ranges must race");
+    assert_eq!(err.index, 3);
+}
+
+/// Values cross threads through join: a map-reduce shaped model.
+#[test]
+fn join_returns_values() {
+    check::model(|| {
+        let data = Arc::new(vec![1u64, 2, 3, 4, 5, 6]);
+        let hs: Vec<_> = [0..3usize, 3..6usize]
+            .into_iter()
+            .map(|r| {
+                let data = Arc::clone(&data);
+                check::spawn(move || data[r].iter().sum::<u64>())
+            })
+            .collect();
+        let total: u64 = hs.into_iter().map(|h| h.join()).sum();
+        assert_eq!(total, 21);
+    });
+}
+
+/// Cells are one-slot slices.
+#[test]
+fn cell_round_trip_and_race() {
+    check::model(|| {
+        let c = check::Cell::new(5u32);
+        c.set(6);
+        assert_eq!(c.get(), 6);
+    });
+    let err = check::check(|| {
+        let c = check::Cell::new(0u32).named("counter");
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                // Classic lost-update: read-modify-write without sync.
+                check::spawn(move || c.set(c.get() + 1))
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+    })
+    .expect_err("concurrent increments must race");
+    assert_eq!(err.location, "counter");
+}
+
+/// A panic inside a spawned thread propagates at join.
+#[test]
+#[should_panic(expected = "boom")]
+fn spawned_panic_propagates() {
+    check::model(|| {
+        let h = check::spawn(|| panic!("boom"));
+        h.join();
+    });
+}
+
+/// Leaving a spawned thread unjoined is a model bug and is reported.
+#[test]
+#[should_panic(expected = "not joined")]
+fn leaked_thread_is_reported() {
+    // Park the leaked thread on a trace point so it never finishes;
+    // the body returning first trips the leak check... but the leaked
+    // thread would deadlock the next execution, so keep it schedule-free:
+    // a spawned thread with no schedule points runs to completion only
+    // when granted, which never happens if the body takes every turn.
+    // Simplest deterministic leak: spawn and return without joining.
+    check::model(|| {
+        let _h = check::spawn(|| ());
+    });
+}

@@ -22,6 +22,42 @@ use rayon::prelude::*;
 use parcsr_graph::{Edge, NodeId};
 use parcsr_scan::chunk_ranges;
 
+/// One chunk of Algorithm 2 over a source-sorted `chunk`: emits every
+/// complete (non-head) node run through `emit` and returns the head node
+/// with its in-chunk count — the entry destined for the side array.
+///
+/// Shared between the shipped kernel (where `emit` is a relaxed store into
+/// the global degree array) and the `cfg(parcsr_check)` model (where `emit`
+/// writes an instrumented [`parcsr_check::Slice`]), so the checker verifies
+/// the very run-splitting logic that ships.
+fn count_chunk_runs(
+    chunk: &[Edge],
+    num_nodes: usize,
+    mut emit: impl FnMut(NodeId, u32),
+) -> (NodeId, u32) {
+    let head = chunk[0].0;
+    assert!((head as usize) < num_nodes, "node {head} out of range");
+    let mut i = 0;
+    while i < chunk.len() && chunk[i].0 == head {
+        i += 1;
+    }
+    let head_count = i as u32;
+
+    while i < chunk.len() {
+        let node = chunk[i].0;
+        assert!((node as usize) < num_nodes, "node {node} out of range");
+        let run_start = i;
+        while i < chunk.len() && chunk[i].0 == node {
+            i += 1;
+        }
+        // Disjointness argument: `node` is not the chunk's head, and a
+        // sorted list means any node spanning a boundary is the *head* of
+        // every later chunk it touches — so exactly one chunk emits `node`.
+        emit(node, (i - run_start) as u32);
+    }
+    (head, head_count)
+}
+
 /// Computes the out-degree array of a **source-sorted** edge list using
 /// `processors` chunks (Algorithms 2–3).
 ///
@@ -41,33 +77,15 @@ pub fn degrees_parallel(edges: &[Edge], num_nodes: usize, processors: usize) -> 
     let ranges = chunk_ranges(edges.len(), processors);
 
     // Algorithm 2, per chunk: count the head node into the side array, write
-    // every other node's run length directly to the global array.
+    // every other node's run length directly to the global array. The plain
+    // relaxed stores are sound by `count_chunk_runs`'s disjointness
+    // argument (schedule-checked in `checked::degrees_model`).
     let temp_degrees: Vec<(NodeId, u32)> = ranges
         .par_iter()
         .map(|r| {
-            let chunk = &edges[r.clone()];
-            let head = chunk[0].0;
-            assert!((head as usize) < num_nodes, "node {head} out of range");
-            let mut i = 0;
-            while i < chunk.len() && chunk[i].0 == head {
-                i += 1;
-            }
-            let head_count = i as u32;
-
-            while i < chunk.len() {
-                let node = chunk[i].0;
-                assert!((node as usize) < num_nodes, "node {node} out of range");
-                let run_start = i;
-                while i < chunk.len() && chunk[i].0 == node {
-                    i += 1;
-                }
-                // Disjointness argument: `node` is not the chunk's head, and
-                // a sorted list means any node spanning a boundary is the
-                // *head* of every later chunk it touches — so exactly one
-                // chunk writes `node` here. A plain relaxed store suffices.
-                global[node as usize].store((i - run_start) as u32, Ordering::Relaxed);
-            }
-            (head, head_count)
+            count_chunk_runs(&edges[r.clone()], num_nodes, |node, run_len| {
+                global[node as usize].store(run_len, Ordering::Relaxed);
+            })
         })
         .collect();
     // The collect() above is the paper's sync(): all chunk passes complete
@@ -95,6 +113,83 @@ pub fn degrees_atomic(edges: &[Edge], num_nodes: usize) -> Vec<u32> {
         global[u as usize].fetch_add(1, Ordering::Relaxed);
     });
     global.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// Schedule-checked model of Algorithms 2–3 (compiled only under
+/// `--cfg parcsr_check`).
+#[cfg(parcsr_check)]
+pub mod checked {
+    use std::sync::Arc;
+
+    use parcsr_check as check;
+    use parcsr_graph::{Edge, NodeId};
+    use parcsr_scan::chunk_ranges;
+
+    use super::count_chunk_runs;
+
+    /// Known-bad variants of the degree kernel, used to validate the checker.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum DegreeFault {
+        /// The shipped side-array structure (must be race-free).
+        None,
+        /// Drops the side array: each chunk writes its head node's in-chunk
+        /// count straight into the global array. Racy whenever a node's run
+        /// straddles a chunk boundary — exactly the overlap the paper's
+        /// `globalTempDegree` exists to avoid.
+        DropSideArray,
+    }
+
+    /// Model of `degrees_parallel` over instrumented shared memory: one
+    /// logical thread per chunk writing the shared degree array through
+    /// [`check::Slice`], joins as the sync before the side-array merge. Runs
+    /// the *same* `count_chunk_runs` chunk pass as the shipped kernel. Must
+    /// be called inside [`parcsr_check::model`] / [`parcsr_check::check`].
+    pub fn degrees_model(
+        edges: Vec<Edge>,
+        num_nodes: usize,
+        processors: usize,
+        fault: DegreeFault,
+    ) -> Vec<u32> {
+        let ranges = chunk_ranges(edges.len(), processors);
+        let degrees = check::Slice::new(vec![0u32; num_nodes]).named("degree.global");
+        let edges = Arc::new(edges);
+
+        let workers: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let degrees = degrees.clone();
+                let edges = Arc::clone(&edges);
+                check::spawn(move || {
+                    let (head, head_count) =
+                        count_chunk_runs(&edges[r], num_nodes, |node, run_len| {
+                            degrees.write(node as usize, run_len);
+                        });
+                    match fault {
+                        // Shipped: the head count goes to the side array,
+                        // carried back through join.
+                        DegreeFault::None => Some((head, head_count)),
+                        // Seeded race: write the head in-chunk. Two chunks
+                        // sharing a straddling node now write its slot
+                        // concurrently.
+                        DegreeFault::DropSideArray => {
+                            let prev = degrees.read(head as usize);
+                            degrees.write(head as usize, prev + head_count);
+                            None
+                        }
+                    }
+                })
+            })
+            .collect();
+        let side: Vec<Option<(NodeId, u32)>> = workers.into_iter().map(|h| h.join()).collect();
+        // All joins above are the sync(); the merge below runs on the
+        // coordinator, ordered after every chunk write.
+
+        for (node, count) in side.into_iter().flatten() {
+            let prev = degrees.read(node as usize);
+            degrees.write(node as usize, prev + count);
+        }
+        degrees.snapshot()
+    }
 }
 
 #[cfg(test)]

@@ -217,3 +217,56 @@ fn row_iter_edge_shapes() {
         }
     }
 }
+
+/// A sorted edge list dominated by one hub node whose neighbor run is long
+/// enough to straddle two or more chunk boundaries at p = 7 (and ~20 at
+/// p = 64): `pre` single-edge nodes, then the hub's run, then `post`
+/// single-edge nodes.
+fn arb_hub_edges() -> impl Strategy<Value = (Vec<(u32, u32)>, usize)> {
+    (0usize..40, 300usize..800, 0usize..40).prop_map(|(pre, hub_run, post)| {
+        let hub = pre as u32;
+        let num_nodes = pre + 1 + post;
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(pre + hub_run + post);
+        for u in 0..pre as u32 {
+            edges.push((u, u % num_nodes as u32));
+        }
+        for j in 0..hub_run as u32 {
+            edges.push((hub, j % num_nodes as u32));
+        }
+        for k in 0..post as u32 {
+            edges.push((hub + 1 + k, k % num_nodes as u32));
+        }
+        (edges, num_nodes)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Algorithm 2/3's side-array merge must accumulate every in-chunk head
+    /// count of a hub whose run spans many chunks — at every paper-relevant
+    /// processor count, the result equals the serial histogram.
+    #[test]
+    fn hub_straddling_degrees_match_serial((edges, num_nodes) in arb_hub_edges()) {
+        let mut want = vec![0u32; num_nodes];
+        for &(u, _) in &edges {
+            want[u as usize] += 1;
+        }
+        for p in [1usize, 2, 7, 64] {
+            let got = degrees_parallel(&edges, num_nodes, p);
+            prop_assert_eq!(&got, &want, "p={}", p);
+        }
+    }
+
+    /// The full parallel CSR build (degrees → offsets scan → fill) over the
+    /// same hub shape equals the sequential builder.
+    #[test]
+    fn hub_straddling_build_matches_serial((edges, num_nodes) in arb_hub_edges()) {
+        let g = EdgeList::new(num_nodes, edges);
+        let want = Csr::from_edge_list_sequential(&g);
+        for p in [1usize, 2, 7, 64] {
+            let got = CsrBuilder::new().processors(p).build(&g);
+            prop_assert_eq!(&got, &want, "p={}", p);
+        }
+    }
+}

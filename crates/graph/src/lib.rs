@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 //! Graph substrate: edge lists, temporal edge lists, SNAP-format I/O,
 //! deterministic synthetic generators, and degree statistics.

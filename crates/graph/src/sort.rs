@@ -38,8 +38,14 @@ struct ScatterTarget<'a> {
     _marker: std::marker::PhantomData<&'a mut [Edge]>,
 }
 
-// SAFETY: writers touch pairwise-disjoint indices (enforced by the caller's
-// offset arithmetic), so concurrent access never aliases.
+// SAFETY: sharing `ScatterTarget` across threads is sound only under the
+// disjoint-index invariant: the exclusive prefix sum over per-(chunk, digit)
+// histogram counts assigns every (chunk, digit) bucket a contiguous output
+// range, the ranges tile the output exactly, and each scatter thread writes
+// only inside its own chunk's buckets — so no two threads ever write the
+// same index, and nobody reads until the pass's implicit join. That
+// invariant is schedule-checked in `checked::scatter_pass_model` (run with
+// `--cfg parcsr_check`), including a seeded violation that shares cursors.
 unsafe impl Sync for ScatterTarget<'_> {}
 
 impl<'a> ScatterTarget<'a> {
@@ -53,12 +59,17 @@ impl<'a> ScatterTarget<'a> {
 
     /// # Safety
     ///
-    /// `i` must be in bounds and no other thread may write index `i` during
-    /// this pass.
+    /// `i` must be in bounds (`i < self.len`) and *owned* by the calling
+    /// thread for the duration of the pass: no other thread may write index
+    /// `i`, and no thread may read it until the scatter's closing join. The
+    /// sort upholds this by giving each (chunk, digit) cursor a private
+    /// range carved out by the exclusive prefix sum.
     #[inline]
     unsafe fn write(&self, i: usize, value: Edge) {
         debug_assert!(i < self.len);
-        // SAFETY: caller guarantees in-bounds, disjoint writes.
+        // SAFETY: caller guarantees `i < self.len`, so the offset stays
+        // inside the allocation; caller's disjoint-index invariant rules
+        // out concurrent access to the same slot.
         unsafe { self.ptr.add(i).write(value) };
     }
 }
@@ -120,6 +131,100 @@ pub fn par_radix_sort_edges(edges: &mut Vec<Edge>, chunks: usize) {
         });
 
         std::mem::swap(edges, &mut scratch);
+    }
+}
+
+/// Schedule-checked model of one radix-sort scatter pass (compiled only
+/// under `--cfg parcsr_check`).
+#[cfg(parcsr_check)]
+pub mod checked {
+    use std::sync::Arc;
+
+    use parcsr_check as check;
+    use parcsr_scan::{chunk_ranges, exclusive_scan_seq};
+
+    use super::{digit, RADIX};
+    use crate::types::Edge;
+
+    /// Known-bad variants of the scatter pass, used to validate the checker.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SortFault {
+        /// The shipped per-(chunk, digit) cursor layout (must be race-free).
+        None,
+        /// Every chunk starts its cursors at chunk 0's offsets, as if the
+        /// prefix sum had not partitioned the output. Chunks sharing a
+        /// digit then write the same destination slots concurrently.
+        SharedCursors,
+    }
+
+    /// Model of one `par_radix_sort_edges` scatter pass over instrumented
+    /// shared memory: the real histogram/offset arithmetic (same `digit`,
+    /// same `(digit, chunk)`-order exclusive scan), with the unsafe
+    /// `ScatterTarget` writes replaced by checked [`check::Slice`] writes.
+    /// Must be called inside [`parcsr_check::model`] /
+    /// [`parcsr_check::check`]. Returns the scattered output.
+    pub fn scatter_pass_model(
+        edges: Vec<Edge>,
+        chunks: usize,
+        pass: u32,
+        fault: SortFault,
+    ) -> Vec<Edge> {
+        let n = edges.len();
+        let chunks = chunks.max(1).min(n.max(1));
+        let ranges = chunk_ranges(n, chunks);
+
+        // Histograms and offsets are pre-scatter coordinator work (the real
+        // kernel computes them in an earlier rayon phase, separated from
+        // the scatter by an implicit sync); the scatter is the phase under
+        // test.
+        let histograms: Vec<Vec<u64>> = ranges
+            .iter()
+            .map(|r| {
+                let mut h = vec![0u64; RADIX];
+                for &e in &edges[r.clone()] {
+                    h[digit(e, pass)] += 1;
+                }
+                h
+            })
+            .collect();
+        let mut offsets = vec![0u64; RADIX * chunks];
+        for d in 0..RADIX {
+            for (c, h) in histograms.iter().enumerate() {
+                offsets[d * chunks + c] = h[d];
+            }
+        }
+        exclusive_scan_seq(&mut offsets);
+
+        let dst = check::Slice::new(vec![(0u32, 0u32); n]).named("sort.scratch");
+        let edges = Arc::new(edges);
+        let offsets = Arc::new(offsets);
+        let workers: Vec<_> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(c, r)| {
+                let dst = dst.clone();
+                let edges = Arc::clone(&edges);
+                let offsets = Arc::clone(&offsets);
+                check::spawn(move || {
+                    let cursor_chunk = match fault {
+                        SortFault::None => c,
+                        SortFault::SharedCursors => 0,
+                    };
+                    let mut cursors: Vec<u64> = (0..RADIX)
+                        .map(|d| offsets[d * chunks + cursor_chunk])
+                        .collect();
+                    for &e in &edges[r.clone()] {
+                        let d = digit(e, pass);
+                        dst.write(cursors[d] as usize, e);
+                        cursors[d] += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in workers {
+            h.join();
+        }
+        dst.snapshot()
     }
 }
 

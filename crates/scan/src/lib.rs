@@ -43,6 +43,8 @@
 //! ```
 
 pub mod blelloch;
+#[cfg(parcsr_check)]
+pub mod checked;
 pub mod chunked;
 pub mod op;
 pub mod scanner;

@@ -150,3 +150,45 @@ proptest! {
         prop_assert_eq!(*got.last().unwrap(), v.iter().sum::<u64>());
     }
 }
+
+/// A degree-array shape dominated by one hub: a long run of equal values
+/// whose span crosses two or more chunk boundaries at p = 7 and many at
+/// p = 64 (the offsets-scan input produced by a hub node's neighbor run).
+fn arb_hub_degrees() -> impl Strategy<Value = Vec<u64>> {
+    (
+        prop::collection::vec(0u64..4, 0..40),
+        300usize..800,
+        1u64..16,
+        prop::collection::vec(0u64..4, 0..40),
+    )
+        .prop_map(|(pre, run, value, post)| {
+            let mut v = pre;
+            v.extend(std::iter::repeat_n(value, run));
+            v.extend(post);
+            v
+        })
+}
+
+proptest! {
+    /// Both parallel scan formulations agree with the sequential scan on
+    /// hub-dominated inputs at every paper-relevant processor count —
+    /// including p = 64, where the hub's run straddles ~20 chunk
+    /// boundaries and every carry in between is hub-generated.
+    #[test]
+    fn hub_straddling_scans_match_serial(v in arb_hub_degrees()) {
+        let want = seq_inclusive(&v);
+        for chunks in [1usize, 2, 7, 64] {
+            let mut got = v.clone();
+            inclusive_scan_chunked(&mut got, chunks);
+            prop_assert_eq!(&got, &want, "chunked, p={}", chunks);
+
+            let mut got = v.clone();
+            inclusive_scan_two_pass(&mut got, chunks);
+            prop_assert_eq!(&got, &want, "two-pass, p={}", chunks);
+
+            let mut got = v.clone();
+            inclusive_scan_chunked_lockstep(&mut got, chunks);
+            prop_assert_eq!(&got, &want, "lockstep, p={}", chunks);
+        }
+    }
+}

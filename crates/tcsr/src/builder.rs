@@ -12,11 +12,61 @@
 
 use rayon::prelude::*;
 
-use parcsr_graph::{TemporalEdgeList, Timestamp};
+use parcsr_graph::{TemporalEdge, TemporalEdgeList, Timestamp};
 use parcsr_scan::chunk_ranges;
 
 use crate::frame::{key, DeltaFrame, FrameMode};
 use crate::tcsr::Tcsr;
+
+/// Per-chunk pass of Algorithm 5 over a `(t, u, v)`-sorted event chunk:
+/// groups events by frame and parity-collapses duplicates, returning
+/// `(frame, sorted collapsed key list)` in frame order.
+///
+/// Shared between [`TcsrBuilder::build`] and the `cfg(parcsr_check)` model,
+/// so the checker exercises the shipped grouping logic.
+fn collapse_chunk(chunk: &[TemporalEdge]) -> Vec<(Timestamp, Vec<u64>)> {
+    let mut frames: Vec<(Timestamp, Vec<u64>)> = Vec::new();
+    let mut i = 0;
+    while i < chunk.len() {
+        let t = chunk[i].t;
+        let mut keys: Vec<u64> = Vec::new();
+        while i < chunk.len() && chunk[i].t == t {
+            let k = key(chunk[i].u, chunk[i].v);
+            // Parity collapse within the chunk: equal events are adjacent
+            // (sorted stream).
+            let mut count = 0usize;
+            while i < chunk.len() && chunk[i].t == t && key(chunk[i].u, chunk[i].v) == k {
+                count += 1;
+                i += 1;
+            }
+            if count % 2 == 1 {
+                keys.push(k);
+            }
+        }
+        frames.push((t, keys));
+    }
+    frames
+}
+
+/// Appends one chunk's piece of a frame to the frame's accumulated key
+/// list, re-collapsing parity across the seam: identical keys meeting at
+/// the join cancel in pairs. Both lists are sorted; concatenation keeps
+/// them sorted because chunks arrive in stream order.
+fn merge_frame_piece(slot: &mut Vec<u64>, mut keys: Vec<u64>) {
+    if slot.is_empty() {
+        *slot = keys;
+        return;
+    }
+    while let (Some(&last), Some(&first)) = (slot.last(), keys.first()) {
+        if last == first {
+            slot.pop();
+            keys.remove(0);
+        } else {
+            break;
+        }
+    }
+    slot.append(&mut keys);
+}
 
 /// Configurable parallel TCSR builder.
 #[derive(Debug, Clone, Copy)]
@@ -57,31 +107,7 @@ impl TcsrBuilder {
         // stream, so each chunk's frames are contiguous and its keys sorted.
         let chunk_frames: Vec<Vec<(Timestamp, Vec<u64>)>> = ranges
             .par_iter()
-            .map(|r| {
-                let chunk = &evs[r.clone()];
-                let mut frames: Vec<(Timestamp, Vec<u64>)> = Vec::new();
-                let mut i = 0;
-                while i < chunk.len() {
-                    let t = chunk[i].t;
-                    let mut keys: Vec<u64> = Vec::new();
-                    while i < chunk.len() && chunk[i].t == t {
-                        let k = key(chunk[i].u, chunk[i].v);
-                        // Parity collapse within the chunk: equal events are
-                        // adjacent (sorted stream).
-                        let mut count = 0usize;
-                        while i < chunk.len() && chunk[i].t == t && key(chunk[i].u, chunk[i].v) == k
-                        {
-                            count += 1;
-                            i += 1;
-                        }
-                        if count % 2 == 1 {
-                            keys.push(k);
-                        }
-                    }
-                    frames.push((t, keys));
-                }
-                frames
-            })
+            .map(|r| collapse_chunk(&evs[r.clone()]))
             .collect();
         // collect() is the sync(): all chunk-local CSR pieces exist before
         // the boundary merge.
@@ -92,23 +118,8 @@ impl TcsrBuilder {
         // more parity collapse.
         let mut per_frame: Vec<Vec<u64>> = vec![Vec::new(); num_frames];
         for frames in chunk_frames {
-            for (t, mut keys) in frames {
-                let slot = &mut per_frame[t as usize];
-                if slot.is_empty() {
-                    *slot = keys;
-                } else {
-                    // Seam collapse: identical keys meeting at the join
-                    // cancel in pairs.
-                    while let (Some(&last), Some(&first)) = (slot.last(), keys.first()) {
-                        if last == first {
-                            slot.pop();
-                            keys.remove(0);
-                        } else {
-                            break;
-                        }
-                    }
-                    slot.append(&mut keys);
-                }
+            for (t, keys) in frames {
+                merge_frame_piece(&mut per_frame[t as usize], keys);
             }
         }
 
@@ -128,6 +139,97 @@ impl TcsrBuilder {
 impl Default for TcsrBuilder {
     fn default() -> Self {
         TcsrBuilder::new()
+    }
+}
+
+/// Schedule-checked model of Algorithm 5's chunk pass + boundary-frame
+/// merge (compiled only under `--cfg parcsr_check`).
+#[cfg(parcsr_check)]
+pub mod checked {
+    use std::sync::Arc;
+
+    use parcsr_check as check;
+    use parcsr_graph::TemporalEdge;
+    use parcsr_scan::chunk_ranges;
+
+    use super::{collapse_chunk, merge_frame_piece};
+
+    /// Known-bad variants of the TCSR build, used to validate the checker.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TcsrFault {
+        /// The shipped collect-then-merge structure (must be race-free).
+        None,
+        /// Skips the sync between the chunk pass and the merge: each chunk
+        /// merges its frame pieces into the shared per-frame table itself.
+        /// Racy whenever a frame straddles a chunk boundary — the overlap
+        /// the paper notes is "similar to that of computation of degree".
+        MergeInChunk,
+    }
+
+    /// Model of [`super::TcsrBuilder::build`]'s frame-merge structure over
+    /// instrumented shared memory: one logical thread per chunk running the
+    /// *same* `collapse_chunk` pass as the shipped kernel, with the
+    /// per-frame table held in a [`check::Slice`] and joins as the sync
+    /// before the coordinator's `merge_frame_piece` loop. Returns the
+    /// merged per-frame key lists (bit-packing is per-frame-local and out
+    /// of model scope). Must be called inside [`parcsr_check::model`] /
+    /// [`parcsr_check::check`].
+    pub fn frame_merge_model(
+        events: Vec<TemporalEdge>,
+        num_frames: usize,
+        processors: usize,
+        fault: TcsrFault,
+    ) -> Vec<Vec<u64>> {
+        let ranges = chunk_ranges(events.len(), processors);
+        let per_frame =
+            check::Slice::new(vec![Vec::<u64>::new(); num_frames]).named("tcsr.per_frame");
+        let events = Arc::new(events);
+
+        match fault {
+            TcsrFault::None => {
+                // Chunk pass: thread-local grouping, results carried back
+                // through join (the collect() sync in the real kernel).
+                let workers: Vec<_> = ranges
+                    .into_iter()
+                    .map(|r| {
+                        let events = Arc::clone(&events);
+                        check::spawn(move || collapse_chunk(&events[r]))
+                    })
+                    .collect();
+                let chunk_frames: Vec<_> = workers.into_iter().map(|h| h.join()).collect();
+                // Coordinator merge, ordered after every chunk by the joins.
+                for frames in chunk_frames {
+                    for (t, keys) in frames {
+                        let mut slot = per_frame.read(t as usize);
+                        merge_frame_piece(&mut slot, keys);
+                        per_frame.write(t as usize, slot);
+                    }
+                }
+            }
+            TcsrFault::MergeInChunk => {
+                // Seeded race: chunks merge into the shared table without
+                // the sync. Two chunks sharing a boundary frame now
+                // read-modify-write its slot concurrently.
+                let workers: Vec<_> = ranges
+                    .into_iter()
+                    .map(|r| {
+                        let events = Arc::clone(&events);
+                        let per_frame = per_frame.clone();
+                        check::spawn(move || {
+                            for (t, keys) in collapse_chunk(&events[r]) {
+                                let mut slot = per_frame.read(t as usize);
+                                merge_frame_piece(&mut slot, keys);
+                                per_frame.write(t as usize, slot);
+                            }
+                        })
+                    })
+                    .collect();
+                for h in workers {
+                    h.join();
+                }
+            }
+        }
+        per_frame.snapshot()
     }
 }
 

@@ -1,0 +1,95 @@
+//! Schedule-exploration tests for the TCSR boundary-frame merge (Algorithm
+//! 5). Compiled (and run) only under `RUSTFLAGS="--cfg parcsr_check"`.
+#![cfg(parcsr_check)]
+
+use parcsr_check as check;
+use parcsr_graph::TemporalEdge;
+use parcsr_temporal::builder::checked::{frame_merge_model, TcsrFault};
+
+/// Serial parity reference: a key is present in a frame iff it was toggled
+/// an odd number of times.
+fn reference(events: &[TemporalEdge], num_frames: usize) -> Vec<Vec<u64>> {
+    let mut out = vec![Vec::new(); num_frames];
+    let mut i = 0;
+    while i < events.len() {
+        let (t, u, v) = (events[i].t, events[i].u, events[i].v);
+        let mut count = 0;
+        while i < events.len() && (events[i].t, events[i].u, events[i].v) == (t, u, v) {
+            count += 1;
+            i += 1;
+        }
+        if count % 2 == 1 {
+            out[t as usize].push((u64::from(u) << 32) | u64::from(v));
+        }
+    }
+    out
+}
+
+/// Figure-4-shaped stream where frame 0 straddles the p = 2 boundary: the
+/// collect-then-merge structure is race-free in every interleaving and the
+/// seam parity collapse still cancels the split duplicate pair.
+#[test]
+fn boundary_frame_merge_race_free_p2() {
+    // Events sorted by (t, u, v); the (0,2) pair splits across the chunks.
+    let events = vec![
+        TemporalEdge::new(0, 1, 0),
+        TemporalEdge::new(0, 2, 0),
+        TemporalEdge::new(0, 2, 0),
+        TemporalEdge::new(1, 2, 0),
+        TemporalEdge::new(0, 1, 1),
+    ];
+    let want = reference(&events, 2);
+    let report = check::model(|| {
+        let got = frame_merge_model(events.clone(), 2, 2, TcsrFault::None);
+        assert_eq!(got, want);
+    });
+    assert!(report.executions >= 2, "executions = {}", report.executions);
+}
+
+/// Three chunks, all sharing the single frame 0.
+#[test]
+fn boundary_frame_merge_race_free_p3() {
+    let events: Vec<TemporalEdge> = (0..6).map(|i| TemporalEdge::new(0, i + 1, 0)).collect();
+    let want = reference(&events, 1);
+    let report = check::model(|| {
+        let got = frame_merge_model(events.clone(), 1, 3, TcsrFault::None);
+        assert_eq!(got, want);
+    });
+    assert!(report.executions >= 6, "executions = {}", report.executions);
+}
+
+/// Seeded race: merging inside the chunk pass makes two chunks
+/// read-modify-write the straddling frame's slot concurrently.
+#[test]
+fn merge_in_chunk_races_on_straddling_frame() {
+    let events = vec![
+        TemporalEdge::new(0, 1, 0),
+        TemporalEdge::new(0, 2, 0),
+        TemporalEdge::new(0, 2, 0),
+        TemporalEdge::new(1, 2, 0),
+    ];
+    let err = check::check(|| {
+        frame_merge_model(events.clone(), 1, 2, TcsrFault::MergeInChunk);
+    })
+    .expect_err("unsynchronized boundary-frame merge must race");
+    assert_eq!(err.location, "tcsr.per_frame");
+    assert_eq!(err.index, 0, "the race is on the straddling frame");
+}
+
+/// When chunk boundaries coincide with frame boundaries, even the faulty
+/// in-chunk merge touches disjoint slots and is race-free — the checker's
+/// verdict tracks the actual frame overlap.
+#[test]
+fn frame_aligned_chunks_hide_the_seeded_fault() {
+    let events = vec![
+        TemporalEdge::new(0, 1, 0),
+        TemporalEdge::new(1, 2, 0),
+        TemporalEdge::new(0, 1, 1),
+        TemporalEdge::new(2, 0, 1),
+    ];
+    let want = reference(&events, 2);
+    check::model(|| {
+        let got = frame_merge_model(events.clone(), 2, 2, TcsrFault::MergeInChunk);
+        assert_eq!(got, want);
+    });
+}

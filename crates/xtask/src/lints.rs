@@ -1,0 +1,376 @@
+//! Text-level lint passes over workspace sources.
+//!
+//! These are deliberately line-based: the rules they enforce (`// SAFETY:`
+//! proximity, an `unsafe` allowlist, hot-path panic bans) are about source
+//! *conventions*, and a full parse buys nothing but fragility. Tokens are
+//! matched on comment- and string-stripped lines so prose and fixtures
+//! never trip them, and everything from the first `#[cfg(test)]` marker on
+//! is exempt (test code may unwrap freely).
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path (unix separators).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable rule message.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+/// Files allowed to contain `unsafe` code. Everything else in the
+/// workspace must be 100% safe Rust.
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/graph/src/sort.rs", "shims/parking_lot/src/lib.rs"];
+
+/// Hot query-path files where panicking constructs are banned: these run
+/// per neighbor-list lookup and must degrade via `Option`/saturation, not
+/// aborts.
+pub const HOT_PATHS: &[&str] = &["crates/core/src/query.rs", "crates/bitpack/src/cursor.rs"];
+
+/// Files that must carry `#![deny(unsafe_op_in_unsafe_fn)]` (the crate
+/// roots owning the allowlisted `unsafe` code).
+pub const DENY_UNSAFE_OP_ROOTS: &[&str] =
+    &["crates/graph/src/lib.rs", "shims/parking_lot/src/lib.rs"];
+
+/// True if the contiguous comment/attribute block immediately above line
+/// `i` (plus line `i` itself) carries a `SAFETY:` or `# Safety` marker. A
+/// blank or code line ends the block: a safety comment separated from its
+/// `unsafe` by unrelated code is stale and does not count.
+fn safety_documented(raw_lines: &[&str], i: usize) -> bool {
+    let marker = |l: &str| l.contains("SAFETY:") || l.contains("# Safety");
+    if marker(raw_lines[i]) {
+        return true;
+    }
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = raw_lines[j].trim_start();
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("/*") || t.starts_with('*') {
+            if marker(t) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Panicking or unchecked constructs banned on the hot query path.
+const HOT_PATH_BANS: &[&str] = &[
+    ".unwrap(",
+    ".expect(",
+    "get_unchecked",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+    "dbg!(",
+];
+
+/// Strips line/block comments and string literals, preserving line
+/// structure, so token matching never fires inside prose or fixtures.
+/// `char` literals survive (a lone `'"'` would otherwise derail the
+/// scanner, and no rule token fits in a char literal anyway).
+fn strip_code(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    for line in text.lines() {
+        let mut kept = String::with_capacity(line.len());
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        let mut in_string = false;
+        let mut raw_hashes: Option<usize> = None;
+        while i < bytes.len() {
+            if in_block_comment {
+                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    in_block_comment = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            } else if in_string {
+                match bytes[i] {
+                    b'\\' if raw_hashes.is_none() => i += 2,
+                    b'"' => {
+                        let closes = match raw_hashes {
+                            None => true,
+                            Some(h) => {
+                                bytes[i + 1..].iter().take_while(|&&b| b == b'#').count() >= h
+                            }
+                        };
+                        if closes {
+                            i += 1 + raw_hashes.take().unwrap_or(0);
+                            in_string = false;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    _ => i += 1,
+                }
+            } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                break; // line comment: drop the rest
+            } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                in_block_comment = true;
+                i += 2;
+            } else if bytes[i] == b'"' {
+                in_string = true;
+                i += 1;
+            } else if bytes[i] == b'r'
+                && bytes.get(i + 1).is_some_and(|&b| b == b'"' || b == b'#')
+                && !kept
+                    .chars()
+                    .last()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                let hashes = bytes[i + 1..].iter().take_while(|&&b| b == b'#').count();
+                if bytes.get(i + 1 + hashes) == Some(&b'"') {
+                    raw_hashes = Some(hashes);
+                    in_string = true;
+                    i += 2 + hashes;
+                } else {
+                    kept.push('r');
+                    i += 1;
+                }
+            } else {
+                kept.push(bytes[i] as char);
+                i += 1;
+            }
+        }
+        out.push(kept);
+    }
+    out
+}
+
+/// Index of the first line from which test-module exemptions apply, or
+/// `lines.len()` if the file has no test module.
+fn test_cutoff(raw_lines: &[&str]) -> usize {
+    raw_lines
+        .iter()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .unwrap_or(raw_lines.len())
+}
+
+/// True if the stripped line contains `unsafe` as a standalone token.
+fn has_unsafe_token(stripped: &str) -> bool {
+    let bytes = stripped.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = stripped[start..].find("unsafe") {
+        let at = start + pos;
+        let before_ok =
+            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let after = at + "unsafe".len();
+        let after_ok =
+            after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// Lints one source file; `file` is the workspace-relative path.
+pub fn lint_file(file: &str, text: &str) -> Vec<Violation> {
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let stripped = strip_code(text);
+    let cutoff = test_cutoff(&raw_lines);
+    let mut out = Vec::new();
+
+    let allowlisted = UNSAFE_ALLOWLIST.contains(&file);
+    for (i, code) in stripped.iter().enumerate().take(cutoff) {
+        if has_unsafe_token(code) {
+            if !allowlisted {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: i + 1,
+                    message: "`unsafe` outside the allowlist (crates/graph/src/sort.rs, \
+                              shims/parking_lot/src/lib.rs); rewrite safely or move the \
+                              code behind an allowlisted module"
+                        .to_string(),
+                });
+            } else if !safety_documented(&raw_lines, i) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: i + 1,
+                    message: "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc \
+                              section) in the comment block directly above"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    if HOT_PATHS.contains(&file) {
+        for (i, code) in stripped.iter().enumerate().take(cutoff) {
+            for ban in HOT_PATH_BANS {
+                if code.contains(ban) {
+                    out.push(Violation {
+                        file: file.to_string(),
+                        line: i + 1,
+                        message: format!(
+                            "`{}` on the hot query path; return Option / saturate instead",
+                            ban.trim_start_matches('.').trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if DENY_UNSAFE_OP_ROOTS.contains(&file) && !text.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
+        out.push(Violation {
+            file: file.to_string(),
+            line: 1,
+            message: "crate root must carry #![deny(unsafe_op_in_unsafe_fn)]".to_string(),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SORT_RS: &str = "crates/graph/src/sort.rs";
+
+    #[test]
+    fn documented_unsafe_in_allowlisted_file_passes() {
+        let src = "\
+// SAFETY: writers touch disjoint indices.
+unsafe impl Sync for T {}
+
+fn caller(t: &T) {
+    // SAFETY: index proven in bounds above.
+    unsafe { t.write(0) };
+}
+";
+        assert_eq!(lint_file(SORT_RS, src), []);
+    }
+
+    #[test]
+    fn undocumented_unsafe_in_allowlisted_file_fails() {
+        let src = "fn f(p: *mut u8) {\n    unsafe { p.write(0) };\n}\n";
+        let v = lint_file(SORT_RS, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("SAFETY"), "{}", v[0]);
+    }
+
+    #[test]
+    fn safety_doc_section_counts_for_unsafe_fn() {
+        let src = "\
+/// # Safety
+///
+/// Caller must keep `i` in bounds.
+#[inline]
+unsafe fn write(i: usize) {}
+";
+        assert_eq!(lint_file(SORT_RS, src), []);
+    }
+
+    #[test]
+    fn stale_safety_comment_separated_by_blank_line_fails() {
+        // A blank line ends the comment block: the marker no longer
+        // attaches to the `unsafe` below it.
+        let src = "// SAFETY: far away.\n\nunsafe fn f() {}\n";
+        assert_eq!(lint_file(SORT_RS, src).len(), 1);
+    }
+
+    #[test]
+    fn stale_safety_comment_separated_by_code_fails() {
+        let src = "// SAFETY: documents the wrong thing.\nfn g() {}\nunsafe fn f() {}\n";
+        assert_eq!(lint_file(SORT_RS, src).len(), 1);
+    }
+
+    #[test]
+    fn long_safety_block_with_interleaved_attribute_passes() {
+        // The marker may sit many lines up, as long as the block of
+        // comments/attributes between it and the `unsafe` is contiguous.
+        let mut src = String::from("// SAFETY: a long argument follows.\n");
+        src.push_str(&"// more detail.\n".repeat(8));
+        src.push_str("#[inline]\nunsafe fn f() {}\n");
+        assert_eq!(lint_file(SORT_RS, &src).len(), 0);
+    }
+
+    #[test]
+    fn any_unsafe_outside_allowlist_fails() {
+        let src = "// SAFETY: even documented.\nunsafe fn f() {}\n";
+        let v = lint_file("crates/core/src/query.rs", src);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("allowlist"), "{}", v[0]);
+    }
+
+    #[test]
+    fn unsafe_in_comments_strings_and_idents_is_ignored() {
+        let src = "\
+// this comment says unsafe and is fine
+/* so does unsafe this one */
+#![deny(unsafe_op_in_unsafe_fn)]
+const MSG: &str = \"unsafe\";
+const RAW: &str = r#\"unsafe { }\"#;
+fn not_unsafe_fn() {}
+";
+        assert_eq!(lint_file("crates/core/src/lib.rs", src), []);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "\
+fn ok() {}
+#[cfg(test)]
+mod tests {
+    fn f(p: *mut u8) { unsafe { p.write(0) } }
+}
+";
+        assert_eq!(lint_file("crates/core/src/lib.rs", src), []);
+    }
+
+    #[test]
+    fn hot_path_bans_panicking_constructs() {
+        let src = "\
+fn lookup(v: &[u32], i: usize) -> u32 {
+    let x = v.get(i).unwrap();
+    if i > 10 { panic!(\"bad\") }
+    *x
+}
+";
+        let v = lint_file("crates/core/src/query.rs", src);
+        let messages: Vec<_> = v.iter().map(|x| x.message.as_str()).collect();
+        assert_eq!(v.len(), 2, "{messages:?}");
+        assert!(messages[0].contains("unwrap"));
+        assert!(messages[1].contains("panic!"));
+    }
+
+    #[test]
+    fn hot_path_bans_do_not_apply_elsewhere() {
+        let src = "fn f(v: &[u32]) -> u32 { *v.first().unwrap() }\n";
+        assert_eq!(lint_file("crates/core/src/builder.rs", src), []);
+    }
+
+    #[test]
+    fn deny_attr_required_in_unsafe_crate_roots() {
+        let v = lint_file("crates/graph/src/lib.rs", "//! docs\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("unsafe_op_in_unsafe_fn"), "{}", v[0]);
+        let clean = "#![deny(unsafe_op_in_unsafe_fn)]\n//! docs\n";
+        assert_eq!(lint_file("crates/graph/src/lib.rs", clean), []);
+    }
+
+    #[test]
+    fn display_is_file_line_message() {
+        let v = Violation {
+            file: "a/b.rs".into(),
+            line: 7,
+            message: "nope".into(),
+        };
+        assert_eq!(v.to_string(), "a/b.rs:7: nope");
+    }
+}

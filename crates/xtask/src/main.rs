@@ -1,0 +1,139 @@
+//! Workspace automation driver, invoked as `cargo xtask <command>` (the
+//! alias lives in `.cargo/config.toml`).
+//!
+//! Commands:
+//!
+//! * `lint` — the workspace's static-analysis gate, in two stages:
+//!   1. **text lints** (see [`lints`]): every `unsafe` must carry a nearby
+//!      `// SAFETY:` comment, `unsafe` is forbidden outside a two-file
+//!      allowlist, panicking constructs are banned on the hot query path,
+//!      and the crates owning `unsafe` code must deny
+//!      `unsafe_op_in_unsafe_fn`;
+//!   2. **curated clippy set** — `-D warnings` plus
+//!      `undocumented_unsafe_blocks`, `dbg_macro`, and `todo`, across all
+//!      targets. Skipped with `--skip-clippy` for a fast editor loop.
+//!
+//! Exit code 0 means the tree is clean; 1 means violations were printed.
+
+mod lints;
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--skip-clippy")),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--skip-clippy]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// All `.rs` files under `dir`, recursively, workspace-relative with unix
+/// separators, sorted for deterministic output.
+fn rust_files(root: &Path, dir: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join(dir)];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("walked path under root")
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn lint(skip_clippy: bool) -> ExitCode {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+    for dir in ["crates", "shims", "tests", "examples", "benches"] {
+        for rel in rust_files(&root, dir) {
+            let text = match std::fs::read_to_string(root.join(&rel)) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("xtask: cannot read {rel}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            violations.extend(lints::lint_file(&rel, &text));
+        }
+    }
+
+    for v in &violations {
+        eprintln!("error: {v}");
+    }
+    let mut failed = !violations.is_empty();
+    eprintln!(
+        "xtask lint: text lints {} ({} violation{})",
+        if failed { "FAILED" } else { "ok" },
+        violations.len(),
+        if violations.len() == 1 { "" } else { "s" }
+    );
+
+    if !skip_clippy {
+        let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+            .current_dir(&root)
+            .args([
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--quiet",
+                "--",
+                "-D",
+                "warnings",
+                "-D",
+                "clippy::undocumented_unsafe_blocks",
+                "-D",
+                "clippy::dbg_macro",
+                "-D",
+                "clippy::todo",
+            ])
+            .status();
+        match status {
+            Ok(s) if s.success() => eprintln!("xtask lint: clippy ok"),
+            Ok(_) => {
+                eprintln!("xtask lint: clippy FAILED");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("xtask lint: could not run cargo clippy: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,3 +1,5 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+
 //! In-tree shim of the `parking_lot` API subset this workspace uses,
 //! implemented over `std::sync`. parking_lot's locks don't poison; the shim
 //! matches that by unwrapping poison into the inner guard (a panicked

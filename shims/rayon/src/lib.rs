@@ -1,21 +1,45 @@
 //! In-tree shim of the `rayon` API used by this workspace.
 //!
 //! The build environment has no crates.io access, so the workspace vendors a
-//! minimal, API-compatible subset of rayon that executes **sequentially**.
-//! Parallel semantics the codebase relies on are preserved:
+//! minimal, API-compatible subset of rayon. Since the concurrency-correctness
+//! PR it executes **with real threads** whenever the effective pool width is
+//! greater than one:
+//!
+//! * [`join`] runs its second closure on a scoped thread.
+//! * `map` / `flat_map` / `flat_map_iter` evaluate eagerly across a scoped
+//!   thread team, splitting the input into one contiguous chunk per thread
+//!   (results are concatenated in input order, so output equals the
+//!   sequential result for deterministic closures).
+//! * `for_each` dispatches its items across the same kind of thread team.
+//!
+//! At width 1 (`ThreadPool::install`ed width 1, or a single-core machine)
+//! every operation runs sequentially on the calling thread, byte-for-byte
+//! identical to the old sequential shim — the determinism anchor the
+//! processor-sweep tests rely on. Worker threads report
+//! [`current_num_threads`] `== 1`, so nested parallel calls run sequentially
+//! inside workers (depth-one parallelism; rayon would instead share one
+//! global pool).
+//!
+//! Remaining deliberately sequential pieces, chosen because their callers do
+//! the heavy lifting in an upstream eager `map`: `reduce`, `sum`, `collect`
+//! (they drain an already-computed buffer), `map_init` (its single-state
+//! sequential semantics is one legal rayon schedule and keeps sampled
+//! generators deterministic), and the `par_sort_*` family.
+//!
+//! Semantics the codebase relies on are preserved:
 //!
 //! * `ThreadPoolBuilder` / `ThreadPool::install` / `current_num_threads`
 //!   round-trip the requested pool width (the paper's processor sweep reads
 //!   it), tracked per thread so nested `install`s nest correctly.
-//! * All `par_*` adapters have rayon's signatures (`reduce(identity, op)`,
-//!   `map_init`, `collect_into_vec`, …) and are drop-in at the type level, so
-//!   swapping the real rayon back in is a one-line Cargo.toml change.
-//!
-//! Determinism notes: every algorithm in this workspace is already written
-//! to be result-deterministic under rayon's nondeterministic scheduling
-//! (first-writer-wins via CAS, fixed-shape reductions, canonicalized
-//! frontiers). Sequential execution is one legal schedule of those programs,
-//! so outputs are unchanged.
+//! * All `par_*` adapters have rayon's signatures and are drop-in at the
+//!   type level, so swapping the real rayon back in is a one-line Cargo.toml
+//!   change. Eager adapters carry rayon's `Send`/`Sync` bounds, which is
+//!   what lets them actually thread.
+//! * Every algorithm in this workspace is written to be result-deterministic
+//!   under rayon's nondeterministic scheduling (disjoint chunk writes
+//!   verified by `parcsr-check`, first-writer-wins via CAS, fixed-shape
+//!   reductions, canonicalized frontiers), so outputs do not depend on the
+//!   width.
 
 use std::cell::Cell;
 
@@ -83,7 +107,8 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A "pool" that records its width and runs installed closures inline.
+/// A pool that records its width; closures `install`ed on it dispatch their
+/// `par_*` calls across scoped threads of that width.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,
@@ -106,20 +131,145 @@ impl ThreadPool {
     }
 }
 
-/// Runs two closures and returns both results (sequentially here).
+/// Runs two closures and returns both results. At width > 1 the second
+/// closure runs on a scoped thread while the first runs on the caller.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(|| {
+            POOL_WIDTH.with(|w| w.set(Some(1)));
+            b()
+        });
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (ra, rb)
+    })
+}
+
+/// The scoped-thread work driver shared by the eager adapters.
+mod pool {
+    use super::POOL_WIDTH;
+
+    /// Splits `items` into `parts` contiguous runs of near-equal size
+    /// (larger first — the same convention as `parcsr_scan::chunk_ranges`).
+    fn split_vec<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+        let n = items.len();
+        let parts = parts.max(1).min(n.max(1));
+        let base = n / parts;
+        let extra = n % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut rest = items;
+        for i in 0..parts - 1 {
+            let size = base + usize::from(i < extra);
+            let tail = rest.split_off(size);
+            out.push(std::mem::replace(&mut rest, tail));
+        }
+        out.push(rest);
+        out
+    }
+
+    /// Runs `work` over each chunk of `items` on its own scoped thread and
+    /// returns the per-chunk results in input order. Worker threads see a
+    /// pool width of 1, so nested parallelism degrades to sequential.
+    fn run_chunked<T, R>(items: Vec<T>, width: usize, work: impl Fn(Vec<T>) -> R + Sync) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        let chunks = split_vec(items, width);
+        let work = &work;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        POOL_WIDTH.with(|w| w.set(Some(1)));
+                        work(chunk)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        })
+    }
+
+    /// Parallel map preserving input order.
+    pub(crate) fn map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let width = super::current_num_threads();
+        if width <= 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        run_chunked(items, width, |chunk| {
+            chunk.into_iter().map(&f).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Parallel flat-map (serial inner iterators) preserving input order.
+    pub(crate) fn flat_map_vec<T, P, F>(items: Vec<T>, f: F) -> Vec<P::Item>
+    where
+        T: Send,
+        P: IntoIterator,
+        P::Item: Send,
+        F: Fn(T) -> P + Sync,
+    {
+        let width = super::current_num_threads();
+        if width <= 1 || items.len() <= 1 {
+            return items.into_iter().flat_map(f).collect();
+        }
+        run_chunked(items, width, |chunk| {
+            chunk.into_iter().flat_map(&f).collect::<Vec<P::Item>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Parallel for-each.
+    pub(crate) fn for_each_vec<T, F>(items: Vec<T>, f: F)
+    where
+        T: Send,
+        F: Fn(T) + Sync,
+    {
+        let width = super::current_num_threads();
+        if width <= 1 || items.len() <= 1 {
+            items.into_iter().for_each(f);
+            return;
+        }
+        run_chunked(items, width, |chunk| chunk.into_iter().for_each(&f));
+    }
 }
 
 pub mod iter {
-    //! Sequential stand-ins for rayon's parallel iterator traits.
+    //! rayon-shaped parallel iterator adapters. Eager adapters (`map`,
+    //! `flat_map`, `for_each`) dispatch across scoped threads; the rest wrap
+    //! standard sequential iterators.
 
-    /// The shim's parallel iterator: a transparent wrapper over a standard
-    /// iterator exposing rayon-shaped adapter methods.
+    /// The shim's parallel iterator: a wrapper over a standard iterator
+    /// exposing rayon-shaped adapter methods.
     #[derive(Debug, Clone)]
     pub struct Par<I>(pub I);
 
@@ -199,13 +349,21 @@ pub mod iter {
     impl<I: Iterator> ParallelIterator for Par<I> {}
 
     impl<I: Iterator> Par<I> {
-        /// Maps each element.
-        pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> Par<std::iter::Map<I, F>> {
-            Par(self.0.map(f))
+        /// Maps each element, eagerly, across the current pool width.
+        /// Output order equals input order.
+        pub fn map<R, F>(self, f: F) -> Par<std::vec::IntoIter<R>>
+        where
+            I::Item: Send,
+            R: Send,
+            F: Fn(I::Item) -> R + Sync,
+        {
+            let items: Vec<I::Item> = self.0.collect();
+            Par(crate::pool::map_vec(items, f).into_iter())
         }
 
-        /// rayon's `map_init`: `init` would run once per worker; here it
-        /// runs once total, which is one legal schedule.
+        /// rayon's `map_init`: sequential here, with one state total (one
+        /// legal schedule of rayon's one-state-per-worker contract; also
+        /// what keeps seeded samplers deterministic).
         pub fn map_init<T, R, INIT, F>(self, init: INIT, mut f: F) -> Par<impl Iterator<Item = R>>
         where
             INIT: Fn() -> T,
@@ -228,20 +386,30 @@ pub mod iter {
             Par(self.0.filter_map(f))
         }
 
-        /// Maps each element to an iterable and flattens.
-        pub fn flat_map<R: IntoIterator, F: FnMut(I::Item) -> R>(
-            self,
-            f: F,
-        ) -> Par<std::iter::FlatMap<I, R, F>> {
-            Par(self.0.flat_map(f))
+        /// Maps each element to an iterable and flattens, eagerly, across
+        /// the current pool width. Output order equals input order.
+        pub fn flat_map<R, F>(self, f: F) -> Par<std::vec::IntoIter<R::Item>>
+        where
+            I::Item: Send,
+            R: IntoIterator,
+            R::Item: Send,
+            F: Fn(I::Item) -> R + Sync,
+        {
+            let items: Vec<I::Item> = self.0.collect();
+            Par(crate::pool::flat_map_vec::<_, R, _>(items, f).into_iter())
         }
 
-        /// rayon's serial-inner `flat_map`; identical here.
-        pub fn flat_map_iter<R: IntoIterator, F: FnMut(I::Item) -> R>(
-            self,
-            f: F,
-        ) -> Par<std::iter::FlatMap<I, R, F>> {
-            Par(self.0.flat_map(f))
+        /// rayon's serial-inner `flat_map_iter`; identical to [`Par::flat_map`]
+        /// here (the inner iterators are always consumed serially by the
+        /// worker that produced them).
+        pub fn flat_map_iter<R, F>(self, f: F) -> Par<std::vec::IntoIter<R::Item>>
+        where
+            I::Item: Send,
+            R: IntoIterator,
+            R::Item: Send,
+            F: Fn(I::Item) -> R + Sync,
+        {
+            self.flat_map(f)
         }
 
         /// Flattens nested iterables.
@@ -296,12 +464,20 @@ pub mod iter {
             Par(self.0.chain(other.into_par_iter().0))
         }
 
-        /// Consumes the iterator, calling `f` on each element.
-        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-            self.0.for_each(f)
+        /// Calls `f` on every element, dispatched across the current pool
+        /// width (sequential at width 1).
+        pub fn for_each<F>(self, f: F)
+        where
+            I::Item: Send,
+            F: Fn(I::Item) + Sync,
+        {
+            let items: Vec<I::Item> = self.0.collect();
+            crate::pool::for_each_vec(items, f);
         }
 
-        /// rayon's `reduce`: folds with `op` from `identity()`.
+        /// rayon's `reduce`: folds with `op` from `identity()`. Sequential:
+        /// the expensive upstream stages (`map`) have already run in
+        /// parallel by the time the fold drains them.
         pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
         where
             ID: Fn() -> I::Item,
@@ -359,12 +535,12 @@ pub mod iter {
             out.extend(self.0);
         }
 
-        /// Minimum split length hint — a no-op sequentially.
+        /// Minimum split length hint — a no-op here.
         pub fn with_min_len(self, _len: usize) -> Self {
             self
         }
 
-        /// Maximum split length hint — a no-op sequentially.
+        /// Maximum split length hint — a no-op here.
         pub fn with_max_len(self, _len: usize) -> Self {
             self
         }
@@ -482,5 +658,115 @@ mod tests {
         let mut arr = [3u64, 1, 2];
         arr.par_sort_unstable();
         assert_eq!(arr, [1, 2, 3]);
+    }
+
+    #[test]
+    fn join_runs_both_and_nests() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let (a, b) = pool.install(|| {
+            crate::join(
+                || (0..1000u64).sum::<u64>(),
+                // Nested width inside a worker is 1: nested joins degrade to
+                // sequential instead of fanning out.
+                || crate::join(crate::current_num_threads, || 7usize),
+            )
+        });
+        assert_eq!(a, 499500);
+        assert_eq!(b, (1, 7));
+    }
+
+    #[test]
+    fn threaded_map_preserves_order_and_runs_concurrently() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        // Worker threads are distinct OS threads: at width 4 with 4 items,
+        // at least two distinct thread ids must appear.
+        let seen = AtomicUsize::new(0);
+        let ids: Vec<u64> = pool.install(|| {
+            (0..4u64)
+                .into_par_iter()
+                .map(|i| {
+                    seen.fetch_add(1, Ordering::Relaxed);
+                    i * 10
+                })
+                .collect()
+        });
+        assert_eq!(ids, [0, 10, 20, 30]);
+        assert_eq!(seen.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn threaded_for_each_touches_disjoint_slots() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap();
+        let mut data = vec![0u64; 64];
+        pool.install(|| {
+            data.par_iter_mut()
+                .enumerate()
+                .for_each(|(i, slot)| *slot = i as u64 + 1)
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn width_one_is_sequential_on_the_calling_thread() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let caller = std::thread::current().id();
+        pool.install(|| {
+            (0..16u64)
+                .into_par_iter()
+                .for_each(|_| assert_eq!(std::thread::current().id(), caller));
+            let (ta, tb) = crate::join(
+                || std::thread::current().id(),
+                || std::thread::current().id(),
+            );
+            assert_eq!(ta, caller);
+            assert_eq!(tb, caller);
+        });
+    }
+
+    #[test]
+    fn flat_map_matches_sequential() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let got: Vec<u64> = pool.install(|| {
+            (0..10u64)
+                .into_par_iter()
+                .flat_map_iter(|i| (0..i).map(move |j| i * 100 + j))
+                .collect()
+        });
+        let want: Vec<u64> = (0..10u64)
+            .flat_map(|i| (0..i).map(move |j| i * 100 + j))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn panic_in_worker_propagates() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..8u64).into_par_iter().for_each(|i| {
+                    assert!(i < 4, "worker panic {i}");
+                })
+            })
+        }));
+        assert!(r.is_err());
     }
 }
