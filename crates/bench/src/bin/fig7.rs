@@ -5,7 +5,7 @@
 //! cargo run -p parcsr-bench --release --bin fig7 -- [--scale 1.0]
 //! ```
 
-use parcsr_bench::{print_fig7, run_experiment, Options};
+use parcsr_bench::{print_fig7, run_experiment_traced, trace, Options};
 
 fn main() {
     let opts = Options::from_env();
@@ -13,10 +13,12 @@ fn main() {
         "fig7: scale={} procs={:?} reps={} seed={}",
         opts.scale, opts.processors, opts.reps, opts.seed
     );
-    let results = run_experiment(&opts);
+    trace::setup(&opts);
+    let (results, spans) = run_experiment_traced(&opts);
     if opts.json {
         println!("{}", parcsr_bench::results_to_json_pretty(&results));
     } else {
         print!("{}", print_fig7(&results));
     }
+    trace::finish(&opts, &spans);
 }

@@ -12,13 +12,14 @@ use std::time::Instant;
 
 use parcsr::query::{edge_exists_split, edges_exist_batch_binary, neighbors_batch};
 use parcsr::{with_processors, BitPackedCsr, CsrBuilder, PackedCsrMode};
-use parcsr_bench::Options;
+use parcsr_bench::{trace, Options};
 use parcsr_graph::NodeId;
 
 const BATCH: usize = 1 << 14;
 
 fn main() {
     let opts = Options::from_env();
+    trace::setup(&opts);
     let profile = &parcsr_graph::paper_datasets()[3]; // WebNotreDame profile
     let graph = profile.synthesize(opts.scale.min(0.5), opts.seed);
     let csr = CsrBuilder::new().build(&graph);
@@ -78,4 +79,5 @@ fn main() {
         });
         println!("| {p} | {nq:.1} | {eq:.1} | {sq:.2} |");
     }
+    trace::finish(&opts, &parcsr_obs::drain());
 }

@@ -5,7 +5,7 @@
 //! cargo run -p parcsr-bench --release --bin table2 -- [--scale 1.0] [--procs 1,4,8,16,64]
 //! ```
 
-use parcsr_bench::{print_table2, run_experiment, Options};
+use parcsr_bench::{print_table2, run_experiment_traced, trace, Options};
 
 fn main() {
     let opts = Options::from_env();
@@ -19,10 +19,12 @@ fn main() {
             .map(|n| n.get())
             .unwrap_or(1)
     );
-    let results = run_experiment(&opts);
+    trace::setup(&opts);
+    let (results, spans) = run_experiment_traced(&opts);
     if opts.json {
         println!("{}", parcsr_bench::results_to_json_pretty(&results));
     } else {
         print!("{}", print_table2(&results));
     }
+    trace::finish(&opts, &spans);
 }

@@ -18,6 +18,8 @@ use std::time::Instant;
 
 use parcsr::{with_processors, BitPackedCsr, CsrBuilder, PackedCsrMode};
 use parcsr_graph::{paper_datasets, DatasetProfile, EdgeList};
+use parcsr_obs::export::{aggregate_stages, StageAgg};
+use parcsr_obs::SpanRecord;
 
 use crate::options::Options;
 
@@ -34,6 +36,10 @@ pub struct ProcessorSample {
     pub paper_time_ms: Option<f64>,
     /// The paper's published speed-up for this cell, if any.
     pub paper_speedup_percent: Option<f64>,
+    /// Per-stage wall-clock breakdown of the rep that produced `time_ms`
+    /// (top-level pipeline spans: degree, scan, scatter, pack). Empty unless
+    /// obs recording is compiled in and switched on.
+    pub stages: Vec<StageAgg>,
 }
 
 /// One dataset's full Table II row group.
@@ -61,15 +67,24 @@ pub struct DatasetResult {
 
 /// Runs the full experiment for the given options.
 pub fn run_experiment(opts: &Options) -> Vec<DatasetResult> {
-    paper_datasets()
+    run_experiment_traced(opts).0
+}
+
+/// Runs the full experiment and also returns the spans of every reported
+/// (minimum-time) rep — the input for the Chrome trace writer. The span list
+/// is empty unless obs recording is compiled in and switched on.
+pub fn run_experiment_traced(opts: &Options) -> (Vec<DatasetResult>, Vec<SpanRecord>) {
+    let mut trace = Vec::new();
+    let results = paper_datasets()
         .into_iter()
         .filter(|d| {
             opts.only
                 .as_deref()
                 .is_none_or(|needle| d.name.to_lowercase().contains(&needle.to_lowercase()))
         })
-        .map(|profile| run_dataset(&profile, opts))
-        .collect()
+        .map(|profile| run_dataset(&profile, opts, &mut trace))
+        .collect();
+    (results, trace)
 }
 
 fn load_graph(profile: &DatasetProfile, opts: &Options) -> (EdgeList, bool) {
@@ -88,37 +103,53 @@ fn load_graph(profile: &DatasetProfile, opts: &Options) -> (EdgeList, bool) {
     (profile.synthesize(opts.scale, opts.seed), false)
 }
 
-fn run_dataset(profile: &DatasetProfile, opts: &Options) -> DatasetResult {
+fn run_dataset(
+    profile: &DatasetProfile,
+    opts: &Options,
+    trace: &mut Vec<SpanRecord>,
+) -> DatasetResult {
     let (graph, real_data) = load_graph(profile, opts);
     let sorted = graph.sorted_by_source();
 
     // Sizes (independent of processor count; packed once at default width).
     let reference_csr = CsrBuilder::new().build_from_sorted(&sorted).0;
     let packed = BitPackedCsr::from_csr(&reference_csr, PackedCsrMode::Gap, 4);
+    // Discard the sizing pre-pass spans: the trace carries timed reps only.
+    let _ = parcsr_obs::drain();
 
     let mut samples = Vec::with_capacity(opts.processors.len());
     let mut t1 = None;
     for &p in &opts.processors {
-        let time_ms = with_processors(p, || {
+        let (time_ms, best_spans) = with_processors(p, || {
             let builder = CsrBuilder::new().processors(p);
             let mut best = f64::INFINITY;
+            let mut best_spans = Vec::new();
             for _ in 0..opts.reps {
                 let t = Instant::now();
                 let (csr, _) = builder.build_from_sorted(&sorted);
                 let packed = BitPackedCsr::from_csr(&csr, PackedCsrMode::Gap, p);
                 let elapsed = t.elapsed().as_secs_f64() * 1e3;
                 std::hint::black_box(&packed);
-                best = best.min(elapsed);
+                // Draining per rep keeps only this rep's spans, so the
+                // reported breakdown belongs to the reported (minimum) time.
+                let spans = parcsr_obs::drain();
+                if elapsed < best {
+                    best = elapsed;
+                    best_spans = spans;
+                }
             }
-            best
+            (best, best_spans)
         });
         let t1_ms = *t1.get_or_insert(time_ms);
+        let stages = aggregate_stages(&best_spans, true);
+        trace.extend(best_spans);
         samples.push(ProcessorSample {
             processors: p,
             time_ms,
             speedup_percent: (t1_ms - time_ms) / t1_ms * 100.0,
             paper_time_ms: profile.paper_time_at(p),
             paper_speedup_percent: profile.paper_speedup_percent(p),
+            stages,
         });
     }
 
@@ -148,6 +179,8 @@ mod tests {
             data_dir: None,
             only: Some("WebNotreDame".into()),
             json: false,
+            trace: None,
+            metrics: false,
         }
     }
 
@@ -181,6 +214,33 @@ mod tests {
         let results = run_experiment(&tiny_options());
         let s = &results[0].samples[0];
         assert_eq!(s.paper_time_ms, Some(7.13));
+    }
+
+    // Gated off under the obs feature: the traced test flips the global
+    // runtime switch, and the two would race in a parallel test run.
+    #[cfg(not(feature = "obs"))]
+    #[test]
+    fn stages_are_empty_when_recording_is_off() {
+        // Default build: the breakdown must not materialize.
+        let results = run_experiment(&tiny_options());
+        assert!(results[0].samples.iter().all(|s| s.stages.is_empty()));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn traced_experiment_reports_pipeline_stages() {
+        parcsr_obs::set_enabled(true);
+        let (results, spans) = run_experiment_traced(&tiny_options());
+        parcsr_obs::set_enabled(false);
+        assert!(!spans.is_empty());
+        for sample in &results[0].samples {
+            // The top-level coordinator spans are recorded on this thread,
+            // so they cannot be lost to (or polluted by) concurrent tests.
+            let names: Vec<&str> = sample.stages.iter().map(|s| s.name).collect();
+            for want in ["degree", "scan", "scatter", "pack"] {
+                assert!(names.contains(&want), "missing {want} in {names:?}");
+            }
+        }
     }
 
     #[test]

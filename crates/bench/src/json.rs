@@ -1,126 +1,35 @@
 //! Minimal JSON emission for bench results.
 //!
 //! The workspace builds without crates.io access, so instead of `serde` +
-//! `serde_json` the bench harness hand-rolls the one serialization shape it
-//! needs: pretty-printed JSON of the experiment result tree. The output is
-//! byte-compatible with what `serde_json::to_string_pretty` produced for the
-//! same derive layout (2-space indent, field order = declaration order), so
-//! downstream tooling that parses `BENCH_*.json` files keeps working.
+//! `serde_json` the harness serializes the one shape it needs: pretty-printed
+//! JSON of the experiment result tree. The value type (and a parser) lives in
+//! `parcsr_obs::json` — one hand-rolled JSON implementation serves both the
+//! bench output and the Chrome trace exporter. The output is byte-compatible
+//! with what `serde_json::to_string_pretty` produced for the same derive
+//! layout (2-space indent, field order = declaration order), so downstream
+//! tooling that parses `BENCH_*.json` files keeps working.
+
+use parcsr_obs::export::StageAgg;
 
 use crate::experiment::{DatasetResult, ProcessorSample};
 
-/// A JSON value tree.
-#[derive(Debug, Clone)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Integer (emitted without a decimal point).
-    Int(i64),
-    /// Float (emitted via Rust's shortest-roundtrip formatting).
-    Float(f64),
-    /// String (escaped on emission).
-    Str(String),
-    /// Array.
-    Array(Vec<Json>),
-    /// Object with insertion-ordered keys.
-    Object(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Pretty-prints with 2-space indentation and a trailing newline-free
-    /// final line, matching `serde_json::to_string_pretty`.
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => out.push_str(&i.to_string()),
-            Json::Float(f) => {
-                if f.is_finite() {
-                    // serde_json always keeps a decimal point on floats.
-                    let s = format!("{f}");
-                    out.push_str(&s);
-                    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
-                        out.push_str(".0");
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Array(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    indent(out, depth + 1);
-                    item.write(out, depth + 1);
-                    if i + 1 < items.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                indent(out, depth);
-                out.push(']');
-            }
-            Json::Object(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    indent(out, depth + 1);
-                    write_escaped(out, key);
-                    out.push_str(": ");
-                    value.write(out, depth + 1);
-                    if i + 1 < fields.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                indent(out, depth);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn indent(out: &mut String, depth: usize) {
-    for _ in 0..depth {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+pub use parcsr_obs::json::Json;
 
 /// Types that can render themselves as a [`Json`] tree.
 pub trait ToJson {
     /// Builds the JSON representation.
     fn to_json(&self) -> Json;
+}
+
+impl ToJson for StageAgg {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("name".into(), Json::Str(self.name.to_string())),
+            ("calls".into(), Json::Int(self.calls as i64)),
+            ("total_ms".into(), Json::Float(self.total_ms)),
+            ("workers".into(), Json::Int(self.workers as i64)),
+        ])
+    }
 }
 
 impl ToJson for ProcessorSample {
@@ -134,6 +43,10 @@ impl ToJson for ProcessorSample {
             (
                 "paper_speedup_percent".into(),
                 opt(self.paper_speedup_percent),
+            ),
+            (
+                "stages".into(),
+                Json::Array(self.stages.iter().map(ToJson::to_json).collect()),
             ),
         ])
     }
@@ -213,6 +126,12 @@ mod tests {
             speedup_percent: 50.0,
             paper_time_ms: None,
             paper_speedup_percent: Some(61.0),
+            stages: vec![StageAgg {
+                name: "degree",
+                calls: 1,
+                total_ms: 0.7,
+                workers: 1,
+            }],
         };
         let text = s.to_json().pretty();
         let procs_at = text.find("processors").unwrap();
@@ -220,5 +139,23 @@ mod tests {
         assert!(procs_at < time_at);
         assert!(text.contains("\"paper_time_ms\": null"));
         assert!(text.contains("\"paper_speedup_percent\": 61.0"));
+        assert!(text.contains("\"stages\""));
+        assert!(text.contains("\"name\": \"degree\""));
+    }
+
+    #[test]
+    fn emitted_results_parse_back() {
+        let s = ProcessorSample {
+            processors: 2,
+            time_ms: 3.5,
+            speedup_percent: 0.0,
+            paper_time_ms: Some(7.13),
+            paper_speedup_percent: None,
+            stages: Vec::new(),
+        };
+        let parsed = Json::parse(&s.to_json().pretty()).unwrap();
+        assert_eq!(parsed.get("processors").unwrap().as_i64(), Some(2));
+        assert_eq!(parsed.get("time_ms").unwrap().as_f64(), Some(3.5));
+        assert_eq!(parsed.get("stages").unwrap().as_array().unwrap().len(), 0);
     }
 }

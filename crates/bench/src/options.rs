@@ -21,6 +21,12 @@ pub struct Options {
     pub only: Option<String>,
     /// Emit results as JSON instead of a formatted table.
     pub json: bool,
+    /// Write a Chrome trace-event JSON of the run to this path (requires
+    /// the `obs` build feature to record anything).
+    pub trace: Option<String>,
+    /// Print the per-stage/metrics summary to stderr after the run
+    /// (requires the `obs` build feature).
+    pub metrics: bool,
 }
 
 impl Default for Options {
@@ -33,6 +39,8 @@ impl Default for Options {
             data_dir: None,
             only: None,
             json: false,
+            trace: None,
+            metrics: false,
         }
     }
 }
@@ -82,6 +90,8 @@ impl Options {
                 "--only" => opts.only = Some(value("--only")?),
                 "--full" => opts.scale = 1.0,
                 "--json" => opts.json = true,
+                "--trace" => opts.trace = Some(value("--trace")?),
+                "--metrics" => opts.metrics = true,
                 "--help" | "-h" => {
                     return Err(HELP.to_string());
                 }
@@ -114,7 +124,10 @@ Flags:
   --seed <n>      generator seed (default 42)
   --data <dir>    directory with real SNAP files (<Dataset>.txt) to use instead
   --only <name>   run only datasets whose name contains <name>
-  --json          emit JSON";
+  --json          emit JSON
+  --trace <file>  write a Chrome trace (chrome://tracing JSON) of the run
+  --metrics       print the per-stage/metrics summary to stderr
+                  (--trace/--metrics need a build with --features obs)";
 
 #[cfg(test)]
 mod tests {
@@ -164,6 +177,17 @@ mod tests {
     #[test]
     fn value_flags_require_values() {
         assert!(parse(&["--seed"]).is_err());
+    }
+
+    #[test]
+    fn trace_and_metrics() {
+        let o = parse(&["--trace", "/tmp/t.json", "--metrics"]).unwrap();
+        assert_eq!(o.trace.as_deref(), Some("/tmp/t.json"));
+        assert!(o.metrics);
+        assert!(parse(&["--trace"]).is_err());
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.trace, None);
+        assert!(!d.metrics);
     }
 
     #[test]

@@ -189,6 +189,7 @@ mod tests {
                     speedup_percent: 0.0,
                     paper_time_ms: Some(164.76),
                     paper_speedup_percent: None,
+                    stages: Vec::new(),
                 },
                 ProcessorSample {
                     processors: 4,
@@ -196,6 +197,7 @@ mod tests {
                     speedup_percent: 60.0,
                     paper_time_ms: Some(57.94),
                     paper_speedup_percent: Some(64.83),
+                    stages: Vec::new(),
                 },
             ],
         }

@@ -1,0 +1,47 @@
+//! `--trace` / `--metrics` wiring shared by the harness binaries.
+//!
+//! The flags are always parsed, but recording only happens when the binary
+//! was built with the `obs` feature (which turns on `parcsr-obs/enabled`);
+//! without it [`setup`] warns and the run proceeds uninstrumented.
+
+use std::path::Path;
+
+use parcsr_obs::SpanRecord;
+
+use crate::options::Options;
+
+/// Switches runtime span/metric recording on when the options ask for it.
+/// Call once, before the measured work.
+pub fn setup(opts: &Options) {
+    if opts.trace.is_none() && !opts.metrics {
+        return;
+    }
+    if !parcsr_obs::compiled() {
+        eprintln!(
+            "warning: --trace/--metrics need a build with the obs feature \
+             (cargo run -p parcsr-bench --features obs ...); nothing will be recorded"
+        );
+    }
+    parcsr_obs::set_enabled(true);
+}
+
+/// Writes the Chrome trace file and/or prints the metrics summary, per the
+/// options. Call once, after the measured work, with the collected spans.
+/// Exits non-zero if a requested trace file cannot be written.
+pub fn finish(opts: &Options, spans: &[SpanRecord]) {
+    if let Some(path) = &opts.trace {
+        match parcsr_obs::export::write_chrome_trace(Path::new(path), spans) {
+            Ok(()) => eprintln!("trace: wrote {} spans to {path}", spans.len()),
+            Err(e) => {
+                eprintln!("trace: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if opts.metrics {
+        eprint!(
+            "{}",
+            parcsr_obs::export::summary_table(spans, &parcsr_obs::metrics::snapshot())
+        );
+    }
+}

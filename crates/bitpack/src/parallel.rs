@@ -40,14 +40,20 @@ pub fn pack_parallel_with_width(values: &[u64], chunks: usize, width: u32) -> Pa
     // global location").
     let parts: Vec<PackedArray> = ranges
         .into_par_iter()
-        .map(|r| PackedArray::pack_with_width(&values[r], width))
+        .map(|r| {
+            let _span = parcsr_obs::enter("bitpack.chunk");
+            PackedArray::pack_with_width(&values[r], width)
+        })
         .collect();
 
     // Merge step (Alg. 4 line 5: "merge all bitArrays from global location").
-    let mut merged = BitBuf::with_capacity(values.len() * width as usize);
-    for part in &parts {
-        merged.extend_from(part.bit_buf());
-    }
+    let merged = parcsr_obs::with_span("bitpack.merge", || {
+        let mut merged = BitBuf::with_capacity(values.len() * width as usize);
+        for part in &parts {
+            merged.extend_from(part.bit_buf());
+        }
+        merged
+    });
     PackedArray::from_raw_parts(merged, width, values.len())
 }
 

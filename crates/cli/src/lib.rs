@@ -20,13 +20,44 @@ pub mod commands;
 pub mod parse;
 
 pub use commands::execute;
-pub use parse::{Command, ParseError};
+pub use parse::{Command, ObsOptions, ParseError};
 
 /// Parses and executes an argument list, returning the report to print.
+///
+/// The global `--trace FILE` / `--metrics` switches (valid anywhere on the
+/// command line) wrap the run in observability collection; they need a
+/// binary built with the `obs` feature to record anything.
 pub fn run<I>(args: I) -> Result<String, String>
 where
     I: IntoIterator<Item = String>,
 {
-    let command = Command::parse(args).map_err(|e| e.to_string())?;
-    execute(&command).map_err(|e| e.to_string())
+    let (obs, rest) = ObsOptions::extract(args).map_err(|e| e.to_string())?;
+    if obs.active() {
+        if !parcsr_obs::compiled() {
+            eprintln!(
+                "warning: --trace/--metrics need a build with the obs feature \
+                 (cargo run -p parcsr-cli --features obs ...); nothing will be recorded"
+            );
+        }
+        parcsr_obs::set_enabled(true);
+    }
+    let command = Command::parse(rest).map_err(|e| e.to_string())?;
+    let result = execute(&command).map_err(|e| e.to_string());
+    if obs.active() {
+        parcsr_obs::set_enabled(false);
+        let spans = parcsr_obs::drain();
+        if let Some(path) = &obs.trace {
+            match parcsr_obs::export::write_chrome_trace(std::path::Path::new(path), &spans) {
+                Ok(()) => eprintln!("trace: wrote {} spans to {path}", spans.len()),
+                Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+            }
+        }
+        if obs.metrics {
+            eprint!(
+                "{}",
+                parcsr_obs::export::summary_table(&spans, &parcsr_obs::metrics::snapshot())
+            );
+        }
+    }
+    result
 }

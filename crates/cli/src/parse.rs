@@ -88,6 +88,47 @@ pub enum Command {
     },
 }
 
+/// Global observability switches, valid anywhere on the command line and
+/// stripped from the argument list before subcommand parsing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsOptions {
+    /// Write a Chrome trace-event JSON of the run to this path.
+    pub trace: Option<String>,
+    /// Print the per-stage/metrics summary to stderr after the run.
+    pub metrics: bool,
+}
+
+impl ObsOptions {
+    /// Extracts `--trace FILE` / `--metrics` from `args`, returning the
+    /// switches and the remaining arguments in order.
+    pub fn extract<I>(args: I) -> Result<(ObsOptions, Vec<String>), ParseError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut obs = ObsOptions::default();
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--trace" => {
+                    obs.trace = Some(
+                        it.next()
+                            .ok_or_else(|| invalid("--trace requires a value"))?,
+                    );
+                }
+                "--metrics" => obs.metrics = true,
+                _ => rest.push(arg),
+            }
+        }
+        Ok((obs, rest))
+    }
+
+    /// True when either switch was given.
+    pub fn active(&self) -> bool {
+        self.trace.is_some() || self.metrics
+    }
+}
+
 /// Parse failures, including the help text path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
@@ -118,7 +159,12 @@ commands:
   info     FILE.pcsr
   query    FILE.pcsr [--neighbors u1,u2,...] [--edge u,v] [--procs P]
   temporal-compress INPUT --out FILE [--mode random|gap] [--procs P]
-  temporal-query FILE.tcsr --frame T [--edge u,v] [--neighbors u1,u2] [--count]";
+  temporal-query FILE.tcsr --frame T [--edge u,v] [--neighbors u1,u2] [--count]
+
+global flags (any command):
+  --trace FILE    write a Chrome trace (chrome://tracing JSON) of the run
+  --metrics       print the per-stage/metrics summary to stderr
+                  (both need a binary built with --features obs)";
 
 fn invalid(msg: impl Into<String>) -> ParseError {
     ParseError::Invalid(msg.into())
@@ -487,6 +533,31 @@ mod tests {
             parse(&["temporal-query", "g.tcsr", "--count"]).is_err(),
             "frame required"
         );
+    }
+
+    #[test]
+    fn obs_flags_strip_from_anywhere() {
+        let args = [
+            "--metrics",
+            "compress",
+            "in.txt",
+            "--trace",
+            "/tmp/t.json",
+            "--out",
+            "o",
+        ];
+        let (obs, rest) = ObsOptions::extract(args.iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(obs.trace.as_deref(), Some("/tmp/t.json"));
+        assert!(obs.metrics);
+        assert!(obs.active());
+        let c = Command::parse(rest).unwrap();
+        assert!(matches!(c, Command::Compress { .. }));
+
+        let (obs, rest) = ObsOptions::extract(["stats".to_string(), "g.txt".to_string()]).unwrap();
+        assert!(!obs.active());
+        assert_eq!(rest, ["stats", "g.txt"]);
+
+        assert!(ObsOptions::extract(["--trace".to_string()]).is_err());
     }
 
     #[test]

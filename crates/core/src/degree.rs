@@ -83,6 +83,7 @@ pub fn degrees_parallel(edges: &[Edge], num_nodes: usize, processors: usize) -> 
     let temp_degrees: Vec<(NodeId, u32)> = ranges
         .par_iter()
         .map(|r| {
+            let _span = parcsr_obs::enter("degree.chunk");
             count_chunk_runs(&edges[r.clone()], num_nodes, |node, run_len| {
                 global[node as usize].store(run_len, Ordering::Relaxed);
             })
@@ -96,9 +97,11 @@ pub fn degrees_parallel(edges: &[Edge], num_nodes: usize, processors: usize) -> 
     // Algorithm 3's merge: fold each chunk's head count back in. Multiple
     // chunks may share a head node (a hub spanning several chunks), hence
     // `+=` rather than a store.
-    for (node, count) in temp_degrees {
-        degrees[node as usize] += count;
-    }
+    parcsr_obs::with_span("degree.merge", || {
+        for (node, count) in temp_degrees {
+            degrees[node as usize] += count;
+        }
+    });
     degrees
 }
 

@@ -57,13 +57,16 @@ impl BitPackedCsr {
     /// Packs a CSR using `processors` parallel packers per array
     /// (Algorithm 4 runs the bit-pack once for `iA` and once for `jA`).
     pub fn from_csr(csr: &Csr, mode: PackedCsrMode, processors: usize) -> Self {
-        let offsets = pack_parallel_with_width(
-            csr.offsets(),
-            processors,
-            bits_needed(csr.num_edges() as u64),
-        );
+        parcsr_obs::span!("pack");
+        let offsets = parcsr_obs::with_span("pack.offsets", || {
+            pack_parallel_with_width(
+                csr.offsets(),
+                processors,
+                bits_needed(csr.num_edges() as u64),
+            )
+        });
 
-        let column_values: Vec<u64> = match mode {
+        let column_values: Vec<u64> = parcsr_obs::with_span("pack.encode", || match mode {
             PackedCsrMode::Raw => csr.targets().par_iter().map(|&v| u64::from(v)).collect(),
             PackedCsrMode::Gap => {
                 // Gap-code each row independently, in parallel over rows.
@@ -99,10 +102,12 @@ impl BitPackedCsr {
                 });
                 out
             }
-        };
+        });
 
-        let col_width = bits_needed(column_values.iter().copied().max().unwrap_or(0));
-        let columns = pack_parallel_with_width(&column_values, processors, col_width);
+        let columns = parcsr_obs::with_span("pack.columns", || {
+            let col_width = bits_needed(column_values.iter().copied().max().unwrap_or(0));
+            pack_parallel_with_width(&column_values, processors, col_width)
+        });
 
         BitPackedCsr {
             num_nodes: csr.num_nodes(),
@@ -170,6 +175,7 @@ impl BitPackedCsr {
     ///
     /// Panics if `u` is out of range.
     pub fn row_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        let _t = parcsr_obs::time_histogram(&parcsr_obs::metrics::wellknown::ROW_ITER_NS);
         let it = self.row_iter(u);
         out.clear();
         out.reserve(it.len());
@@ -193,6 +199,7 @@ impl BitPackedCsr {
     ///   the probe streams the row with an early exit once the running sum
     ///   reaches `v` (rows are sorted, so the sum is non-decreasing).
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let _t = parcsr_obs::time_histogram(&parcsr_obs::metrics::wellknown::HAS_EDGE_NS);
         let i = u as usize;
         assert!(i < self.num_nodes, "node {u} out of range");
         let start = self.offsets.get(i) as usize;

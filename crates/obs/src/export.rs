@@ -1,0 +1,249 @@
+//! Exporters: Chrome trace JSON and the human-readable summary table.
+//!
+//! The trace writer emits the Chrome trace-event "JSON array format" — a
+//! list of complete (`"ph": "X"`) events with microsecond timestamps — which
+//! loads directly in `chrome://tracing` and Perfetto. One trace row per
+//! worker: `tid 0` is the coordinator, `tid 1..=p` are the pool workers.
+//! Events are sorted by `(tid, ts, depth)`, so each thread's events appear
+//! in chronological order with parents before the children they enclose.
+//!
+//! The summary exporter renders per-stage and per-(stage, worker) wall-clock
+//! aggregates plus the metrics snapshot (counters, gauges, histogram
+//! percentiles) as fixed-width text for terminals and log files.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRecord;
+
+/// Builds the Chrome trace-event JSON tree (array format) for `spans`.
+#[must_use]
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> Json {
+    let mut sorted: Vec<&SpanRecord> = spans.iter().collect();
+    sorted.sort_by_key(|r| (r.tid, r.start_ns, r.depth));
+    Json::Array(
+        sorted
+            .iter()
+            .map(|r| {
+                Json::Object(vec![
+                    ("name".into(), Json::Str(r.name.to_string())),
+                    ("cat".into(), Json::Str("parcsr".to_string())),
+                    ("ph".into(), Json::Str("X".to_string())),
+                    ("ts".into(), Json::Float(r.start_ns as f64 / 1_000.0)),
+                    ("dur".into(), Json::Float(r.dur_ns as f64 / 1_000.0)),
+                    ("pid".into(), Json::Int(1)),
+                    ("tid".into(), Json::Int(i64::from(r.tid))),
+                    (
+                        "args".into(),
+                        Json::Object(vec![("depth".into(), Json::Int(i64::from(r.depth)))]),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Writes `spans` as a Chrome trace file at `path` (see [`chrome_trace_json`]).
+pub fn write_chrome_trace(path: &Path, spans: &[SpanRecord]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(chrome_trace_json(spans).pretty().as_bytes())?;
+    file.write_all(b"\n")
+}
+
+/// Per-stage wall-clock aggregate used by the summary table and the bench
+/// JSON breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageAgg {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of spans with this name.
+    pub calls: u64,
+    /// Summed duration, milliseconds.
+    pub total_ms: f64,
+    /// Distinct worker ids that ran this stage.
+    pub workers: usize,
+}
+
+/// Aggregates spans by name, insertion-ordered by first appearance (which
+/// for a pipeline run is pipeline order). Pass `top_level_only = true` to
+/// keep only `depth == 0` coordinator spans — the per-stage breakdown whose
+/// durations sum to the end-to-end construction time.
+#[must_use]
+pub fn aggregate_stages(spans: &[SpanRecord], top_level_only: bool) -> Vec<StageAgg> {
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut by_name: BTreeMap<&'static str, (u64, u64, Vec<u32>)> = BTreeMap::new();
+    for r in spans {
+        if top_level_only && !(r.depth == 0 && r.tid == 0) {
+            continue;
+        }
+        let entry = by_name.entry(r.name).or_insert_with(|| {
+            order.push(r.name);
+            (0, 0, Vec::new())
+        });
+        entry.0 += 1;
+        entry.1 += r.dur_ns;
+        if !entry.2.contains(&r.tid) {
+            entry.2.push(r.tid);
+        }
+    }
+    order
+        .iter()
+        .map(|name| {
+            let (calls, total_ns, workers) = &by_name[name];
+            StageAgg {
+                name,
+                calls: *calls,
+                total_ms: *total_ns as f64 / 1e6,
+                workers: workers.len(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the per-stage / per-worker summary table plus the metrics
+/// snapshot as fixed-width text. Returns a note instead of tables when
+/// nothing was recorded.
+#[must_use]
+pub fn summary_table(spans: &[SpanRecord], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if spans.is_empty() && metrics.is_empty() {
+        out.push_str("obs: nothing recorded");
+        if !crate::compiled() {
+            out.push_str(" (parcsr-obs compiled without the `enabled` feature)");
+        }
+        out.push('\n');
+        return out;
+    }
+
+    if !spans.is_empty() {
+        out.push_str("== stages (all spans, by name) ==\n");
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>12} {:>12} {:>8}\n",
+            "stage", "calls", "total_ms", "mean_us", "workers"
+        ));
+        for agg in aggregate_stages(spans, false) {
+            let mean_us = agg.total_ms * 1e3 / agg.calls as f64;
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>12.3} {:>12.2} {:>8}\n",
+                agg.name, agg.calls, agg.total_ms, mean_us, agg.workers
+            ));
+        }
+
+        out.push_str("\n== per worker (stage x tid) ==\n");
+        out.push_str(&format!(
+            "{:<24} {:>6} {:>8} {:>12}\n",
+            "stage", "tid", "calls", "total_ms"
+        ));
+        let mut per_worker: BTreeMap<(&'static str, u32), (u64, u64)> = BTreeMap::new();
+        let mut order: Vec<(&'static str, u32)> = Vec::new();
+        for r in spans {
+            let key = (r.name, r.tid);
+            let entry = per_worker.entry(key).or_insert_with(|| {
+                order.push(key);
+                (0, 0)
+            });
+            entry.0 += 1;
+            entry.1 += r.dur_ns;
+        }
+        for key in order {
+            let (calls, total_ns) = per_worker[&key];
+            out.push_str(&format!(
+                "{:<24} {:>6} {:>8} {:>12.3}\n",
+                key.0,
+                key.1,
+                calls,
+                total_ns as f64 / 1e6
+            ));
+        }
+    }
+
+    if !metrics.is_empty() {
+        out.push_str("\n== metrics ==\n");
+        for (name, v) in &metrics.counters {
+            out.push_str(&format!("counter   {name:<28} {v}\n"));
+        }
+        for (name, v) in &metrics.gauges {
+            out.push_str(&format!("gauge     {name:<28} {v}\n"));
+        }
+        for (name, h) in &metrics.histograms {
+            out.push_str(&format!(
+                "histogram {name:<28} count={} p50={} p95={} p99={} max={}\n",
+                h.count, h.p50, h.p95, h.p99, h.max
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, start: u64, dur: u64, tid: u32, depth: u16) -> SpanRecord {
+        SpanRecord {
+            name,
+            start_ns: start,
+            dur_ns: dur,
+            tid,
+            depth,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_order() {
+        let spans = vec![
+            span("b", 5_000, 1_000, 1, 0),
+            span("a", 1_000, 8_000, 0, 0),
+            span("a.child", 2_000, 2_000, 0, 1),
+        ];
+        let json = chrome_trace_json(&spans);
+        let events = json.as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        // Sorted by (tid, ts): both tid-0 events precede the tid-1 event.
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("a"));
+        assert_eq!(events[1].get("name").unwrap().as_str(), Some("a.child"));
+        assert_eq!(events[2].get("name").unwrap().as_str(), Some("b"));
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            assert!(e.get("ts").unwrap().as_f64().is_some());
+            assert!(e.get("dur").unwrap().as_f64().is_some());
+            assert!(e.get("tid").unwrap().as_i64().is_some());
+        }
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(events[0].get("dur").unwrap().as_f64(), Some(8.0));
+    }
+
+    #[test]
+    fn aggregate_top_level_keeps_coordinator_roots_only() {
+        let spans = vec![
+            span("degree", 0, 4_000_000, 0, 0),
+            span("degree.chunk", 100, 1_000_000, 1, 0),
+            span("scan", 4_000_000, 2_000_000, 0, 0),
+            span("scan.fixup", 4_100_000, 500_000, 0, 1),
+        ];
+        let top = aggregate_stages(&spans, true);
+        assert_eq!(
+            top.iter().map(|a| a.name).collect::<Vec<_>>(),
+            ["degree", "scan"]
+        );
+        assert!((top[0].total_ms - 4.0).abs() < 1e-9);
+        let all = aggregate_stages(&spans, false);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn summary_table_renders_all_sections() {
+        let spans = vec![span("degree", 0, 1_500_000, 0, 0)];
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.push(("pool.installs".into(), 3));
+        let text = summary_table(&spans, &metrics);
+        assert!(text.contains("degree"));
+        assert!(text.contains("pool.installs"));
+        assert!(text.contains("== per worker"));
+        let empty = summary_table(&[], &MetricsSnapshot::default());
+        assert!(empty.contains("nothing recorded"));
+    }
+}

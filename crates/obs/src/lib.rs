@@ -1,0 +1,92 @@
+//! Zero-dependency observability for the parcsr pipeline (tracing, metrics,
+//! per-stage profiling).
+//!
+//! The paper's whole evaluation is per-stage wall-clock attribution — degree
+//! count, prefix sum, scatter, bit packing, TCSR merge — so the reproduction
+//! needs to see *where* time goes at each processor count, not just whole
+//! experiment durations. This crate provides that with no external
+//! dependencies (the workspace builds offline):
+//!
+//! * **Spans** ([`span`]): RAII guards created with [`enter`] or the
+//!   [`span!`] macro, timed on the monotonic clock, nestable, recorded into
+//!   per-thread buffers that merge into a global sink when worker threads
+//!   exit (the rayon shim's scoped workers exit at join, so merge-at-join is
+//!   automatic). Each span carries the worker id it ran on.
+//! * **Metrics** ([`metrics`]): atomic counters and gauges plus log-bucketed
+//!   (HDR-style) latency histograms with p50/p95/p99 extraction, used on the
+//!   query path (`has_edge`, `row_iter`).
+//! * **Exporters** ([`export`]): a human-readable per-stage/per-thread
+//!   summary table and a Chrome `chrome://tracing` JSON trace writer built
+//!   on the hand-rolled [`json`] module (shared with `parcsr-bench`).
+//!
+//! # Cost model
+//!
+//! Instrumented crates call the entry points here unconditionally. Without
+//! the `enabled` cargo feature every entry point is an empty
+//! `#[inline(always)]` function and every guard is a zero-sized type, so
+//! disabled builds — the default everywhere in the workspace — pay nothing,
+//! on the hot query path or anywhere else. With the feature compiled in,
+//! recording is additionally gated behind a runtime [`set_enabled`] switch
+//! (one relaxed atomic load when off) so `--trace` / `--metrics` flags decide
+//! whether anything is collected.
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{counter, gauge, time_histogram, Counter, Gauge, Histogram, QueryTimer};
+pub use span::{drain, enter, with_span, Span, SpanRecord};
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[cfg(feature = "enabled")]
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether instrumentation was compiled in (the `enabled` cargo feature).
+#[must_use]
+pub const fn compiled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Turns runtime recording on or off. A no-op unless the `enabled` feature
+/// was compiled in.
+pub fn set_enabled(on: bool) {
+    #[cfg(feature = "enabled")]
+    ENABLED.store(on, Ordering::Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = on;
+}
+
+/// True when instrumentation is compiled in *and* runtime recording is on.
+#[inline(always)]
+#[must_use]
+pub fn is_enabled() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        ENABLED.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// Opens a span that lasts until the end of the enclosing scope.
+///
+/// ```
+/// fn stage() {
+///     parcsr_obs::span!("degree_count");
+///     // ... work timed under "degree_count" ...
+/// }
+/// ```
+///
+/// Two `span!` invocations in the same scope *nest* (both guards live to the
+/// scope's end); for sequential stages use nested blocks or [`with_span`].
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _parcsr_obs_span_guard = $crate::enter($name);
+    };
+}

@@ -1,0 +1,194 @@
+//! Span-based tracing: RAII guards, per-thread buffers, merge at join.
+//!
+//! A span is opened with [`enter`] (or the [`span!`](crate::span!) macro) and
+//! closed when its guard drops. Open spans nest: each thread tracks a depth
+//! counter, and the recorded depth is the nesting level at entry. Completed
+//! spans go into a plain per-thread `Vec` — no locking, no atomics on the
+//! record path — and are flushed into a global sink when the thread exits.
+//! The rayon shim runs workers as scoped threads that exit at the end of
+//! every parallel region, so worker spans merge into the sink exactly at
+//! join. The coordinator's own buffer is flushed by [`drain`].
+//!
+//! Worker attribution: the record's `tid` is `0` for the coordinator (any
+//! thread outside a pool worker) and `1 + rayon::current_thread_index()` for
+//! pool workers, so a trace at width `p` shows tids `0..=p`.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name passed to [`enter`].
+    pub name: &'static str,
+    /// Start time in nanoseconds on the process-wide monotonic clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Worker id: `0` = coordinator, `1..=p` = pool worker `tid - 1`.
+    pub tid: u32,
+    /// Nesting depth at entry (0 = top level on its thread).
+    pub depth: u16,
+}
+
+impl SpanRecord {
+    /// End time in nanoseconds (`start_ns + dur_ns`).
+    #[must_use]
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// Nanoseconds since the process-wide epoch (first use of the clock).
+/// Monotonic: backed by [`Instant`].
+#[must_use]
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+#[cfg(feature = "enabled")]
+mod collect {
+    use super::{now_ns, SpanRecord};
+    use std::cell::RefCell;
+    use std::sync::{Mutex, PoisonError};
+
+    pub(super) struct ActiveSpan {
+        name: &'static str,
+        start_ns: u64,
+        depth: u16,
+    }
+
+    #[derive(Default)]
+    struct ThreadBuf {
+        records: Vec<SpanRecord>,
+        depth: u16,
+    }
+
+    impl Drop for ThreadBuf {
+        fn drop(&mut self) {
+            // Thread exit: merge this worker's spans into the global sink.
+            // For pool workers this runs at the end of the parallel region
+            // (the shim scopes workers per region), i.e. at join.
+            flush_records(std::mem::take(&mut self.records));
+        }
+    }
+
+    thread_local! {
+        static BUF: RefCell<ThreadBuf> = RefCell::new(ThreadBuf::default());
+    }
+
+    static SINK: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+    fn flush_records(mut records: Vec<SpanRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        SINK.lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .append(&mut records);
+    }
+
+    pub(super) fn begin(name: &'static str) -> Option<ActiveSpan> {
+        if !crate::is_enabled() {
+            return None;
+        }
+        BUF.with(|b| {
+            let mut b = b.borrow_mut();
+            let depth = b.depth;
+            b.depth = b.depth.saturating_add(1);
+            Some(ActiveSpan {
+                name,
+                start_ns: now_ns(),
+                depth,
+            })
+        })
+    }
+
+    pub(super) fn finish(active: ActiveSpan) {
+        let end_ns = now_ns();
+        let tid = rayon::current_thread_index().map_or(0, |i| i as u32 + 1);
+        BUF.with(|b| {
+            let mut b = b.borrow_mut();
+            b.depth = b.depth.saturating_sub(1);
+            b.records.push(SpanRecord {
+                name: active.name,
+                start_ns: active.start_ns,
+                dur_ns: end_ns.saturating_sub(active.start_ns),
+                tid,
+                depth: active.depth,
+            });
+        });
+    }
+
+    pub(super) fn drain() -> Vec<SpanRecord> {
+        BUF.with(|b| {
+            let records = std::mem::take(&mut b.borrow_mut().records);
+            flush_records(records);
+        });
+        let mut all = std::mem::take(&mut *SINK.lock().unwrap_or_else(PoisonError::into_inner));
+        all.sort_by_key(|r| (r.tid, r.start_ns, r.depth));
+        all
+    }
+}
+
+/// RAII span guard; records a [`SpanRecord`] when dropped. Zero-sized when
+/// the `enabled` feature is off.
+pub struct Span {
+    #[cfg(feature = "enabled")]
+    active: Option<collect::ActiveSpan>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some(active) = self.active.take() {
+            collect::finish(active);
+        }
+    }
+}
+
+/// Opens a span named `name`; it closes when the returned guard drops.
+/// `name` should be a short stable stage identifier (`"degree"`, `"scan"`,
+/// `"scan.chunk"` …). Compiles to nothing when the `enabled` feature is off;
+/// records nothing when runtime recording is off.
+#[inline(always)]
+pub fn enter(name: &'static str) -> Span {
+    #[cfg(feature = "enabled")]
+    {
+        Span {
+            active: collect::begin(name),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = name;
+        Span {}
+    }
+}
+
+/// Runs `f` under a span named `name` and returns its result. Convenient for
+/// wrapping a sequential stage expression.
+#[inline(always)]
+pub fn with_span<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let _span = enter(name);
+    f()
+}
+
+/// Takes all completed spans recorded so far (flushing the calling thread's
+/// buffer first) and resets the sink. Spans still open, or buffered on other
+/// live threads, are not included — drain after joining workers. Returns
+/// records sorted by `(tid, start_ns, depth)`; always empty when the
+/// `enabled` feature is off.
+#[must_use]
+pub fn drain() -> Vec<SpanRecord> {
+    #[cfg(feature = "enabled")]
+    {
+        collect::drain()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}

@@ -1,0 +1,48 @@
+//! With the `enabled` feature off (the workspace default), every facade
+//! entry point must be callable and record nothing — this is the
+//! configuration every production crate builds in.
+#![cfg(not(feature = "enabled"))]
+
+use parcsr_obs::{self as obs, export, metrics};
+
+#[test]
+fn facade_is_inert_without_the_feature() {
+    assert!(!obs::compiled());
+    obs::set_enabled(true); // no-op: the switch needs the feature
+    assert!(!obs::is_enabled());
+
+    {
+        obs::span!("stage");
+        let _guard = obs::enter("nested");
+        assert_eq!(obs::with_span("inner", || 7), 7);
+    }
+    assert!(obs::drain().is_empty());
+
+    metrics::counter("c").inc();
+    metrics::gauge("g").set(9);
+    metrics::histogram("h").record(100);
+    {
+        let _t = metrics::time_histogram(&metrics::wellknown::HAS_EDGE_NS);
+    }
+    assert_eq!(metrics::wellknown::HAS_EDGE_NS.count(), 0);
+    let snap = metrics::snapshot();
+    assert!(snap.is_empty());
+
+    let note = export::summary_table(&obs::drain(), &snap);
+    assert!(note.contains("nothing recorded"));
+    assert!(note.contains("without the `enabled` feature"));
+}
+
+#[test]
+fn guards_are_zero_sized_when_disabled() {
+    // The zero-overhead claim, checked structurally: disabled guards carry
+    // no state at all.
+    assert_eq!(std::mem::size_of::<parcsr_obs::Span>(), 0);
+    assert_eq!(std::mem::size_of::<parcsr_obs::QueryTimer>(), 0);
+    assert_eq!(std::mem::size_of::<parcsr_obs::metrics::CounterHandle>(), 0);
+    assert_eq!(std::mem::size_of::<parcsr_obs::metrics::GaugeHandle>(), 0);
+    assert_eq!(
+        std::mem::size_of::<parcsr_obs::metrics::HistogramHandle>(),
+        0
+    );
+}

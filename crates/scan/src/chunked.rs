@@ -48,41 +48,45 @@ where
     }
 
     // Phase 1: independent per-chunk scans (Alg. 1 lines 2-3).
-    {
+    parcsr_obs::with_span("scan.chunk_pass", || {
         let parts = split_mut_by_ranges(data, &ranges);
-        parts
-            .into_par_iter()
-            .for_each(|chunk| inclusive_scan_seq_by(chunk, op));
-    }
+        parts.into_par_iter().for_each(|chunk| {
+            let _span = parcsr_obs::enter("scan.chunk");
+            inclusive_scan_seq_by(chunk, op);
+        });
+    });
     // Implicit sync(): the parallel iterator completes before we continue.
 
     // Phase 2: serialized carry propagation across chunk tails
     // (Alg. 1 lines 6-9; inherently a sequential chain).
-    for w in ranges.windows(2) {
-        let prev_last = data[w[0].end - 1];
-        let cur_last = &mut data[w[1].end - 1];
-        *cur_last = op.combine(prev_last, *cur_last);
-    }
+    parcsr_obs::with_span("scan.carry", || {
+        for w in ranges.windows(2) {
+            let prev_last = data[w[0].end - 1];
+            let cur_last = &mut data[w[1].end - 1];
+            *cur_last = op.combine(prev_last, *cur_last);
+        }
+    });
 
     // Phase 3: each chunk (except the first) adds the previous chunk's global
     // prefix to all but its last element (Alg. 1 lines 11-13).
-    let carries: Vec<T> = ranges[..ranges.len() - 1]
-        .iter()
-        .map(|r| data[r.end - 1])
-        .collect();
-    {
+    parcsr_obs::with_span("scan.fixup", || {
+        let carries: Vec<T> = ranges[..ranges.len() - 1]
+            .iter()
+            .map(|r| data[r.end - 1])
+            .collect();
         let mut parts = split_mut_by_ranges(data, &ranges);
         // Drop the first chunk: it has no incoming carry.
         let rest = parts.split_off(1);
         rest.into_par_iter()
             .zip(carries.into_par_iter())
             .for_each(|(chunk, carry)| {
+                let _span = parcsr_obs::enter("scan.fixup_chunk");
                 let last = chunk.len() - 1;
                 for x in &mut chunk[..last] {
                     *x = op.combine(carry, *x);
                 }
             });
-    }
+    });
 }
 
 /// In-place inclusive prefix sum with the paper's chunked algorithm.

@@ -33,39 +33,45 @@ where
     }
 
     // Pass 1: per-chunk totals.
-    let mut carries: Vec<T> = {
+    let mut carries: Vec<T> = parcsr_obs::with_span("scan.totals", || {
         let data = &*data;
         ranges
             .par_iter()
             .map(|r| {
+                let _span = parcsr_obs::enter("scan.totals_chunk");
                 data[r.clone()]
                     .iter()
                     .copied()
                     .fold(op.identity(), |a, b| op.combine(a, b))
             })
             .collect()
-    };
+    });
 
     // Serial exclusive scan of the totals: carries[c] = prefix before chunk c.
-    let mut acc = op.identity();
-    for c in carries.iter_mut() {
-        let next = op.combine(acc, *c);
-        *c = acc;
-        acc = next;
-    }
+    parcsr_obs::with_span("scan.carry", || {
+        let mut acc = op.identity();
+        for c in carries.iter_mut() {
+            let next = op.combine(acc, *c);
+            *c = acc;
+            acc = next;
+        }
+    });
 
     // Pass 2: per-chunk scan seeded with the carry.
-    let parts = split_mut_by_ranges(data, &ranges);
-    parts
-        .into_par_iter()
-        .zip(carries.into_par_iter())
-        .for_each(|(chunk, carry)| {
-            let mut acc = carry;
-            for x in chunk.iter_mut() {
-                acc = op.combine(acc, *x);
-                *x = acc;
-            }
-        });
+    parcsr_obs::with_span("scan.seeded", || {
+        let parts = split_mut_by_ranges(data, &ranges);
+        parts
+            .into_par_iter()
+            .zip(carries.into_par_iter())
+            .for_each(|(chunk, carry)| {
+                let _span = parcsr_obs::enter("scan.seeded_chunk");
+                let mut acc = carry;
+                for x in chunk.iter_mut() {
+                    acc = op.combine(acc, *x);
+                    *x = acc;
+                }
+            });
+    });
 }
 
 /// In-place inclusive prefix sum, two-pass formulation.

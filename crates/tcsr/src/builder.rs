@@ -105,10 +105,16 @@ impl TcsrBuilder {
         // Per chunk: (frame, sorted parity-collapsed key list) in frame
         // order. Chunks see disjoint event ranges of the (t, u, v)-sorted
         // stream, so each chunk's frames are contiguous and its keys sorted.
-        let chunk_frames: Vec<Vec<(Timestamp, Vec<u64>)>> = ranges
-            .par_iter()
-            .map(|r| collapse_chunk(&evs[r.clone()]))
-            .collect();
+        let chunk_frames: Vec<Vec<(Timestamp, Vec<u64>)>> =
+            parcsr_obs::with_span("tcsr.collapse", || {
+                ranges
+                    .par_iter()
+                    .map(|r| {
+                        let _span = parcsr_obs::enter("tcsr.chunk");
+                        collapse_chunk(&evs[r.clone()])
+                    })
+                    .collect()
+            });
         // collect() is the sync(): all chunk-local CSR pieces exist before
         // the boundary merge.
 
@@ -117,20 +123,24 @@ impl TcsrBuilder {
         // keys sorted, but a key pair split exactly at the seam needs one
         // more parity collapse.
         let mut per_frame: Vec<Vec<u64>> = vec![Vec::new(); num_frames];
-        for frames in chunk_frames {
-            for (t, keys) in frames {
-                merge_frame_piece(&mut per_frame[t as usize], keys);
+        parcsr_obs::with_span("tcsr.merge", || {
+            for frames in chunk_frames {
+                for (t, keys) in frames {
+                    merge_frame_piece(&mut per_frame[t as usize], keys);
+                }
             }
-        }
+        });
 
         // Pack every frame (parallel over frames; each pack is itself
         // chunk-parallel for large frames).
         let mode = self.mode;
         let p = self.processors;
-        let frames: Vec<DeltaFrame> = per_frame
-            .into_par_iter()
-            .map(|keys| DeltaFrame::from_sorted_keys(&keys, mode, p))
-            .collect();
+        let frames: Vec<DeltaFrame> = parcsr_obs::with_span("tcsr.pack", || {
+            per_frame
+                .into_par_iter()
+                .map(|keys| DeltaFrame::from_sorted_keys(&keys, mode, p))
+                .collect()
+        });
 
         Tcsr::from_frames(events.num_nodes(), frames)
     }

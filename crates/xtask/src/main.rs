@@ -3,6 +3,10 @@
 //!
 //! Commands:
 //!
+//! * `check-trace FILE` — validates a Chrome trace written by `--trace`
+//!   (see [`trace_check`]): parseable JSON array of complete events,
+//!   non-empty, time-ordered per thread. CI runs it on a bench smoke
+//!   trace so a silently-broken recorder fails the build.
 //! * `lint` — the workspace's static-analysis gate, in two stages:
 //!   1. **text lints** (see [`lints`]): every `unsafe` must carry a nearby
 //!      `// SAFETY:` comment, `unsafe` is forbidden outside a two-file
@@ -16,6 +20,7 @@
 //! Exit code 0 means the tree is clean; 1 means violations were printed.
 
 mod lints;
+mod trace_check;
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -24,9 +29,38 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(args.iter().any(|a| a == "--skip-clippy")),
+        Some("check-trace") => match args.get(1) {
+            Some(file) => check_trace(Path::new(file)),
+            None => {
+                eprintln!("usage: cargo xtask check-trace <trace.json>");
+                ExitCode::from(2)
+            }
+        },
         _ => {
-            eprintln!("usage: cargo xtask lint [--skip-clippy]");
+            eprintln!("usage: cargo xtask lint [--skip-clippy] | check-trace <trace.json>");
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Validates a `--trace` output file; exit 0 iff it is a well-formed,
+/// non-empty, per-thread time-ordered Chrome trace.
+fn check_trace(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask check-trace: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match trace_check::check_trace_text(&text) {
+        Ok(n) => {
+            eprintln!("xtask check-trace: {} ok ({n} events)", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask check-trace: {} invalid: {e}", path.display());
+            ExitCode::FAILURE
         }
     }
 }

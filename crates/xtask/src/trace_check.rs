@@ -1,0 +1,102 @@
+//! Validator for Chrome trace-event files produced by `parcsr-obs`
+//! (`--trace` on the bench binaries and the CLI).
+//!
+//! CI runs a bench smoke with `--trace` and feeds the output through
+//! `cargo xtask check-trace <file>`; the build fails if the trace is
+//! missing, unparseable, empty, structurally malformed, or not
+//! time-ordered per thread — the cheapest end-to-end proof that the
+//! instrumentation actually recorded the pipeline.
+
+use parcsr_obs::json::Json;
+
+/// Validates trace text; returns the event count on success.
+pub fn check_trace_text(text: &str) -> Result<usize, String> {
+    let json = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = json
+        .as_array()
+        .ok_or_else(|| "top level is not an array of trace events".to_string())?;
+    if events.is_empty() {
+        return Err("trace contains no events (was the binary built with --features obs?)".into());
+    }
+
+    // (tid, last ts) pairs; traces have few distinct tids, linear scan is fine.
+    let mut last_ts: Vec<(i64, f64)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        if ev.as_object().is_none() {
+            return Err(format!("event {i} is not an object"));
+        }
+        for field in ["name", "ph", "ts", "dur", "pid", "tid"] {
+            if ev.get(field).is_none() {
+                return Err(format!("event {i} is missing required field `{field}`"));
+            }
+        }
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            return Err(format!("event {i} is not a complete (`ph: \"X\"`) event"));
+        }
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("event {i} has a non-integer tid"))?;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i} has a non-numeric ts"))?;
+        match last_ts.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, last)) => {
+                if ts < *last {
+                    return Err(format!(
+                        "event {i} (tid {tid}) goes backwards in time: ts {ts} after {last}"
+                    ));
+                }
+                *last = ts;
+            }
+            None => last_ts.push((tid, ts)),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str, tid: i64, ts: i64) -> String {
+        format!(
+            r#"{{"name":"{name}","cat":"parcsr","ph":"X","ts":{ts},"dur":5,"pid":1,"tid":{tid},"args":{{"depth":0}}}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_a_well_formed_trace() {
+        let text = format!(
+            "[{},{},{}]",
+            event("degree", 0, 10),
+            event("scan", 0, 20),
+            event("degree.chunk", 1, 12)
+        );
+        assert_eq!(check_trace_text(&text), Ok(3));
+    }
+
+    #[test]
+    fn rejects_garbage_and_empty() {
+        assert!(check_trace_text("not json").is_err());
+        assert!(check_trace_text("{}").is_err());
+        let err = check_trace_text("[]").unwrap_err();
+        assert!(err.contains("no events"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_disorder() {
+        let err = check_trace_text(r#"[{"name":"x","ph":"X"}]"#).unwrap_err();
+        assert!(err.contains("missing required field"), "{err}");
+
+        // Same tid going backwards in time must fail...
+        let text = format!("[{},{}]", event("a", 0, 20), event("b", 0, 10));
+        let err = check_trace_text(&text).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+
+        // ...but interleaved tids each monotone are fine.
+        let text = format!("[{},{}]", event("a", 0, 20), event("b", 1, 10));
+        assert_eq!(check_trace_text(&text), Ok(2));
+    }
+}

@@ -7,14 +7,29 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mkdir -p results
-echo "== building release binaries =="
-cargo build --release -p parcsr-bench
+echo "== building release binaries (obs feature: tracing + metrics) =="
+cargo build --release -p parcsr-bench --features obs
 
 echo "== Table II =="
-cargo run --release -q -p parcsr-bench --bin table2 -- "$@" | tee results/table2.md
+cargo run --release -q -p parcsr-bench --features obs --bin table2 -- \
+  --metrics --trace results/table2.trace.json "$@" \
+  | tee results/table2.md \
+  2> >(tee results/table2.stages.txt >&2)
 echo "== Figure 6 =="
-cargo run --release -q -p parcsr-bench --bin fig6 -- "$@" | tee results/fig6.txt
+cargo run --release -q -p parcsr-bench --features obs --bin fig6 -- \
+  --metrics --trace results/fig6.trace.json "$@" \
+  | tee results/fig6.txt \
+  2> >(tee results/fig6.stages.txt >&2)
 echo "== Figure 7 =="
-cargo run --release -q -p parcsr-bench --bin fig7 -- "$@" | tee results/fig7.txt
+cargo run --release -q -p parcsr-bench --features obs --bin fig7 -- \
+  --metrics --trace results/fig7.trace.json "$@" \
+  | tee results/fig7.txt \
+  2> >(tee results/fig7.stages.txt >&2)
 
-echo "results written to results/"
+# Machine-readable per-stage breakdown per (dataset, p): the bench JSON
+# schema carries a `stages` array on every processor sample.
+echo "== Table II (JSON, per-stage breakdown) =="
+cargo run --release -q -p parcsr-bench --features obs --bin table2 -- \
+  --json --metrics "$@" > results/table2.stages.json
+
+echo "results written to results/ (incl. *.trace.json Chrome traces and *.stages.* breakdowns)"

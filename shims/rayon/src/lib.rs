@@ -52,6 +52,16 @@ pub mod prelude {
 
 thread_local! {
     static POOL_WIDTH: Cell<Option<usize>> = const { Cell::new(None) };
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Index of the current worker thread within its parallel region (0-based),
+/// or `None` on any thread that is not a pool worker — the same shape as
+/// rayon's free function. The shim spawns workers per region, so the index
+/// identifies which of the `p` chunk workers (or `join`'s second arm) is
+/// running; instrumentation uses it to attribute spans to workers.
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
 }
 
 /// Number of threads in the current pool: the width `install`ed on this
@@ -146,6 +156,8 @@ where
     std::thread::scope(|scope| {
         let hb = scope.spawn(|| {
             POOL_WIDTH.with(|w| w.set(Some(1)));
+            // The spawned arm is "the other worker" relative to the caller.
+            WORKER_INDEX.with(|w| w.set(Some(1)));
             b()
         });
         let ra = a();
@@ -159,7 +171,7 @@ where
 
 /// The scoped-thread work driver shared by the eager adapters.
 mod pool {
-    use super::POOL_WIDTH;
+    use super::{POOL_WIDTH, WORKER_INDEX};
 
     /// Splits `items` into `parts` contiguous runs of near-equal size
     /// (larger first — the same convention as `parcsr_scan::chunk_ranges`).
@@ -192,9 +204,11 @@ mod pool {
         std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
-                .map(|chunk| {
+                .enumerate()
+                .map(|(index, chunk)| {
                     scope.spawn(move || {
                         POOL_WIDTH.with(|w| w.set(Some(1)));
+                        WORKER_INDEX.with(|w| w.set(Some(index)));
                         work(chunk)
                     })
                 })
@@ -752,6 +766,32 @@ mod tests {
             .flat_map(|i| (0..i).map(move |j| i * 100 + j))
             .collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn worker_index_attributes_chunks_and_join_arms() {
+        // Outside any pool: no worker identity.
+        assert_eq!(crate::current_thread_index(), None);
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let indices: Vec<Option<usize>> = pool.install(|| {
+            // The coordinator inside `install` is still not a worker.
+            assert_eq!(crate::current_thread_index(), None);
+            (0..4u64)
+                .into_par_iter()
+                .map(|_| crate::current_thread_index())
+                .collect()
+        });
+        // 4 items at width 4: one chunk per worker, indices 0..4.
+        let mut seen: Vec<usize> = indices.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, [0, 1, 2, 3]);
+        let (ia, ib) =
+            pool.install(|| crate::join(crate::current_thread_index, crate::current_thread_index));
+        assert_eq!(ia, None);
+        assert_eq!(ib, Some(1));
     }
 
     #[test]
