@@ -15,6 +15,12 @@ use parcsr::{with_processors, BitPackedCsr, CsrBuilder, PackedCsrMode};
 use parcsr_bench::{trace, Options};
 use parcsr_graph::NodeId;
 
+// Counting allocator behind --mem-metrics; registered only in obs builds,
+// so default builds keep the plain system allocator.
+#[cfg(feature = "obs")]
+#[global_allocator]
+static ALLOC: parcsr_obs::mem::CountingAlloc = parcsr_obs::mem::CountingAlloc::new();
+
 const BATCH: usize = 1 << 14;
 
 fn main() {

@@ -8,12 +8,19 @@
 
 use parcsr::{BitPackedCsr, CsrBuilder, PackedCsrMode};
 use parcsr_baseline::{AdjacencyList, EdgeListStore, GraphStore};
-use parcsr_bench::{format_bytes, Options};
+use parcsr_bench::{format_bytes, trace, Options};
 use parcsr_succinct::K2Tree;
+
+// Counting allocator behind --mem-metrics; registered only in obs builds,
+// so default builds keep the plain system allocator.
+#[cfg(feature = "obs")]
+#[global_allocator]
+static ALLOC: parcsr_obs::mem::CountingAlloc = parcsr_obs::mem::CountingAlloc::new();
 
 fn main() {
     let opts = Options::from_env();
     eprintln!("sizes: scale={} seed={}", opts.scale, opts.seed);
+    trace::setup(&opts);
     println!(
         "| Graph | Edges | EdgeList text | EdgeList bin | AdjList | CSR | Packed (raw) | Packed (gap) | k2-tree |"
     );
@@ -44,4 +51,5 @@ fn main() {
             format_bytes(k2.packed_bytes()),
         );
     }
+    trace::finish(&opts, &parcsr_obs::drain());
 }

@@ -7,6 +7,12 @@
 
 use parcsr_bench::{print_table2, run_experiment_traced, trace, Options};
 
+// Counting allocator behind --mem-metrics; registered only in obs builds,
+// so default builds keep the plain system allocator.
+#[cfg(feature = "obs")]
+#[global_allocator]
+static ALLOC: parcsr_obs::mem::CountingAlloc = parcsr_obs::mem::CountingAlloc::new();
+
 fn main() {
     let opts = Options::from_env();
     eprintln!(

@@ -40,6 +40,9 @@ pub struct ProcessorSample {
     /// (top-level pipeline spans: degree, scan, scatter, pack). Empty unless
     /// obs recording is compiled in and switched on.
     pub stages: Vec<StageAgg>,
+    /// Peak live heap bytes over the reported rep's top-level stages. `None`
+    /// unless memory accounting ran (`--mem-metrics` on an obs build).
+    pub mem_peak_bytes: Option<u64>,
 }
 
 /// One dataset's full Table II row group.
@@ -142,6 +145,11 @@ fn run_dataset(
         });
         let t1_ms = *t1.get_or_insert(time_ms);
         let stages = aggregate_stages(&best_spans, true);
+        let mem_peak_bytes = stages
+            .iter()
+            .map(|s| s.mem_peak_bytes)
+            .max()
+            .filter(|&m| m > 0);
         trace.extend(best_spans);
         samples.push(ProcessorSample {
             processors: p,
@@ -150,6 +158,7 @@ fn run_dataset(
             paper_time_ms: profile.paper_time_at(p),
             paper_speedup_percent: profile.paper_speedup_percent(p),
             stages,
+            mem_peak_bytes,
         });
     }
 
@@ -181,6 +190,8 @@ mod tests {
             json: false,
             trace: None,
             metrics: false,
+            trace_sample: None,
+            mem_metrics: false,
         }
     }
 

@@ -26,8 +26,13 @@ impl ToJson for StageAgg {
         Json::Object(vec![
             ("name".into(), Json::Str(self.name.to_string())),
             ("calls".into(), Json::Int(self.calls as i64)),
+            ("kept".into(), Json::Int(self.kept as i64)),
             ("total_ms".into(), Json::Float(self.total_ms)),
             ("workers".into(), Json::Int(self.workers as i64)),
+            (
+                "mem_peak_bytes".into(),
+                Json::Int(self.mem_peak_bytes as i64),
+            ),
         ])
     }
 }
@@ -47,6 +52,12 @@ impl ToJson for ProcessorSample {
             (
                 "stages".into(),
                 Json::Array(self.stages.iter().map(ToJson::to_json).collect()),
+            ),
+            (
+                "mem".into(),
+                self.mem_peak_bytes.map_or(Json::Null, |peak| {
+                    Json::Object(vec![("peak_bytes".into(), Json::Int(peak as i64))])
+                }),
             ),
         ])
     }
@@ -129,9 +140,12 @@ mod tests {
             stages: vec![StageAgg {
                 name: "degree",
                 calls: 1,
+                kept: 1,
                 total_ms: 0.7,
                 workers: 1,
+                mem_peak_bytes: 2048,
             }],
+            mem_peak_bytes: Some(2048),
         };
         let text = s.to_json().pretty();
         let procs_at = text.find("processors").unwrap();
@@ -141,6 +155,9 @@ mod tests {
         assert!(text.contains("\"paper_speedup_percent\": 61.0"));
         assert!(text.contains("\"stages\""));
         assert!(text.contains("\"name\": \"degree\""));
+        assert!(text.contains("\"kept\": 1"));
+        assert!(text.contains("\"mem_peak_bytes\": 2048"));
+        assert!(text.contains("\"peak_bytes\": 2048"));
     }
 
     #[test]
@@ -152,10 +169,12 @@ mod tests {
             paper_time_ms: Some(7.13),
             paper_speedup_percent: None,
             stages: Vec::new(),
+            mem_peak_bytes: None,
         };
         let parsed = Json::parse(&s.to_json().pretty()).unwrap();
         assert_eq!(parsed.get("processors").unwrap().as_i64(), Some(2));
         assert_eq!(parsed.get("time_ms").unwrap().as_f64(), Some(3.5));
         assert_eq!(parsed.get("stages").unwrap().as_array().unwrap().len(), 0);
+        assert_eq!(parsed.get("mem"), Some(&Json::Null));
     }
 }

@@ -27,6 +27,13 @@ pub struct Options {
     /// Print the per-stage/metrics summary to stderr after the run
     /// (requires the `obs` build feature).
     pub metrics: bool,
+    /// Span sampling period: record every Nth same-name span per thread
+    /// (default: the `PARCSR_TRACE_SAMPLE` env var, else 1 = record all).
+    pub trace_sample: Option<u32>,
+    /// Enable memory accounting (live/peak heap bytes, per-stage peaks);
+    /// requires the `obs` build feature, which registers the counting
+    /// allocator.
+    pub mem_metrics: bool,
 }
 
 impl Default for Options {
@@ -41,6 +48,8 @@ impl Default for Options {
             json: false,
             trace: None,
             metrics: false,
+            trace_sample: None,
+            mem_metrics: false,
         }
     }
 }
@@ -92,6 +101,16 @@ impl Options {
                 "--json" => opts.json = true,
                 "--trace" => opts.trace = Some(value("--trace")?),
                 "--metrics" => opts.metrics = true,
+                "--trace-sample" => {
+                    let n: u32 = value("--trace-sample")?
+                        .parse()
+                        .map_err(|e| format!("--trace-sample: {e}"))?;
+                    if n == 0 {
+                        return Err("--trace-sample must be at least 1".into());
+                    }
+                    opts.trace_sample = Some(n);
+                }
+                "--mem-metrics" => opts.mem_metrics = true,
                 "--help" | "-h" => {
                     return Err(HELP.to_string());
                 }
@@ -127,7 +146,10 @@ Flags:
   --json          emit JSON
   --trace <file>  write a Chrome trace (chrome://tracing JSON) of the run
   --metrics       print the per-stage/metrics summary to stderr
-                  (--trace/--metrics need a build with --features obs)";
+  --trace-sample <n>  record every nth same-name span per thread
+                  (default: $PARCSR_TRACE_SAMPLE, else 1 = record all)
+  --mem-metrics   track live/peak heap bytes and per-stage memory peaks
+                  (observability flags need a build with --features obs)";
 
 #[cfg(test)]
 mod tests {
@@ -188,6 +210,61 @@ mod tests {
         let d = parse(&[]).unwrap();
         assert_eq!(d.trace, None);
         assert!(!d.metrics);
+    }
+
+    #[test]
+    fn trace_sample_and_mem_metrics() {
+        let o = parse(&["--trace-sample", "8", "--mem-metrics"]).unwrap();
+        assert_eq!(o.trace_sample, Some(8));
+        assert!(o.mem_metrics);
+        assert!(parse(&["--trace-sample", "0"]).is_err());
+        assert!(parse(&["--trace-sample", "x"]).is_err());
+        assert!(parse(&["--trace-sample"]).is_err());
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.trace_sample, None);
+        assert!(!d.mem_metrics);
+    }
+
+    #[test]
+    fn obs_flags_compose_in_any_order() {
+        // The four observability flags must parse identically regardless of
+        // their relative order and interleaving with other flags.
+        let orders: [&[&str]; 3] = [
+            &[
+                "--trace-sample",
+                "8",
+                "--metrics",
+                "--mem-metrics",
+                "--trace",
+                "t.json",
+            ],
+            &[
+                "--trace",
+                "t.json",
+                "--mem-metrics",
+                "--seed",
+                "7",
+                "--trace-sample",
+                "8",
+                "--metrics",
+            ],
+            &[
+                "--metrics",
+                "--trace-sample",
+                "8",
+                "--trace",
+                "t.json",
+                "--seed",
+                "7",
+                "--mem-metrics",
+            ],
+        ];
+        for args in orders {
+            let o = parse(args).unwrap();
+            assert_eq!(o.trace.as_deref(), Some("t.json"), "{args:?}");
+            assert_eq!(o.trace_sample, Some(8), "{args:?}");
+            assert!(o.metrics && o.mem_metrics, "{args:?}");
+        }
     }
 
     #[test]

@@ -190,6 +190,7 @@ mod tests {
                     paper_time_ms: Some(164.76),
                     paper_speedup_percent: None,
                     stages: Vec::new(),
+                    mem_peak_bytes: None,
                 },
                 ProcessorSample {
                     processors: 4,
@@ -198,6 +199,7 @@ mod tests {
                     paper_time_ms: Some(57.94),
                     paper_speedup_percent: Some(64.83),
                     stages: Vec::new(),
+                    mem_peak_bytes: None,
                 },
             ],
         }

@@ -1,8 +1,10 @@
-//! `--trace` / `--metrics` wiring shared by the harness binaries.
+//! `--trace` / `--metrics` / `--trace-sample` / `--mem-metrics` wiring
+//! shared by the harness binaries.
 //!
-//! The flags are always parsed, but recording only happens when the binary
-//! was built with the `obs` feature (which turns on `parcsr-obs/enabled`);
-//! without it [`setup`] warns and the run proceeds uninstrumented.
+//! The flags are always parsed and compose in any order, but recording only
+//! happens when the binary was built with the `obs` feature (which turns on
+//! `parcsr-obs/enabled` and registers the counting allocator); without it
+//! [`setup`] warns and the run proceeds uninstrumented.
 
 use std::path::Path;
 
@@ -10,27 +12,49 @@ use parcsr_obs::SpanRecord;
 
 use crate::options::Options;
 
-/// Switches runtime span/metric recording on when the options ask for it.
-/// Call once, before the measured work.
+/// The span sampling period a run will use: the `--trace-sample` flag wins,
+/// then the `PARCSR_TRACE_SAMPLE` environment variable, then 1 (record
+/// everything). Invalid env values are ignored.
+#[must_use]
+pub fn resolve_trace_sample(opts: &Options) -> u32 {
+    opts.trace_sample
+        .or_else(|| {
+            std::env::var("PARCSR_TRACE_SAMPLE")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+        })
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Switches runtime span/metric/memory recording on when the options ask
+/// for it and applies the sampling period. Call once, before the measured
+/// work.
 pub fn setup(opts: &Options) {
-    if opts.trace.is_none() && !opts.metrics {
+    if opts.trace.is_none() && !opts.metrics && !opts.mem_metrics {
         return;
     }
     if !parcsr_obs::compiled() {
         eprintln!(
-            "warning: --trace/--metrics need a build with the obs feature \
+            "warning: --trace/--metrics/--mem-metrics need a build with the obs feature \
              (cargo run -p parcsr-bench --features obs ...); nothing will be recorded"
         );
     }
+    parcsr_obs::set_trace_sample(resolve_trace_sample(opts));
+    parcsr_obs::mem::set_enabled(opts.mem_metrics);
     parcsr_obs::set_enabled(true);
 }
 
-/// Writes the Chrome trace file and/or prints the metrics summary, per the
-/// options. Call once, after the measured work, with the collected spans.
-/// Exits non-zero if a requested trace file cannot be written.
+/// Writes the Chrome trace file (spans plus latency/memory counter events)
+/// and/or prints the metrics + memory summary, per the options. Call once,
+/// after the measured work, with the collected spans. Exits non-zero if a
+/// requested trace file cannot be written.
 pub fn finish(opts: &Options, spans: &[SpanRecord]) {
+    parcsr_obs::mem::publish_gauges();
+    let metrics = parcsr_obs::metrics::snapshot();
+    let mem = parcsr_obs::mem::snapshot();
     if let Some(path) = &opts.trace {
-        match parcsr_obs::export::write_chrome_trace(Path::new(path), spans) {
+        match parcsr_obs::export::write_chrome_trace(Path::new(path), spans, &metrics, mem) {
             Ok(()) => eprintln!("trace: wrote {} spans to {path}", spans.len()),
             Err(e) => {
                 eprintln!("trace: failed to write {path}: {e}");
@@ -38,10 +62,10 @@ pub fn finish(opts: &Options, spans: &[SpanRecord]) {
             }
         }
     }
-    if opts.metrics {
+    if opts.metrics || opts.mem_metrics {
         eprint!(
             "{}",
-            parcsr_obs::export::summary_table(spans, &parcsr_obs::metrics::snapshot())
+            parcsr_obs::export::summary_table(spans, &metrics, mem)
         );
     }
 }

@@ -40,20 +40,33 @@ pub fn pack_parallel_with_width(values: &[u64], chunks: usize, width: u32) -> Pa
     // global location").
     let parts: Vec<PackedArray> = ranges
         .into_par_iter()
-        .map(|r| {
-            let _span = parcsr_obs::enter("bitpack.chunk");
+        .enumerate()
+        .map(|(i, r)| {
+            let _span = parcsr_obs::enter_with_args(
+                "bitpack.chunk",
+                parcsr_obs::SpanArgs::new()
+                    .chunk(i as u64)
+                    .chunk_len(r.len() as u64)
+                    .bits(width),
+            );
             PackedArray::pack_with_width(&values[r], width)
         })
         .collect();
 
     // Merge step (Alg. 4 line 5: "merge all bitArrays from global location").
-    let merged = parcsr_obs::with_span("bitpack.merge", || {
-        let mut merged = BitBuf::with_capacity(values.len() * width as usize);
-        for part in &parts {
-            merged.extend_from(part.bit_buf());
-        }
-        merged
-    });
+    let merged = parcsr_obs::with_span_args(
+        "bitpack.merge",
+        parcsr_obs::SpanArgs::new()
+            .edges(values.len() as u64)
+            .bits(width),
+        || {
+            let mut merged = BitBuf::with_capacity(values.len() * width as usize);
+            for part in &parts {
+                merged.extend_from(part.bit_buf());
+            }
+            merged
+        },
+    );
     PackedArray::from_raw_parts(merged, width, values.len())
 }
 

@@ -24,9 +24,10 @@ pub use parse::{Command, ObsOptions, ParseError};
 
 /// Parses and executes an argument list, returning the report to print.
 ///
-/// The global `--trace FILE` / `--metrics` switches (valid anywhere on the
-/// command line) wrap the run in observability collection; they need a
-/// binary built with the `obs` feature to record anything.
+/// The global `--trace FILE` / `--metrics` / `--trace-sample N` /
+/// `--mem-metrics` switches (valid anywhere on the command line, in any
+/// order) wrap the run in observability collection; they need a binary
+/// built with the `obs` feature to record anything.
 pub fn run<I>(args: I) -> Result<String, String>
 where
     I: IntoIterator<Item = String>,
@@ -35,27 +36,42 @@ where
     if obs.active() {
         if !parcsr_obs::compiled() {
             eprintln!(
-                "warning: --trace/--metrics need a build with the obs feature \
+                "warning: --trace/--metrics/--mem-metrics need a build with the obs feature \
                  (cargo run -p parcsr-cli --features obs ...); nothing will be recorded"
             );
         }
+        let sample = obs.trace_sample.or_else(|| {
+            std::env::var("PARCSR_TRACE_SAMPLE")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+        });
+        parcsr_obs::set_trace_sample(sample.unwrap_or(1));
+        parcsr_obs::mem::set_enabled(obs.mem_metrics);
         parcsr_obs::set_enabled(true);
     }
     let command = Command::parse(rest).map_err(|e| e.to_string())?;
     let result = execute(&command).map_err(|e| e.to_string());
     if obs.active() {
+        parcsr_obs::mem::publish_gauges();
         parcsr_obs::set_enabled(false);
         let spans = parcsr_obs::drain();
+        let metrics = parcsr_obs::metrics::snapshot();
+        let mem = parcsr_obs::mem::snapshot();
         if let Some(path) = &obs.trace {
-            match parcsr_obs::export::write_chrome_trace(std::path::Path::new(path), &spans) {
+            match parcsr_obs::export::write_chrome_trace(
+                std::path::Path::new(path),
+                &spans,
+                &metrics,
+                mem,
+            ) {
                 Ok(()) => eprintln!("trace: wrote {} spans to {path}", spans.len()),
                 Err(e) => eprintln!("trace: failed to write {path}: {e}"),
             }
         }
-        if obs.metrics {
+        if obs.metrics || obs.mem_metrics {
             eprint!(
                 "{}",
-                parcsr_obs::export::summary_table(&spans, &parcsr_obs::metrics::snapshot())
+                parcsr_obs::export::summary_table(&spans, &metrics, mem)
             );
         }
     }

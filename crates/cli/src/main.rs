@@ -1,5 +1,11 @@
 //! `parcsr` binary entry point: parse, execute, print.
 
+// Counting allocator behind --mem-metrics; registered only in obs builds,
+// so default builds keep the plain system allocator.
+#[cfg(feature = "obs")]
+#[global_allocator]
+static ALLOC: parcsr_obs::mem::CountingAlloc = parcsr_obs::mem::CountingAlloc::new();
+
 fn main() {
     match parcsr_cli::run(std::env::args().skip(1)) {
         Ok(report) => println!("{report}"),

@@ -96,11 +96,16 @@ pub struct ObsOptions {
     pub trace: Option<String>,
     /// Print the per-stage/metrics summary to stderr after the run.
     pub metrics: bool,
+    /// Span sampling period (record every Nth same-name span per thread).
+    pub trace_sample: Option<u32>,
+    /// Track live/peak heap bytes and per-stage memory peaks.
+    pub mem_metrics: bool,
 }
 
 impl ObsOptions {
-    /// Extracts `--trace FILE` / `--metrics` from `args`, returning the
-    /// switches and the remaining arguments in order.
+    /// Extracts `--trace FILE` / `--metrics` / `--trace-sample N` /
+    /// `--mem-metrics` from `args` (valid in any position and order),
+    /// returning the switches and the remaining arguments in order.
     pub fn extract<I>(args: I) -> Result<(ObsOptions, Vec<String>), ParseError>
     where
         I: IntoIterator<Item = String>,
@@ -117,15 +122,27 @@ impl ObsOptions {
                     );
                 }
                 "--metrics" => obs.metrics = true,
+                "--trace-sample" => {
+                    let n: u32 = it
+                        .next()
+                        .ok_or_else(|| invalid("--trace-sample requires a value"))?
+                        .parse()
+                        .map_err(|e| invalid(format!("--trace-sample: {e}")))?;
+                    if n == 0 {
+                        return Err(invalid("--trace-sample must be at least 1"));
+                    }
+                    obs.trace_sample = Some(n);
+                }
+                "--mem-metrics" => obs.mem_metrics = true,
                 _ => rest.push(arg),
             }
         }
         Ok((obs, rest))
     }
 
-    /// True when either switch was given.
+    /// True when any switch that turns on collection was given.
     pub fn active(&self) -> bool {
-        self.trace.is_some() || self.metrics
+        self.trace.is_some() || self.metrics || self.mem_metrics
     }
 }
 
@@ -164,7 +181,10 @@ commands:
 global flags (any command):
   --trace FILE    write a Chrome trace (chrome://tracing JSON) of the run
   --metrics       print the per-stage/metrics summary to stderr
-                  (both need a binary built with --features obs)";
+  --trace-sample N  record every Nth same-name span per thread
+                  (default: $PARCSR_TRACE_SAMPLE, else 1 = record all)
+  --mem-metrics   track live/peak heap bytes and per-stage memory peaks
+                  (all need a binary built with --features obs)";
 
 fn invalid(msg: impl Into<String>) -> ParseError {
     ParseError::Invalid(msg.into())
@@ -540,15 +560,20 @@ mod tests {
         let args = [
             "--metrics",
             "compress",
+            "--trace-sample",
+            "8",
             "in.txt",
             "--trace",
             "/tmp/t.json",
             "--out",
             "o",
+            "--mem-metrics",
         ];
         let (obs, rest) = ObsOptions::extract(args.iter().map(|s| s.to_string())).unwrap();
         assert_eq!(obs.trace.as_deref(), Some("/tmp/t.json"));
         assert!(obs.metrics);
+        assert_eq!(obs.trace_sample, Some(8));
+        assert!(obs.mem_metrics);
         assert!(obs.active());
         let c = Command::parse(rest).unwrap();
         assert!(matches!(c, Command::Compress { .. }));
@@ -558,6 +583,49 @@ mod tests {
         assert_eq!(rest, ["stats", "g.txt"]);
 
         assert!(ObsOptions::extract(["--trace".to_string()]).is_err());
+        assert!(ObsOptions::extract(["--trace-sample".to_string()]).is_err());
+        assert!(
+            ObsOptions::extract(["--trace-sample".to_string(), "0".to_string()]).is_err(),
+            "period 0 is invalid"
+        );
+    }
+
+    #[test]
+    fn obs_flags_compose_in_any_order() {
+        let orders: [&[&str]; 2] = [
+            &[
+                "--mem-metrics",
+                "query",
+                "--trace",
+                "t.json",
+                "g.pcsr",
+                "--edge",
+                "1,2",
+                "--metrics",
+                "--trace-sample",
+                "4",
+            ],
+            &[
+                "--trace-sample",
+                "4",
+                "--metrics",
+                "query",
+                "g.pcsr",
+                "--mem-metrics",
+                "--edge",
+                "1,2",
+                "--trace",
+                "t.json",
+            ],
+        ];
+        for args in orders {
+            let (obs, rest) = ObsOptions::extract(args.iter().map(|s| s.to_string())).unwrap();
+            assert_eq!(obs.trace.as_deref(), Some("t.json"), "{args:?}");
+            assert_eq!(obs.trace_sample, Some(4), "{args:?}");
+            assert!(obs.metrics && obs.mem_metrics, "{args:?}");
+            let c = Command::parse(rest).unwrap();
+            assert!(matches!(c, Command::Query { .. }), "{args:?}");
+        }
     }
 
     #[test]

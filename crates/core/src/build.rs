@@ -224,7 +224,11 @@ impl CsrBuilder {
     pub fn build_timed(&self, graph: &EdgeList) -> (Csr, BuildTimings) {
         let mut timings = BuildTimings::default();
         let t = Instant::now();
-        let sorted = parcsr_obs::with_span("sort", || graph.sorted_by_source());
+        let sorted = parcsr_obs::with_span_args(
+            "sort",
+            parcsr_obs::SpanArgs::new().edges(graph.num_edges() as u64),
+            || graph.sorted_by_source(),
+        );
         timings.sort_ms = ms_since(t);
         let csr = self.build_from_sorted_inner(&sorted, &mut timings);
         (csr, timings)
@@ -248,27 +252,34 @@ impl CsrBuilder {
 
         // Algorithms 2-3: parallel degree array.
         let t = Instant::now();
-        let degrees = parcsr_obs::with_span("degree", || degrees_parallel(sorted.edges(), n, p));
+        let degrees = parcsr_obs::with_span_args(
+            "degree",
+            parcsr_obs::SpanArgs::new().edges(sorted.num_edges() as u64),
+            || degrees_parallel(sorted.edges(), n, p),
+        );
         timings.degree_ms = ms_since(t);
 
         // Algorithm 1: prefix sum -> row offsets (exclusive scan, one extra
         // trailing slot holding the total).
         let t = Instant::now();
-        let offsets = parcsr_obs::with_span("scan", || {
-            let degrees64: Vec<u64> = degrees.iter().map(|&d| u64::from(d)).collect();
-            let scanner = Scanner::with_chunks(self.scan, p);
-            let mut offsets = scanner.exclusive_scan(&degrees64);
-            offsets.push(sorted.num_edges() as u64);
-            offsets
-        });
+        let offsets =
+            parcsr_obs::with_span_args("scan", parcsr_obs::SpanArgs::new().edges(n as u64), || {
+                let degrees64: Vec<u64> = degrees.iter().map(|&d| u64::from(d)).collect();
+                let scanner = Scanner::with_chunks(self.scan, p);
+                let mut offsets = scanner.exclusive_scan(&degrees64);
+                offsets.push(sorted.num_edges() as u64);
+                offsets
+            });
         timings.scan_ms = ms_since(t);
 
         // Column fill: the sorted edge list's target column, copied in
         // parallel.
         let t = Instant::now();
-        let targets: Vec<NodeId> = parcsr_obs::with_span("scatter", || {
-            sorted.edges().par_iter().map(|&(_, v)| v).collect()
-        });
+        let targets: Vec<NodeId> = parcsr_obs::with_span_args(
+            "scatter",
+            parcsr_obs::SpanArgs::new().edges(sorted.num_edges() as u64),
+            || sorted.edges().par_iter().map(|&(_, v)| v).collect(),
+        );
         timings.fill_ms = ms_since(t);
 
         let csr = Csr {

@@ -82,8 +82,14 @@ pub fn degrees_parallel(edges: &[Edge], num_nodes: usize, processors: usize) -> 
     // argument (schedule-checked in `checked::degrees_model`).
     let temp_degrees: Vec<(NodeId, u32)> = ranges
         .par_iter()
-        .map(|r| {
-            let _span = parcsr_obs::enter("degree.chunk");
+        .enumerate()
+        .map(|(i, r)| {
+            let _span = parcsr_obs::enter_with_args(
+                "degree.chunk",
+                parcsr_obs::SpanArgs::new()
+                    .chunk(i as u64)
+                    .chunk_len(r.len() as u64),
+            );
             count_chunk_runs(&edges[r.clone()], num_nodes, |node, run_len| {
                 global[node as usize].store(run_len, Ordering::Relaxed);
             })

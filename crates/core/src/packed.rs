@@ -57,57 +57,64 @@ impl BitPackedCsr {
     /// Packs a CSR using `processors` parallel packers per array
     /// (Algorithm 4 runs the bit-pack once for `iA` and once for `jA`).
     pub fn from_csr(csr: &Csr, mode: PackedCsrMode, processors: usize) -> Self {
-        parcsr_obs::span!("pack");
-        let offsets = parcsr_obs::with_span("pack.offsets", || {
-            pack_parallel_with_width(
-                csr.offsets(),
-                processors,
-                bits_needed(csr.num_edges() as u64),
-            )
-        });
+        parcsr_obs::span!("pack", edges = csr.num_edges() as u64);
+        let offset_width = bits_needed(csr.num_edges() as u64);
+        let offsets = parcsr_obs::with_span_args(
+            "pack.offsets",
+            parcsr_obs::SpanArgs::new().bits(offset_width),
+            || pack_parallel_with_width(csr.offsets(), processors, offset_width),
+        );
 
-        let column_values: Vec<u64> = parcsr_obs::with_span("pack.encode", || match mode {
-            PackedCsrMode::Raw => csr.targets().par_iter().map(|&v| u64::from(v)).collect(),
-            PackedCsrMode::Gap => {
-                // Gap-code each row independently, in parallel over rows.
-                let mut out = vec![0u64; csr.num_edges()];
-                let starts: Vec<usize> = (0..csr.num_nodes())
-                    .map(|u| csr.offsets()[u] as usize)
-                    .collect();
-                // Split the output at row boundaries so rows can be written
-                // in parallel without overlap.
-                let mut slices: Vec<(usize, &mut [u64])> = Vec::with_capacity(csr.num_nodes());
-                {
-                    let mut rest: &mut [u64] = &mut out;
-                    let mut consumed = 0usize;
-                    for (u, &s) in starts.iter().enumerate() {
-                        let end = csr.offsets()[u + 1] as usize;
-                        let (_, r) = std::mem::take(&mut rest).split_at_mut(s - consumed);
-                        let (row, r) = r.split_at_mut(end - s);
-                        slices.push((u, row));
-                        rest = r;
-                        consumed = end;
-                    }
-                }
-                slices.into_par_iter().for_each(|(u, row)| {
-                    let neigh = csr.neighbors(u as NodeId);
-                    if let Some((&head, tail)) = neigh.split_first() {
-                        row[0] = u64::from(head);
-                        let mut prev = head;
-                        for (slot, &v) in row[1..].iter_mut().zip(tail) {
-                            *slot = u64::from(v - prev);
-                            prev = v;
+        let column_values: Vec<u64> = parcsr_obs::with_span_args(
+            "pack.encode",
+            parcsr_obs::SpanArgs::new().edges(csr.num_edges() as u64),
+            || match mode {
+                PackedCsrMode::Raw => csr.targets().par_iter().map(|&v| u64::from(v)).collect(),
+                PackedCsrMode::Gap => {
+                    // Gap-code each row independently, in parallel over rows.
+                    let mut out = vec![0u64; csr.num_edges()];
+                    let starts: Vec<usize> = (0..csr.num_nodes())
+                        .map(|u| csr.offsets()[u] as usize)
+                        .collect();
+                    // Split the output at row boundaries so rows can be written
+                    // in parallel without overlap.
+                    let mut slices: Vec<(usize, &mut [u64])> = Vec::with_capacity(csr.num_nodes());
+                    {
+                        let mut rest: &mut [u64] = &mut out;
+                        let mut consumed = 0usize;
+                        for (u, &s) in starts.iter().enumerate() {
+                            let end = csr.offsets()[u + 1] as usize;
+                            let (_, r) = std::mem::take(&mut rest).split_at_mut(s - consumed);
+                            let (row, r) = r.split_at_mut(end - s);
+                            slices.push((u, row));
+                            rest = r;
+                            consumed = end;
                         }
                     }
-                });
-                out
-            }
-        });
+                    slices.into_par_iter().for_each(|(u, row)| {
+                        let neigh = csr.neighbors(u as NodeId);
+                        if let Some((&head, tail)) = neigh.split_first() {
+                            row[0] = u64::from(head);
+                            let mut prev = head;
+                            for (slot, &v) in row[1..].iter_mut().zip(tail) {
+                                *slot = u64::from(v - prev);
+                                prev = v;
+                            }
+                        }
+                    });
+                    out
+                }
+            },
+        );
 
-        let columns = parcsr_obs::with_span("pack.columns", || {
-            let col_width = bits_needed(column_values.iter().copied().max().unwrap_or(0));
-            pack_parallel_with_width(&column_values, processors, col_width)
-        });
+        let columns = parcsr_obs::with_span_args(
+            "pack.columns",
+            parcsr_obs::SpanArgs::new().edges(csr.num_edges() as u64),
+            || {
+                let col_width = bits_needed(column_values.iter().copied().max().unwrap_or(0));
+                pack_parallel_with_width(&column_values, processors, col_width)
+            },
+        );
 
         BitPackedCsr {
             num_nodes: csr.num_nodes(),

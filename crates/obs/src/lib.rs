@@ -1,5 +1,7 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+
 //! Zero-dependency observability for the parcsr pipeline (tracing, metrics,
-//! per-stage profiling).
+//! memory accounting, per-stage profiling).
 //!
 //! The paper's whole evaluation is per-stage wall-clock attribution — degree
 //! count, prefix sum, scatter, bit packing, TCSR merge — so the reproduction
@@ -7,17 +9,26 @@
 //! experiment durations. This crate provides that with no external
 //! dependencies (the workspace builds offline):
 //!
-//! * **Spans** ([`span`]): RAII guards created with [`enter`] or the
-//!   [`span!`] macro, timed on the monotonic clock, nestable, recorded into
-//!   per-thread buffers that merge into a global sink when worker threads
-//!   exit (the rayon shim's scoped workers exit at join, so merge-at-join is
-//!   automatic). Each span carries the worker id it ran on.
+//! * **Spans** ([`span`]): RAII guards created with [`enter`] /
+//!   [`enter_with_args`] or the [`span!`] macro, timed on the monotonic
+//!   clock, nestable, carrying typed payloads ([`SpanArgs`]: edge counts,
+//!   chunk index/size, bit width), recorded into per-thread buffers that
+//!   merge into a global sink when worker threads exit (the rayon shim's
+//!   scoped workers exit at join, so merge-at-join is automatic). Each span
+//!   carries the worker id it ran on. A deterministic per-thread 1-in-N
+//!   sampler ([`set_trace_sample`]) keeps tracing affordable in long runs;
+//!   kept records carry the period so aggregation stays unbiased.
 //! * **Metrics** ([`metrics`]): atomic counters and gauges plus log-bucketed
 //!   (HDR-style) latency histograms with p50/p95/p99 extraction, used on the
 //!   query path (`has_edge`, `row_iter`).
+//! * **Memory** ([`mem`]): a counting global allocator (registered only by
+//!   the bench/CLI binaries) tracking live/peak heap bytes, with per-stage
+//!   peak attribution threaded through the span records.
 //! * **Exporters** ([`export`]): a human-readable per-stage/per-thread
-//!   summary table and a Chrome `chrome://tracing` JSON trace writer built
-//!   on the hand-rolled [`json`] module (shared with `parcsr-bench`).
+//!   summary table (with a memory section) and a Chrome `chrome://tracing`
+//!   JSON trace writer — span events with `args` payloads plus counter
+//!   events for memory and the query-latency histograms — built on the
+//!   hand-rolled [`json`] module (shared with `parcsr-bench`).
 //!
 //! # Cost model
 //!
@@ -27,22 +38,29 @@
 //! disabled builds — the default everywhere in the workspace — pay nothing,
 //! on the hot query path or anywhere else. With the feature compiled in,
 //! recording is additionally gated behind a runtime [`set_enabled`] switch
-//! (one relaxed atomic load when off) so `--trace` / `--metrics` flags decide
-//! whether anything is collected.
+//! (one relaxed atomic load when off) so `--trace` / `--metrics` /
+//! `--mem-metrics` flags decide whether anything is collected, and the
+//! [`set_trace_sample`] period bounds the recording cost of what is.
 
 pub mod export;
 pub mod json;
+pub mod mem;
 pub mod metrics;
 pub mod span;
 
 pub use metrics::{counter, gauge, time_histogram, Counter, Gauge, Histogram, QueryTimer};
-pub use span::{drain, enter, with_span, Span, SpanRecord};
+pub use span::{
+    drain, enter, enter_with_args, with_span, with_span_args, Span, SpanArgs, SpanRecord,
+};
 
 #[cfg(feature = "enabled")]
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 #[cfg(feature = "enabled")]
 static ENABLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(feature = "enabled")]
+static TRACE_SAMPLE: AtomicU32 = AtomicU32::new(1);
 
 /// Whether instrumentation was compiled in (the `enabled` cargo feature).
 #[must_use]
@@ -73,7 +91,37 @@ pub fn is_enabled() -> bool {
     }
 }
 
-/// Opens a span that lasts until the end of the enclosing scope.
+/// Sets the span sampling period: each thread records every `n`-th
+/// same-name span (deterministically, first occurrence always kept) and
+/// tags records with the period so aggregation can scale back up. `n <= 1`
+/// records everything (the default). A no-op unless the `enabled` feature
+/// was compiled in. Wired to `--trace-sample N` / `PARCSR_TRACE_SAMPLE` on
+/// the binaries.
+pub fn set_trace_sample(n: u32) {
+    #[cfg(feature = "enabled")]
+    TRACE_SAMPLE.store(n.max(1), Ordering::Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = n;
+}
+
+/// The current span sampling period (`1` = record everything).
+#[inline(always)]
+#[must_use]
+pub fn trace_sample() -> u32 {
+    #[cfg(feature = "enabled")]
+    {
+        TRACE_SAMPLE.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        1
+    }
+}
+
+/// Opens a span that lasts until the end of the enclosing scope, or runs a
+/// block under a span.
+///
+/// Guard form — the span closes at the end of the enclosing scope:
 ///
 /// ```
 /// fn stage() {
@@ -82,11 +130,45 @@ pub fn is_enabled() -> bool {
 /// }
 /// ```
 ///
-/// Two `span!` invocations in the same scope *nest* (both guards live to the
-/// scope's end); for sequential stages use nested blocks or [`with_span`].
+/// **Nesting footgun:** two guard-form `span!` invocations in the same scope
+/// *nest* (both guards live to the scope's end) — the second records at
+/// depth 1, not as a sibling. For sequential stages use the block form,
+/// which scopes each span to its block and composes sequentially:
+///
+/// ```
+/// let a = parcsr_obs::span!("stage_a", { 40 });
+/// let b = parcsr_obs::span!("stage_b", { a + 2 }); // sibling, not nested
+/// assert_eq!(b, 42);
+/// ```
+///
+/// (or [`with_span`] for an expression). Either form takes trailing
+/// `key = value` payload arguments from the [`SpanArgs`] field set:
+///
+/// ```
+/// let edge_count = 10u64;
+/// parcsr_obs::span!("pack", edges = edge_count, bits = 7u32);
+/// parcsr_obs::span!("pack.chunk", chunk = 0u64, { /* work */ });
+/// ```
 #[macro_export]
 macro_rules! span {
+    // Block form: span scoped to the block, usable in statement position —
+    // sequential invocations record siblings. `?`/`return`/`break` inside
+    // the block behave as in any ordinary block.
+    ($name:expr, $body:block) => {{
+        let _parcsr_obs_span_guard = $crate::enter($name);
+        $body
+    }};
+    ($name:expr, $($key:ident = $value:expr),+ , $body:block) => {{
+        let _parcsr_obs_span_guard =
+            $crate::enter_with_args($name, $crate::SpanArgs::new()$(.$key($value))+);
+        $body
+    }};
+    // Guard form: span lasts to the end of the enclosing scope.
     ($name:expr) => {
         let _parcsr_obs_span_guard = $crate::enter($name);
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        let _parcsr_obs_span_guard =
+            $crate::enter_with_args($name, $crate::SpanArgs::new()$(.$key($value))+);
     };
 }

@@ -1,4 +1,5 @@
-//! Span-based tracing: RAII guards, per-thread buffers, merge at join.
+//! Span-based tracing: RAII guards, per-thread buffers, sampling, payloads,
+//! merge at join.
 //!
 //! A span is opened with [`enter`] (or the [`span!`](crate::span!) macro) and
 //! closed when its guard drops. Open spans nest: each thread tracks a depth
@@ -12,9 +13,104 @@
 //! Worker attribution: the record's `tid` is `0` for the coordinator (any
 //! thread outside a pool worker) and `1 + rayon::current_thread_index()` for
 //! pool workers, so a trace at width `p` shows tids `0..=p`.
+//!
+//! # Sampling
+//!
+//! With a sampling period `N` set via [`set_trace_sample`](crate::set_trace_sample)
+//! (`--trace-sample N` / `PARCSR_TRACE_SAMPLE` on the binaries), each thread
+//! keeps one deterministic counter **per span name** and records only every
+//! `N`-th same-name span — the 1st, `N+1`-th, `2N+1`-th, … — so `k` same-name
+//! spans on one thread yield exactly `⌈k/N⌉` records. The first occurrence is
+//! always kept, which means low-frequency top-level pipeline stages survive
+//! any `N` while high-frequency per-chunk spans thin out. Every kept record
+//! carries the period in [`SpanRecord::sample`] so
+//! [`aggregate_stages`](crate::export::aggregate_stages) can scale durations
+//! and call counts back up to unbiased estimates. Skipped spans still
+//! maintain the nesting depth. [`drain`] resets the calling thread's
+//! counters (worker threads reset naturally by exiting at region join), so
+//! per-rep draining keeps sampling phase-aligned across repetitions.
+//!
+//! # Memory attribution
+//!
+//! When the counting allocator is registered and switched on (see
+//! [`crate::mem`]), each recorded span carries the live heap bytes at its end
+//! ([`SpanRecord::mem_live`]) and the peak live bytes observed during it
+//! ([`SpanRecord::mem_peak`]). Top-level coordinator spans — the sequential
+//! pipeline stages — use a resettable allocator watermark, so their peak is
+//! exact even for allocations made by worker threads inside the stage;
+//! nested and worker spans fall back to `max(live at entry, live at exit)`,
+//! which misses intra-span spikes but costs nothing extra per allocation.
 
 use std::sync::OnceLock;
 use std::time::Instant;
+
+/// Typed span payload: the small fixed set of numeric arguments the pipeline
+/// attaches to spans so traces explain *why* a stage was slow (how many
+/// edges, which chunk, how wide the packed elements are) and not only that
+/// it was. All fields are optional; an empty `SpanArgs` costs nothing to
+/// carry. Exported as the Chrome-trace `args` object and validated by
+/// `cargo xtask check-trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanArgs {
+    /// Number of edges (or packed values) the span processed.
+    pub edges: Option<u64>,
+    /// Chunk index within the span's parallel region.
+    pub chunk: Option<u64>,
+    /// Chunk length in elements.
+    pub chunk_len: Option<u64>,
+    /// Bit width of the packed elements.
+    pub bits: Option<u32>,
+}
+
+impl SpanArgs {
+    /// No arguments (same as `Default`, but `const`).
+    #[must_use]
+    pub const fn new() -> Self {
+        SpanArgs {
+            edges: None,
+            chunk: None,
+            chunk_len: None,
+            bits: None,
+        }
+    }
+
+    /// Sets the edge/value count.
+    #[must_use]
+    pub const fn edges(mut self, n: u64) -> Self {
+        self.edges = Some(n);
+        self
+    }
+
+    /// Sets the chunk index.
+    #[must_use]
+    pub const fn chunk(mut self, i: u64) -> Self {
+        self.chunk = Some(i);
+        self
+    }
+
+    /// Sets the chunk length.
+    #[must_use]
+    pub const fn chunk_len(mut self, n: u64) -> Self {
+        self.chunk_len = Some(n);
+        self
+    }
+
+    /// Sets the packed bit width.
+    #[must_use]
+    pub const fn bits(mut self, w: u32) -> Self {
+        self.bits = Some(w);
+        self
+    }
+
+    /// True when no argument is set.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.edges.is_none()
+            && self.chunk.is_none()
+            && self.chunk_len.is_none()
+            && self.bits.is_none()
+    }
+}
 
 /// One completed span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +125,17 @@ pub struct SpanRecord {
     pub tid: u32,
     /// Nesting depth at entry (0 = top level on its thread).
     pub depth: u16,
+    /// Sampling period in effect when this span was recorded (`1` =
+    /// unsampled). A record with `sample = N` stands for `N` same-name spans
+    /// on its thread; aggregation scales by this factor.
+    pub sample: u32,
+    /// Typed payload arguments (empty unless the call site attached any).
+    pub args: SpanArgs,
+    /// Peak live heap bytes observed during the span; `0` when memory
+    /// accounting was off (see [`crate::mem`]).
+    pub mem_peak: u64,
+    /// Live heap bytes at span end; `0` when memory accounting was off.
+    pub mem_live: u64,
 }
 
 impl SpanRecord {
@@ -50,7 +157,7 @@ pub fn now_ns() -> u64 {
 
 #[cfg(feature = "enabled")]
 mod collect {
-    use super::{now_ns, SpanRecord};
+    use super::{now_ns, SpanArgs, SpanRecord};
     use std::cell::RefCell;
     use std::sync::{Mutex, PoisonError};
 
@@ -58,12 +165,23 @@ mod collect {
         name: &'static str,
         start_ns: u64,
         depth: u16,
+        /// Sampling period at entry; `None` = this span was sampled out and
+        /// only maintains the depth counter.
+        sample: Option<u32>,
+        args: SpanArgs,
+        /// Memory accounting at entry: `(live bytes, uses the resettable
+        /// watermark)`. `None` when memory accounting was off at entry.
+        mem: Option<(u64, bool)>,
     }
 
     #[derive(Default)]
     struct ThreadBuf {
         records: Vec<SpanRecord>,
         depth: u16,
+        /// Per-name occurrence counters driving the 1-in-N sampler. A small
+        /// linear map: the workspace has a few dozen distinct stage names,
+        /// and names are `&'static str`s compared by content.
+        sample_counts: Vec<(&'static str, u64)>,
     }
 
     impl Drop for ThreadBuf {
@@ -90,18 +208,57 @@ mod collect {
             .append(&mut records);
     }
 
-    pub(super) fn begin(name: &'static str) -> Option<ActiveSpan> {
+    pub(super) fn begin(name: &'static str, args: SpanArgs) -> Option<ActiveSpan> {
         if !crate::is_enabled() {
             return None;
         }
+        let period = crate::trace_sample();
         BUF.with(|b| {
             let mut b = b.borrow_mut();
             let depth = b.depth;
             b.depth = b.depth.saturating_add(1);
+            let keep = if period <= 1 {
+                true
+            } else {
+                let idx = match b.sample_counts.iter().position(|(n, _)| *n == name) {
+                    Some(i) => i,
+                    None => {
+                        b.sample_counts.push((name, 0));
+                        b.sample_counts.len() - 1
+                    }
+                };
+                let count = &mut b.sample_counts[idx].1;
+                let keep = *count % u64::from(period) == 0;
+                *count += 1;
+                keep
+            };
+            if !keep {
+                return Some(ActiveSpan {
+                    name,
+                    start_ns: 0,
+                    depth,
+                    sample: None,
+                    args,
+                    mem: None,
+                });
+            }
+            let mem = crate::mem::active().then(|| {
+                // Top-level coordinator spans (the sequential pipeline
+                // stages) own the resettable watermark; everything else uses
+                // the cheap endpoint approximation.
+                let top = depth == 0 && rayon::current_thread_index().is_none();
+                if top {
+                    crate::mem::reset_watermark();
+                }
+                (crate::mem::live_bytes(), top)
+            });
             Some(ActiveSpan {
                 name,
                 start_ns: now_ns(),
                 depth,
+                sample: Some(period),
+                args,
+                mem,
             })
         })
     }
@@ -112,19 +269,42 @@ mod collect {
         BUF.with(|b| {
             let mut b = b.borrow_mut();
             b.depth = b.depth.saturating_sub(1);
+            let Some(sample) = active.sample else {
+                return; // sampled out: depth bookkeeping only
+            };
+            let (mem_peak, mem_live) = match active.mem {
+                Some((live_at_begin, top)) => {
+                    let live_now = crate::mem::live_bytes();
+                    let peak = if top {
+                        crate::mem::watermark_bytes()
+                    } else {
+                        live_at_begin.max(live_now)
+                    };
+                    (peak.max(live_at_begin), live_now)
+                }
+                None => (0, 0),
+            };
             b.records.push(SpanRecord {
                 name: active.name,
                 start_ns: active.start_ns,
                 dur_ns: end_ns.saturating_sub(active.start_ns),
                 tid,
                 depth: active.depth,
+                sample,
+                args: active.args,
+                mem_peak,
+                mem_live,
             });
         });
     }
 
     pub(super) fn drain() -> Vec<SpanRecord> {
         BUF.with(|b| {
-            let records = std::mem::take(&mut b.borrow_mut().records);
+            let mut b = b.borrow_mut();
+            let records = std::mem::take(&mut b.records);
+            // Re-align the sampler: the next drained window starts its
+            // 1-in-N phase fresh, so per-rep drains sample reproducibly.
+            b.sample_counts.clear();
             flush_records(records);
         });
         let mut all = std::mem::take(&mut *SINK.lock().unwrap_or_else(PoisonError::into_inner));
@@ -155,32 +335,49 @@ impl Drop for Span {
 /// records nothing when runtime recording is off.
 #[inline(always)]
 pub fn enter(name: &'static str) -> Span {
+    enter_with_args(name, SpanArgs::new())
+}
+
+/// Opens a span named `name` carrying the typed payload `args`; see
+/// [`enter`]. The macro form `span!("name", edges = n, …)` builds the
+/// [`SpanArgs`] for you.
+#[inline(always)]
+pub fn enter_with_args(name: &'static str, args: SpanArgs) -> Span {
     #[cfg(feature = "enabled")]
     {
         Span {
-            active: collect::begin(name),
+            active: collect::begin(name, args),
         }
     }
     #[cfg(not(feature = "enabled"))]
     {
-        let _ = name;
+        let _ = (name, args);
         Span {}
     }
 }
 
 /// Runs `f` under a span named `name` and returns its result. Convenient for
-/// wrapping a sequential stage expression.
+/// wrapping a sequential stage expression — and, unlike two bare
+/// [`span!`](crate::span!) guards in one scope, two `with_span` calls in
+/// sequence record two *sibling* spans, not nested ones.
 #[inline(always)]
 pub fn with_span<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
     let _span = enter(name);
     f()
 }
 
+/// [`with_span`] with a typed payload; see [`enter_with_args`].
+#[inline(always)]
+pub fn with_span_args<R>(name: &'static str, args: SpanArgs, f: impl FnOnce() -> R) -> R {
+    let _span = enter_with_args(name, args);
+    f()
+}
+
 /// Takes all completed spans recorded so far (flushing the calling thread's
-/// buffer first) and resets the sink. Spans still open, or buffered on other
-/// live threads, are not included — drain after joining workers. Returns
-/// records sorted by `(tid, start_ns, depth)`; always empty when the
-/// `enabled` feature is off.
+/// buffer first) and resets the sink plus the calling thread's sampling
+/// counters. Spans still open, or buffered on other live threads, are not
+/// included — drain after joining workers. Returns records sorted by
+/// `(tid, start_ns, depth)`; always empty when the `enabled` feature is off.
 #[must_use]
 pub fn drain() -> Vec<SpanRecord> {
     #[cfg(feature = "enabled")]

@@ -13,10 +13,29 @@ fn facade_is_inert_without_the_feature() {
 
     {
         obs::span!("stage");
+        obs::span!("stage.args", edges = 10u64, chunk = 0u64);
+        let block = obs::span!("stage.block", { 3 });
+        assert_eq!(block, 3);
         let _guard = obs::enter("nested");
+        let _guard2 = obs::enter_with_args("nested.args", obs::SpanArgs::new().bits(7));
         assert_eq!(obs::with_span("inner", || 7), 7);
+        assert_eq!(
+            obs::with_span_args("inner.args", obs::SpanArgs::new().edges(1), || 8),
+            8
+        );
     }
     assert!(obs::drain().is_empty());
+
+    // Sampling and memory knobs are inert too.
+    obs::set_trace_sample(8);
+    assert_eq!(obs::trace_sample(), 1);
+    obs::mem::set_enabled(true);
+    assert!(!obs::mem::active());
+    assert_eq!(obs::mem::snapshot(), None);
+    assert_eq!(obs::mem::live_bytes(), 0);
+    assert_eq!(obs::mem::peak_bytes(), 0);
+    obs::mem::reset_watermark();
+    obs::mem::publish_gauges();
 
     metrics::counter("c").inc();
     metrics::gauge("g").set(9);
@@ -28,7 +47,7 @@ fn facade_is_inert_without_the_feature() {
     let snap = metrics::snapshot();
     assert!(snap.is_empty());
 
-    let note = export::summary_table(&obs::drain(), &snap);
+    let note = export::summary_table(&obs::drain(), &snap, obs::mem::snapshot());
     assert!(note.contains("nothing recorded"));
     assert!(note.contains("without the `enabled` feature"));
 }

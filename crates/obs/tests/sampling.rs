@@ -1,0 +1,117 @@
+//! Properties of the 1-in-N span sampler and the scale-up estimate.
+//!
+//! Needs the `enabled` feature (`cargo test -p parcsr-obs --features
+//! enabled`). Only `sampler_keeps_ceil_k_over_n` touches the process-global
+//! span sink — it is the single sink-touching test in this binary, so the
+//! harness running test functions concurrently cannot interleave recordings.
+//! The aggregation properties operate on synthetic records and are pure.
+#![cfg(feature = "enabled")]
+
+use parcsr_obs::{self as obs, export::aggregate_stages, SpanArgs, SpanRecord};
+use proptest::prelude::*;
+
+proptest! {
+    /// `k` same-name spans on one thread at period `N` yield exactly
+    /// `⌈k/N⌉` records, each stamped with the period, and the phase
+    /// realigns after a drain (the next span is kept again).
+    #[test]
+    fn sampler_keeps_ceil_k_over_n(k in 1usize..80, n in 1u32..17) {
+        obs::set_enabled(true);
+        obs::set_trace_sample(n);
+        let _ = obs::drain(); // clean sink + fresh sampler phase
+
+        for _ in 0..k {
+            obs::span!("sampling.probe", {});
+        }
+        let records = obs::drain();
+        let kept: Vec<&SpanRecord> = records
+            .iter()
+            .filter(|r| r.name == "sampling.probe")
+            .collect();
+        let expect = k.div_ceil(n as usize);
+        prop_assert_eq!(kept.len(), expect, "k={} n={}", k, n);
+        for r in &kept {
+            prop_assert_eq!(r.sample, n);
+            prop_assert_eq!(r.depth, 0);
+        }
+
+        // Drain realigned the phase: the very next span is kept.
+        obs::span!("sampling.probe", {});
+        let records = obs::drain();
+        prop_assert_eq!(
+            records.iter().filter(|r| r.name == "sampling.probe").count(),
+            1
+        );
+        obs::set_trace_sample(1);
+        obs::set_enabled(false);
+    }
+
+    /// The Horvitz–Thompson scale-up brackets the true call count: for `k`
+    /// spans thinned at period `N`, the estimate `⌈k/N⌉·N` sits in
+    /// `[k, k+N-1]`, and with uniform durations the estimated total is off
+    /// by at most a factor `(N-1)/k`.
+    #[test]
+    fn aggregate_scale_up_is_bounded(k in 1u64..200, n in 1u32..17, dur in 1u64..10_000) {
+        let kept = k.div_ceil(u64::from(n));
+        let spans: Vec<SpanRecord> = (0..kept)
+            .map(|i| SpanRecord {
+                name: "stage",
+                start_ns: i * dur,
+                dur_ns: dur,
+                tid: 0,
+                depth: 0,
+                sample: n,
+                args: SpanArgs::new(),
+                mem_peak: 0,
+                mem_live: 0,
+            })
+            .collect();
+        let agg = aggregate_stages(&spans, false);
+        prop_assert_eq!(agg.len(), 1);
+        prop_assert_eq!(agg[0].kept, kept);
+        prop_assert!(agg[0].calls >= k, "estimate {} under true {}", agg[0].calls, k);
+        prop_assert!(
+            agg[0].calls < k + u64::from(n),
+            "estimate {} exceeds {} + {} - 1",
+            agg[0].calls,
+            k,
+            n
+        );
+        let true_total_ms = (k * dur) as f64 / 1e6;
+        let est_total_ms = agg[0].total_ms;
+        let bound = true_total_ms * (1.0 + f64::from(n - 1) / k as f64) + 1e-12;
+        prop_assert!(est_total_ms >= true_total_ms - 1e-12);
+        prop_assert!(
+            est_total_ms <= bound,
+            "estimate {} above bound {}",
+            est_total_ms,
+            bound
+        );
+    }
+
+    /// Unsampled records (`sample = 1`) aggregate without any inflation:
+    /// calls == kept and totals are exact sums.
+    #[test]
+    fn unsampled_aggregation_is_exact(durs in prop::collection::vec(1u64..1_000_000, 1..50)) {
+        let spans: Vec<SpanRecord> = durs
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| SpanRecord {
+                name: "stage",
+                start_ns: i as u64 * 2_000_000,
+                dur_ns: d,
+                tid: 0,
+                depth: 0,
+                sample: 1,
+                args: SpanArgs::new(),
+                mem_peak: 0,
+                mem_live: 0,
+            })
+            .collect();
+        let agg = aggregate_stages(&spans, false);
+        prop_assert_eq!(agg[0].calls, durs.len() as u64);
+        prop_assert_eq!(agg[0].kept, durs.len() as u64);
+        let exact_ms = durs.iter().sum::<u64>() as f64 / 1e6;
+        prop_assert!((agg[0].total_ms - exact_ms).abs() < 1e-9);
+    }
+}

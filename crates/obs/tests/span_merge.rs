@@ -86,9 +86,34 @@ fn spans_nest_merge_at_join_and_export() {
     }
 
     // --- summary table over real spans ---------------------------------
-    let table = export::summary_table(&records, &metrics::snapshot());
+    let table = export::summary_table(&records, &metrics::snapshot(), obs::mem::snapshot());
     assert!(table.contains("work.chunk"));
     assert!(table.contains("region"));
+
+    // --- unsampled records carry period 1 and empty args ----------------
+    for r in &records {
+        assert_eq!(r.sample, 1);
+        assert!(r.args.is_empty());
+        assert_eq!(r.mem_peak, 0, "no counting allocator in this test binary");
+    }
+
+    // --- span args thread through to the records ------------------------
+    {
+        obs::span!("args.guard", edges = 64u64, bits = 5u32);
+    }
+    obs::with_span_args(
+        "args.closure",
+        obs::SpanArgs::new().chunk(2).chunk_len(16),
+        || (),
+    );
+    let records = obs::drain();
+    let g = find(&records, "args.guard");
+    assert_eq!(g.args.edges, Some(64));
+    assert_eq!(g.args.bits, Some(5));
+    assert_eq!(g.args.chunk, None);
+    let c = find(&records, "args.closure");
+    assert_eq!(c.args.chunk, Some(2));
+    assert_eq!(c.args.chunk_len, Some(16));
 
     // --- metrics facade respects the runtime switch --------------------
     metrics::counter("test.events").add(2);

@@ -50,8 +50,13 @@ where
     // Phase 1: independent per-chunk scans (Alg. 1 lines 2-3).
     parcsr_obs::with_span("scan.chunk_pass", || {
         let parts = split_mut_by_ranges(data, &ranges);
-        parts.into_par_iter().for_each(|chunk| {
-            let _span = parcsr_obs::enter("scan.chunk");
+        parts.into_par_iter().enumerate().for_each(|(i, chunk)| {
+            let _span = parcsr_obs::enter_with_args(
+                "scan.chunk",
+                parcsr_obs::SpanArgs::new()
+                    .chunk(i as u64)
+                    .chunk_len(chunk.len() as u64),
+            );
             inclusive_scan_seq_by(chunk, op);
         });
     });
@@ -79,8 +84,15 @@ where
         let rest = parts.split_off(1);
         rest.into_par_iter()
             .zip(carries.into_par_iter())
-            .for_each(|(chunk, carry)| {
-                let _span = parcsr_obs::enter("scan.fixup_chunk");
+            .enumerate()
+            .for_each(|(i, (chunk, carry))| {
+                // Chunk 0 has no incoming carry, so fixup chunks start at 1.
+                let _span = parcsr_obs::enter_with_args(
+                    "scan.fixup_chunk",
+                    parcsr_obs::SpanArgs::new()
+                        .chunk(i as u64 + 1)
+                        .chunk_len(chunk.len() as u64),
+                );
                 let last = chunk.len() - 1;
                 for x in &mut chunk[..last] {
                     *x = op.combine(carry, *x);

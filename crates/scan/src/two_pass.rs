@@ -37,8 +37,14 @@ where
         let data = &*data;
         ranges
             .par_iter()
-            .map(|r| {
-                let _span = parcsr_obs::enter("scan.totals_chunk");
+            .enumerate()
+            .map(|(i, r)| {
+                let _span = parcsr_obs::enter_with_args(
+                    "scan.totals_chunk",
+                    parcsr_obs::SpanArgs::new()
+                        .chunk(i as u64)
+                        .chunk_len(r.len() as u64),
+                );
                 data[r.clone()]
                     .iter()
                     .copied()
@@ -63,8 +69,14 @@ where
         parts
             .into_par_iter()
             .zip(carries.into_par_iter())
-            .for_each(|(chunk, carry)| {
-                let _span = parcsr_obs::enter("scan.seeded_chunk");
+            .enumerate()
+            .for_each(|(i, (chunk, carry))| {
+                let _span = parcsr_obs::enter_with_args(
+                    "scan.seeded_chunk",
+                    parcsr_obs::SpanArgs::new()
+                        .chunk(i as u64)
+                        .chunk_len(chunk.len() as u64),
+                );
                 let mut acc = carry;
                 for x in chunk.iter_mut() {
                     acc = op.combine(acc, *x);

@@ -105,16 +105,25 @@ impl TcsrBuilder {
         // Per chunk: (frame, sorted parity-collapsed key list) in frame
         // order. Chunks see disjoint event ranges of the (t, u, v)-sorted
         // stream, so each chunk's frames are contiguous and its keys sorted.
-        let chunk_frames: Vec<Vec<(Timestamp, Vec<u64>)>> =
-            parcsr_obs::with_span("tcsr.collapse", || {
+        let chunk_frames: Vec<Vec<(Timestamp, Vec<u64>)>> = parcsr_obs::with_span_args(
+            "tcsr.collapse",
+            parcsr_obs::SpanArgs::new().edges(evs.len() as u64),
+            || {
                 ranges
                     .par_iter()
-                    .map(|r| {
-                        let _span = parcsr_obs::enter("tcsr.chunk");
+                    .enumerate()
+                    .map(|(i, r)| {
+                        let _span = parcsr_obs::enter_with_args(
+                            "tcsr.chunk",
+                            parcsr_obs::SpanArgs::new()
+                                .chunk(i as u64)
+                                .chunk_len(r.len() as u64),
+                        );
                         collapse_chunk(&evs[r.clone()])
                     })
                     .collect()
-            });
+            },
+        );
         // collect() is the sync(): all chunk-local CSR pieces exist before
         // the boundary merge.
 

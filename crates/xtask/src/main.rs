@@ -4,12 +4,18 @@
 //! Commands:
 //!
 //! * `check-trace FILE` — validates a Chrome trace written by `--trace`
-//!   (see [`trace_check`]): parseable JSON array of complete events,
-//!   non-empty, time-ordered per thread. CI runs it on a bench smoke
+//!   (see [`trace_check`]): parseable JSON array of span (`"X"`) and
+//!   counter (`"C"`) events, non-empty, time-ordered per thread / per
+//!   counter, with well-typed span args. CI runs it on a bench smoke
 //!   trace so a silently-broken recorder fails the build.
+//! * `stage-diff BASE CUR [--threshold F]` — compares two bench
+//!   `*.stages.json` files (see [`stage_diff`]): per-stage construction
+//!   time *shares* and peak heap bytes must stay within the threshold
+//!   (default 0.10) of the baseline. CI diffs the smoke run against a
+//!   committed baseline so a stage silently ballooning fails the build.
 //! * `lint` — the workspace's static-analysis gate, in two stages:
 //!   1. **text lints** (see [`lints`]): every `unsafe` must carry a nearby
-//!      `// SAFETY:` comment, `unsafe` is forbidden outside a two-file
+//!      `// SAFETY:` comment, `unsafe` is forbidden outside a small file
 //!      allowlist, panicking constructs are banned on the hot query path,
 //!      and the crates owning `unsafe` code must deny
 //!      `unsafe_op_in_unsafe_fn`;
@@ -20,6 +26,7 @@
 //! Exit code 0 means the tree is clean; 1 means violations were printed.
 
 mod lints;
+mod stage_diff;
 mod trace_check;
 
 use std::path::{Path, PathBuf};
@@ -36,9 +43,85 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some("stage-diff") => match (args.get(1), args.get(2)) {
+            (Some(base), Some(cur)) => {
+                let threshold = match parse_threshold(&args[3..]) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("xtask stage-diff: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                run_stage_diff(Path::new(base), Path::new(cur), threshold)
+            }
+            _ => {
+                eprintln!(
+                    "usage: cargo xtask stage-diff <baseline.stages.json> \
+                     <current.stages.json> [--threshold F]"
+                );
+                ExitCode::from(2)
+            }
+        },
         _ => {
-            eprintln!("usage: cargo xtask lint [--skip-clippy] | check-trace <trace.json>");
+            eprintln!(
+                "usage: cargo xtask lint [--skip-clippy] | check-trace <trace.json> | \
+                 stage-diff <base.json> <cur.json> [--threshold F]"
+            );
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses `[--threshold F]` from the tail of a stage-diff invocation.
+fn parse_threshold(rest: &[String]) -> Result<f64, String> {
+    match rest {
+        [] => Ok(0.10),
+        [flag, value] if flag == "--threshold" => match value.parse::<f64>() {
+            Ok(t) if t > 0.0 && t.is_finite() => Ok(t),
+            _ => Err(format!(
+                "--threshold must be a positive number, got `{value}`"
+            )),
+        },
+        _ => Err(format!("unexpected arguments: {rest:?}")),
+    }
+}
+
+/// Diffs two bench stage-breakdown JSON files; exit 0 iff every stage's
+/// time share and peak memory stayed within the threshold.
+fn run_stage_diff(base: &Path, cur: &Path, threshold: f64) -> ExitCode {
+    let read = |p: &Path| {
+        std::fs::read_to_string(p)
+            .map_err(|e| format!("xtask stage-diff: cannot read {}: {e}", p.display()))
+    };
+    let (base_text, cur_text) = match (read(base), read(cur)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match stage_diff::diff_stage_text(&base_text, &cur_text, threshold) {
+        Ok(out) => {
+            eprint!("{}", out.report);
+            if out.failed {
+                eprintln!(
+                    "xtask stage-diff: {} vs {} FAILED",
+                    base.display(),
+                    cur.display()
+                );
+                ExitCode::FAILURE
+            } else {
+                eprintln!(
+                    "xtask stage-diff: {} vs {} ok",
+                    base.display(),
+                    cur.display()
+                );
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask stage-diff: {e}");
+            ExitCode::FAILURE
         }
     }
 }

@@ -4,10 +4,93 @@
 //! CI runs a bench smoke with `--trace` and feeds the output through
 //! `cargo xtask check-trace <file>`; the build fails if the trace is
 //! missing, unparseable, empty, structurally malformed, or not
-//! time-ordered per thread — the cheapest end-to-end proof that the
-//! instrumentation actually recorded the pipeline.
+//! time-ordered — the cheapest end-to-end proof that the instrumentation
+//! actually recorded the pipeline.
+//!
+//! Two event kinds are accepted, mirroring the exporter:
+//!
+//! * complete (`"ph": "X"`) span events — must carry
+//!   `name`/`ph`/`ts`/`dur`/`pid`/`tid`, be time-ordered per thread, and
+//!   their `args` payload (when present) must hold only non-negative
+//!   integers for the typed keys (`depth`, `sample`, `edges`, `chunk`,
+//!   `chunk_len`, `bits`). Per-chunk spans (names ending `.chunk` or
+//!   `_chunk`) must carry a `chunk` index — a chunk span without its index
+//!   means the instrumentation site lost its payload.
+//! * counter (`"ph": "C"`) events — the memory / metric series. Must carry
+//!   `name`/`ph`/`ts`/`pid`/`tid`/`args` (no `dur`), use a known metric
+//!   namespace (`mem.`, `query.`, `pool.`), be time-ordered per counter
+//!   name, and hold a non-empty `args` object of non-negative numbers.
 
 use parcsr_obs::json::Json;
+
+/// Span-arg keys the exporter may emit; every one is a non-negative count
+/// or width, so anything negative (or non-integer) is a recorder bug.
+const SPAN_ARG_KEYS: &[&str] = &["depth", "sample", "edges", "chunk", "chunk_len", "bits"];
+
+/// Metric namespaces counter events may use. A counter outside these was
+/// registered ad hoc and would silently vanish from dashboards keyed on
+/// the known prefixes.
+const COUNTER_PREFIXES: &[&str] = &["mem.", "query.", "pool."];
+
+fn check_span_args(i: usize, name: &str, ev: &Json) -> Result<(), String> {
+    let Some(args) = ev.get("args") else {
+        return Ok(());
+    };
+    if args.as_object().is_none() {
+        return Err(format!("event {i} (`{name}`): `args` is not an object"));
+    }
+    for key in SPAN_ARG_KEYS {
+        if let Some(v) = args.get(key) {
+            match v.as_i64() {
+                Some(n) if n >= 0 => {}
+                _ => {
+                    return Err(format!(
+                        "event {i} (`{name}`): arg `{key}` must be a non-negative \
+                         integer, got {v:?}"
+                    ));
+                }
+            }
+        }
+    }
+    if (name.ends_with(".chunk") || name.ends_with("_chunk")) && args.get("chunk").is_none() {
+        return Err(format!(
+            "event {i} (`{name}`): per-chunk span is missing its `chunk` index arg"
+        ));
+    }
+    Ok(())
+}
+
+fn check_counter(i: usize, name: &str, ev: &Json) -> Result<(), String> {
+    if !COUNTER_PREFIXES.iter().any(|p| name.starts_with(p)) {
+        return Err(format!(
+            "event {i}: counter `{name}` is outside the known namespaces \
+             (mem.*, query.*, pool.*)"
+        ));
+    }
+    let args = ev
+        .get("args")
+        .ok_or_else(|| format!("event {i}: counter `{name}` is missing `args`"))?;
+    let fields = args
+        .as_object()
+        .ok_or_else(|| format!("event {i}: counter `{name}` args is not an object"))?;
+    if fields.is_empty() {
+        return Err(format!(
+            "event {i}: counter `{name}` has an empty args object"
+        ));
+    }
+    for (key, v) in fields {
+        match v.as_f64() {
+            Some(x) if x >= 0.0 => {}
+            _ => {
+                return Err(format!(
+                    "event {i}: counter `{name}` arg `{key}` must be a non-negative \
+                     number, got {v:?}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Validates trace text; returns the event count on success.
 pub fn check_trace_text(text: &str) -> Result<usize, String> {
@@ -19,39 +102,79 @@ pub fn check_trace_text(text: &str) -> Result<usize, String> {
         return Err("trace contains no events (was the binary built with --features obs?)".into());
     }
 
-    // (tid, last ts) pairs; traces have few distinct tids, linear scan is fine.
-    let mut last_ts: Vec<(i64, f64)> = Vec::new();
+    // Span events are ordered per tid; counter events per counter name.
+    // Both maps are tiny (few tids, few counters), linear scan is fine.
+    let mut span_last_ts: Vec<(i64, f64)> = Vec::new();
+    let mut counter_last_ts: Vec<(String, f64)> = Vec::new();
+    let mut saw_span = false;
     for (i, ev) in events.iter().enumerate() {
         if ev.as_object().is_none() {
             return Err(format!("event {i} is not an object"));
         }
-        for field in ["name", "ph", "ts", "dur", "pid", "tid"] {
-            if ev.get(field).is_none() {
-                return Err(format!("event {i} is missing required field `{field}`"));
-            }
-        }
-        if ev.get("ph").and_then(Json::as_str) != Some("X") {
-            return Err(format!("event {i} is not a complete (`ph: \"X\"`) event"));
-        }
-        let tid = ev
-            .get("tid")
-            .and_then(Json::as_i64)
-            .ok_or_else(|| format!("event {i} has a non-integer tid"))?;
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i} is missing required field `name`"))?
+            .to_string();
         let ts = ev
             .get("ts")
             .and_then(Json::as_f64)
-            .ok_or_else(|| format!("event {i} has a non-numeric ts"))?;
-        match last_ts.iter_mut().find(|(t, _)| *t == tid) {
-            Some((_, last)) => {
-                if ts < *last {
-                    return Err(format!(
-                        "event {i} (tid {tid}) goes backwards in time: ts {ts} after {last}"
-                    ));
+            .ok_or_else(|| format!("event {i} has a missing or non-numeric ts"))?;
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("X") => {
+                saw_span = true;
+                for field in ["dur", "pid", "tid"] {
+                    if ev.get(field).is_none() {
+                        return Err(format!("event {i} is missing required field `{field}`"));
+                    }
                 }
-                *last = ts;
+                let tid = ev
+                    .get("tid")
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| format!("event {i} has a non-integer tid"))?;
+                match span_last_ts.iter_mut().find(|(t, _)| *t == tid) {
+                    Some((_, last)) => {
+                        if ts < *last {
+                            return Err(format!(
+                                "event {i} (tid {tid}) goes backwards in time: ts {ts} \
+                                 after {last}"
+                            ));
+                        }
+                        *last = ts;
+                    }
+                    None => span_last_ts.push((tid, ts)),
+                }
+                check_span_args(i, &name, ev)?;
             }
-            None => last_ts.push((tid, ts)),
+            Some("C") => {
+                for field in ["pid", "tid"] {
+                    if ev.get(field).is_none() {
+                        return Err(format!("event {i} is missing required field `{field}`"));
+                    }
+                }
+                check_counter(i, &name, ev)?;
+                match counter_last_ts.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, last)) => {
+                        if ts < *last {
+                            return Err(format!(
+                                "event {i}: counter `{name}` goes backwards in time: \
+                                 ts {ts} after {last}"
+                            ));
+                        }
+                        *last = ts;
+                    }
+                    None => counter_last_ts.push((name, ts)),
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "event {i} is neither a complete (`\"X\"`) nor a counter (`\"C\"`) event"
+                ));
+            }
         }
+    }
+    if !saw_span {
+        return Err("trace has counter events but no span events".into());
     }
     Ok(events.len())
 }
@@ -66,13 +189,22 @@ mod tests {
         )
     }
 
+    fn counter(name: &str, ts: i64, args: &str) -> String {
+        format!(
+            r#"{{"name":"{name}","cat":"parcsr","ph":"C","ts":{ts},"pid":1,"tid":0,"args":{args}}}"#
+        )
+    }
+
     #[test]
     fn accepts_a_well_formed_trace() {
         let text = format!(
             "[{},{},{}]",
             event("degree", 0, 10),
             event("scan", 0, 20),
-            event("degree.chunk", 1, 12)
+            event("degree.chunk", 1, 12).replace(
+                r#""args":{"depth":0}"#,
+                r#""args":{"depth":0,"sample":8,"chunk":3,"chunk_len":128}"#
+            )
         );
         assert_eq!(check_trace_text(&text), Ok(3));
     }
@@ -87,7 +219,7 @@ mod tests {
 
     #[test]
     fn rejects_missing_fields_and_disorder() {
-        let err = check_trace_text(r#"[{"name":"x","ph":"X"}]"#).unwrap_err();
+        let err = check_trace_text(r#"[{"name":"x","ph":"X","ts":1}]"#).unwrap_err();
         assert!(err.contains("missing required field"), "{err}");
 
         // Same tid going backwards in time must fail...
@@ -98,5 +230,103 @@ mod tests {
         // ...but interleaved tids each monotone are fine.
         let text = format!("[{},{}]", event("a", 0, 20), event("b", 1, 10));
         assert_eq!(check_trace_text(&text), Ok(2));
+    }
+
+    #[test]
+    fn rejects_unknown_phase() {
+        let text = r#"[{"name":"a","ph":"B","ts":1,"dur":2,"pid":1,"tid":0}]"#;
+        let err = check_trace_text(text).unwrap_err();
+        assert!(err.contains("neither a complete"), "{err}");
+    }
+
+    #[test]
+    fn rejects_negative_or_non_integer_span_args() {
+        let bad = format!(
+            "[{}]",
+            event("scan", 0, 10)
+                .replace(r#""args":{"depth":0}"#, r#""args":{"depth":0,"edges":-5}"#)
+        );
+        let err = check_trace_text(&bad).unwrap_err();
+        assert!(err.contains("`edges`"), "{err}");
+
+        let bad = format!(
+            "[{}]",
+            event("scan", 0, 10).replace(r#""args":{"depth":0}"#, r#""args":{"bits":"seven"}"#)
+        );
+        let err = check_trace_text(&bad).unwrap_err();
+        assert!(err.contains("`bits`"), "{err}");
+    }
+
+    #[test]
+    fn chunk_spans_must_carry_their_chunk_index() {
+        for name in ["degree.chunk", "scan.totals_chunk"] {
+            let err = check_trace_text(&format!("[{}]", event(name, 1, 10))).unwrap_err();
+            assert!(err.contains("`chunk` index"), "{name}: {err}");
+        }
+        // Unknown args keys on a non-chunk span are ignored (forward compat).
+        let ok = format!(
+            "[{}]",
+            event("scan", 0, 10)
+                .replace(r#""args":{"depth":0}"#, r#""args":{"depth":0,"future":-1}"#)
+        );
+        assert_eq!(check_trace_text(&ok), Ok(1));
+    }
+
+    #[test]
+    fn accepts_counter_series_after_spans() {
+        let text = format!(
+            "[{},{},{},{},{}]",
+            event("degree", 0, 10),
+            counter("mem.live_bytes", 15, r#"{"live_bytes":1024}"#),
+            counter("mem.live_bytes", 25, r#"{"live_bytes":512}"#),
+            counter(
+                "query.has_edge_ns",
+                30,
+                r#"{"count":10,"p50":90,"p95":180,"p99":199}"#
+            ),
+            counter("pool.width", 30, r#"{"value":4}"#),
+        );
+        assert_eq!(check_trace_text(&text), Ok(5));
+    }
+
+    #[test]
+    fn rejects_bad_counters() {
+        let span = event("degree", 0, 10);
+
+        // Unknown namespace.
+        let text = format!(
+            "[{},{}]",
+            span,
+            counter("rogue.metric", 20, r#"{"value":1}"#)
+        );
+        let err = check_trace_text(&text).unwrap_err();
+        assert!(err.contains("known namespaces"), "{err}");
+
+        // Counter series going backwards in time.
+        let text = format!(
+            "[{},{},{}]",
+            span,
+            counter("mem.live_bytes", 30, r#"{"live_bytes":1}"#),
+            counter("mem.live_bytes", 20, r#"{"live_bytes":2}"#)
+        );
+        let err = check_trace_text(&text).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+
+        // Empty args and negative values.
+        let text = format!("[{},{}]", span, counter("mem.peak_bytes", 20, "{}"));
+        let err = check_trace_text(&text).unwrap_err();
+        assert!(err.contains("empty args"), "{err}");
+        let text = format!(
+            "[{},{}]",
+            span,
+            counter("pool.width", 20, r#"{"value":-4}"#)
+        );
+        let err = check_trace_text(&text).unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+
+        // Counters without any span events mean the recorder dropped spans.
+        let text = format!("[{}]", counter("mem.peak_bytes", 20, r#"{"peak_bytes":1}"#));
+        let err = check_trace_text(&text).unwrap_err();
+        assert!(err.contains("no span events"), "{err}");
     }
 }

@@ -7,29 +7,34 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mkdir -p results
-echo "== building release binaries (obs feature: tracing + metrics) =="
+echo "== building release binaries (obs feature: tracing + metrics + mem) =="
 cargo build --release -p parcsr-bench --features obs
 
+# Every run records metrics and heap accounting; the stage summaries on
+# stderr (now including the `== mem ==` section) are archived next to the
+# tables so memory regressions are diffable across runs.
 echo "== Table II =="
 cargo run --release -q -p parcsr-bench --features obs --bin table2 -- \
-  --metrics --trace results/table2.trace.json "$@" \
+  --metrics --mem-metrics --trace results/table2.trace.json "$@" \
   | tee results/table2.md \
   2> >(tee results/table2.stages.txt >&2)
 echo "== Figure 6 =="
 cargo run --release -q -p parcsr-bench --features obs --bin fig6 -- \
-  --metrics --trace results/fig6.trace.json "$@" \
+  --metrics --mem-metrics --trace results/fig6.trace.json "$@" \
   | tee results/fig6.txt \
   2> >(tee results/fig6.stages.txt >&2)
 echo "== Figure 7 =="
 cargo run --release -q -p parcsr-bench --features obs --bin fig7 -- \
-  --metrics --trace results/fig7.trace.json "$@" \
+  --metrics --mem-metrics --trace results/fig7.trace.json "$@" \
   | tee results/fig7.txt \
   2> >(tee results/fig7.stages.txt >&2)
 
 # Machine-readable per-stage breakdown per (dataset, p): the bench JSON
-# schema carries a `stages` array on every processor sample.
-echo "== Table II (JSON, per-stage breakdown) =="
+# schema carries a `stages` array (with `mem_peak_bytes`) and a `mem`
+# object on every processor sample. Compare two of these with
+# `cargo xtask stage-diff <baseline> <current>`.
+echo "== Table II (JSON, per-stage breakdown + memory) =="
 cargo run --release -q -p parcsr-bench --features obs --bin table2 -- \
-  --json --metrics "$@" > results/table2.stages.json
+  --json --metrics --mem-metrics "$@" > results/table2.stages.json
 
-echo "results written to results/ (incl. *.trace.json Chrome traces and *.stages.* breakdowns)"
+echo "results written to results/ (incl. *.trace.json Chrome traces and *.stages.* breakdowns with memory sections)"
