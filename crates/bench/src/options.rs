@@ -34,6 +34,15 @@ pub struct Options {
     /// requires the `obs` build feature, which registers the counting
     /// allocator.
     pub mem_metrics: bool,
+    /// Mid-span memory sampling period: every Nth allocation updates the
+    /// per-span high-water mark, so nested/worker spans report true
+    /// intra-span peaks (default: the `PARCSR_MEM_SAMPLE` env var, else
+    /// off). Implies memory accounting.
+    pub mem_sample: Option<u64>,
+    /// Append a per-stage `imbalance` object (worker utilization, chunk CV,
+    /// critical-path ratio) to each `stages` entry of the JSON output;
+    /// requires the `obs` build feature to measure anything.
+    pub imbalance: bool,
 }
 
 impl Default for Options {
@@ -50,6 +59,8 @@ impl Default for Options {
             metrics: false,
             trace_sample: None,
             mem_metrics: false,
+            mem_sample: None,
+            imbalance: false,
         }
     }
 }
@@ -111,6 +122,16 @@ impl Options {
                     opts.trace_sample = Some(n);
                 }
                 "--mem-metrics" => opts.mem_metrics = true,
+                "--mem-sample" => {
+                    let n: u64 = value("--mem-sample")?
+                        .parse()
+                        .map_err(|e| format!("--mem-sample: {e}"))?;
+                    if n == 0 {
+                        return Err("--mem-sample must be at least 1".into());
+                    }
+                    opts.mem_sample = Some(n);
+                }
+                "--imbalance" => opts.imbalance = true,
                 "--help" | "-h" => {
                     return Err(HELP.to_string());
                 }
@@ -149,6 +170,11 @@ Flags:
   --trace-sample <n>  record every nth same-name span per thread
                   (default: $PARCSR_TRACE_SAMPLE, else 1 = record all)
   --mem-metrics   track live/peak heap bytes and per-stage memory peaks
+  --mem-sample <n>  sample the live-heap high-water mark every nth allocation,
+                  so nested/worker spans report intra-span peaks
+                  (default: $PARCSR_MEM_SAMPLE, else off; implies accounting)
+  --imbalance     append per-stage worker-utilization / chunk-imbalance stats
+                  to the JSON output
                   (observability flags need a build with --features obs)";
 
 #[cfg(test)]
@@ -223,6 +249,19 @@ mod tests {
         let d = parse(&[]).unwrap();
         assert_eq!(d.trace_sample, None);
         assert!(!d.mem_metrics);
+    }
+
+    #[test]
+    fn mem_sample_and_imbalance() {
+        let o = parse(&["--mem-sample", "64", "--imbalance"]).unwrap();
+        assert_eq!(o.mem_sample, Some(64));
+        assert!(o.imbalance);
+        assert!(parse(&["--mem-sample", "0"]).is_err());
+        assert!(parse(&["--mem-sample", "x"]).is_err());
+        assert!(parse(&["--mem-sample"]).is_err());
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.mem_sample, None);
+        assert!(!d.imbalance);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! `--trace` / `--metrics` / `--trace-sample` / `--mem-metrics` wiring
-//! shared by the harness binaries.
+//! `--trace` / `--metrics` / `--trace-sample` / `--mem-metrics` /
+//! `--mem-sample` / `--imbalance` wiring shared by the harness binaries.
 //!
 //! The flags are always parsed and compose in any order, but recording only
 //! happens when the binary was built with the `obs` feature (which turns on
@@ -27,21 +27,46 @@ pub fn resolve_trace_sample(opts: &Options) -> u32 {
         .max(1)
 }
 
+/// The mid-span memory sampling period a run will use: the `--mem-sample`
+/// flag wins, then the `PARCSR_MEM_SAMPLE` environment variable, then 0
+/// (off). Invalid env values are ignored.
+#[must_use]
+pub fn resolve_mem_sample(opts: &Options) -> u64 {
+    opts.mem_sample
+        .or_else(|| {
+            std::env::var("PARCSR_MEM_SAMPLE")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or(0)
+}
+
 /// Switches runtime span/metric/memory recording on when the options ask
-/// for it and applies the sampling period. Call once, before the measured
+/// for it and applies the sampling periods. Call once, before the measured
 /// work.
 pub fn setup(opts: &Options) {
-    if opts.trace.is_none() && !opts.metrics && !opts.mem_metrics {
+    if opts.trace.is_none()
+        && !opts.metrics
+        && !opts.mem_metrics
+        && !opts.imbalance
+        && opts.mem_sample.is_none()
+    {
         return;
     }
     if !parcsr_obs::compiled() {
         eprintln!(
-            "warning: --trace/--metrics/--mem-metrics need a build with the obs feature \
-             (cargo run -p parcsr-bench --features obs ...); nothing will be recorded"
+            "warning: --trace/--metrics/--mem-metrics/--mem-sample/--imbalance need a build \
+             with the obs feature (cargo run -p parcsr-bench --features obs ...); nothing \
+             will be recorded"
         );
     }
     parcsr_obs::set_trace_sample(resolve_trace_sample(opts));
-    parcsr_obs::mem::set_enabled(opts.mem_metrics);
+    // Intra-span peak sampling observes the live-byte counter, so it
+    // implies memory accounting even without --mem-metrics.
+    let mem_sample = resolve_mem_sample(opts);
+    parcsr_obs::mem::set_sample_period(mem_sample);
+    parcsr_obs::mem::set_enabled(opts.mem_metrics || mem_sample > 0);
     parcsr_obs::set_enabled(true);
 }
 

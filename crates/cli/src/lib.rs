@@ -25,9 +25,9 @@ pub use parse::{Command, ObsOptions, ParseError};
 /// Parses and executes an argument list, returning the report to print.
 ///
 /// The global `--trace FILE` / `--metrics` / `--trace-sample N` /
-/// `--mem-metrics` switches (valid anywhere on the command line, in any
-/// order) wrap the run in observability collection; they need a binary
-/// built with the `obs` feature to record anything.
+/// `--mem-metrics` / `--mem-sample N` switches (valid anywhere on the
+/// command line, in any order) wrap the run in observability collection;
+/// they need a binary built with the `obs` feature to record anything.
 pub fn run<I>(args: I) -> Result<String, String>
 where
     I: IntoIterator<Item = String>,
@@ -36,8 +36,9 @@ where
     if obs.active() {
         if !parcsr_obs::compiled() {
             eprintln!(
-                "warning: --trace/--metrics/--mem-metrics need a build with the obs feature \
-                 (cargo run -p parcsr-cli --features obs ...); nothing will be recorded"
+                "warning: --trace/--metrics/--mem-metrics/--mem-sample need a build with the \
+                 obs feature (cargo run -p parcsr-cli --features obs ...); nothing will be \
+                 recorded"
             );
         }
         let sample = obs.trace_sample.or_else(|| {
@@ -46,7 +47,16 @@ where
                 .and_then(|s| s.trim().parse().ok())
         });
         parcsr_obs::set_trace_sample(sample.unwrap_or(1));
-        parcsr_obs::mem::set_enabled(obs.mem_metrics);
+        let mem_sample = obs.mem_sample.or_else(|| {
+            std::env::var("PARCSR_MEM_SAMPLE")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .filter(|&n| n > 0)
+        });
+        parcsr_obs::mem::set_sample_period(mem_sample.unwrap_or(0));
+        // Intra-span peak sampling observes the live-byte counter, so it
+        // implies memory accounting even without --mem-metrics.
+        parcsr_obs::mem::set_enabled(obs.mem_metrics || mem_sample.is_some());
         parcsr_obs::set_enabled(true);
     }
     let command = Command::parse(rest).map_err(|e| e.to_string())?;

@@ -100,12 +100,16 @@ pub struct ObsOptions {
     pub trace_sample: Option<u32>,
     /// Track live/peak heap bytes and per-stage memory peaks.
     pub mem_metrics: bool,
+    /// Mid-span memory sampling period: every Nth allocation updates the
+    /// per-span high-water mark (implies memory accounting).
+    pub mem_sample: Option<u64>,
 }
 
 impl ObsOptions {
     /// Extracts `--trace FILE` / `--metrics` / `--trace-sample N` /
-    /// `--mem-metrics` from `args` (valid in any position and order),
-    /// returning the switches and the remaining arguments in order.
+    /// `--mem-metrics` / `--mem-sample N` from `args` (valid in any
+    /// position and order), returning the switches and the remaining
+    /// arguments in order.
     pub fn extract<I>(args: I) -> Result<(ObsOptions, Vec<String>), ParseError>
     where
         I: IntoIterator<Item = String>,
@@ -134,6 +138,17 @@ impl ObsOptions {
                     obs.trace_sample = Some(n);
                 }
                 "--mem-metrics" => obs.mem_metrics = true,
+                "--mem-sample" => {
+                    let n: u64 = it
+                        .next()
+                        .ok_or_else(|| invalid("--mem-sample requires a value"))?
+                        .parse()
+                        .map_err(|e| invalid(format!("--mem-sample: {e}")))?;
+                    if n == 0 {
+                        return Err(invalid("--mem-sample must be at least 1"));
+                    }
+                    obs.mem_sample = Some(n);
+                }
                 _ => rest.push(arg),
             }
         }
@@ -142,7 +157,7 @@ impl ObsOptions {
 
     /// True when any switch that turns on collection was given.
     pub fn active(&self) -> bool {
-        self.trace.is_some() || self.metrics || self.mem_metrics
+        self.trace.is_some() || self.metrics || self.mem_metrics || self.mem_sample.is_some()
     }
 }
 
@@ -184,6 +199,8 @@ global flags (any command):
   --trace-sample N  record every Nth same-name span per thread
                   (default: $PARCSR_TRACE_SAMPLE, else 1 = record all)
   --mem-metrics   track live/peak heap bytes and per-stage memory peaks
+  --mem-sample N  sample the live-heap high-water mark every Nth allocation
+                  (default: $PARCSR_MEM_SAMPLE, else off; implies accounting)
                   (all need a binary built with --features obs)";
 
 fn invalid(msg: impl Into<String>) -> ParseError {
@@ -586,6 +603,20 @@ mod tests {
         assert!(ObsOptions::extract(["--trace-sample".to_string()]).is_err());
         assert!(
             ObsOptions::extract(["--trace-sample".to_string(), "0".to_string()]).is_err(),
+            "period 0 is invalid"
+        );
+    }
+
+    #[test]
+    fn mem_sample_flag_strips_and_activates() {
+        let args = ["stats", "--mem-sample", "64", "g.txt"];
+        let (obs, rest) = ObsOptions::extract(args.iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(obs.mem_sample, Some(64));
+        assert!(obs.active(), "--mem-sample alone turns collection on");
+        assert_eq!(rest, ["stats", "g.txt"]);
+        assert!(ObsOptions::extract(["--mem-sample".to_string()]).is_err());
+        assert!(
+            ObsOptions::extract(["--mem-sample".to_string(), "0".to_string()]).is_err(),
             "period 0 is invalid"
         );
     }

@@ -58,6 +58,7 @@
 //! ```
 
 pub mod build;
+pub mod chunked;
 pub mod degree;
 pub mod packed;
 pub mod pool;
@@ -67,6 +68,7 @@ pub mod stream;
 pub mod weighted;
 
 pub use build::{BuildTimings, Csr, CsrBuilder};
+pub use chunked::{run_chunked, run_chunked_plan, Chunk, ChunkPolicy};
 pub use degree::{degrees_atomic, degrees_parallel};
 pub use packed::{BitPackedCsr, PackedCsrMode, PackedRowIter};
 pub use pool::with_processors;

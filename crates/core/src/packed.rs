@@ -20,6 +20,7 @@ use parcsr_bitpack::{bits_needed, pack_parallel_with_width, GapDecode, PackedArr
 use parcsr_graph::NodeId;
 
 use crate::build::Csr;
+use crate::chunked::{run_chunked, Chunk, ChunkPolicy};
 
 /// How the column array is transformed before packing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,8 +56,23 @@ pub struct BitPackedCsr {
 
 impl BitPackedCsr {
     /// Packs a CSR using `processors` parallel packers per array
-    /// (Algorithm 4 runs the bit-pack once for `iA` and once for `jA`).
+    /// (Algorithm 4 runs the bit-pack once for `iA` and once for `jA`),
+    /// splitting the gap encode by row count ([`ChunkPolicy::Rows`]).
     pub fn from_csr(csr: &Csr, mode: PackedCsrMode, processors: usize) -> Self {
+        Self::from_csr_with_chunking(csr, mode, processors, ChunkPolicy::Rows)
+    }
+
+    /// [`from_csr`](Self::from_csr) with an explicit chunk-splitting policy
+    /// for the gap encode. The policy only changes *which rows each worker
+    /// encodes* — the output is byte-identical across policies and processor
+    /// counts; [`ChunkPolicy::Edges`] balances hub-skewed graphs (see
+    /// `examples/imbalance.rs` for the measured utilization gap).
+    pub fn from_csr_with_chunking(
+        csr: &Csr,
+        mode: PackedCsrMode,
+        processors: usize,
+        policy: ChunkPolicy,
+    ) -> Self {
         parcsr_obs::span!("pack", edges = csr.num_edges() as u64);
         let offset_width = bits_needed(csr.num_edges() as u64);
         let offsets = parcsr_obs::with_span_args(
@@ -71,34 +87,34 @@ impl BitPackedCsr {
             || match mode {
                 PackedCsrMode::Raw => csr.targets().par_iter().map(|&v| u64::from(v)).collect(),
                 PackedCsrMode::Gap => {
-                    // Gap-code each row independently, in parallel over rows.
+                    // Gap-code rows in parallel chunks; the policy decides
+                    // whether chunk boundaries balance row counts or edge
+                    // counts. Rows are whole within a chunk, so the output
+                    // slice splits cleanly at chunk edge boundaries.
                     let mut out = vec![0u64; csr.num_edges()];
-                    let starts: Vec<usize> = (0..csr.num_nodes())
-                        .map(|u| csr.offsets()[u] as usize)
+                    let plan = policy.plan(csr.offsets(), processors);
+                    let edge_ranges: Vec<std::ops::Range<usize>> = plan
+                        .iter()
+                        .map(|c| {
+                            csr.offsets()[c.range.start] as usize
+                                ..csr.offsets()[c.range.end] as usize
+                        })
                         .collect();
-                    // Split the output at row boundaries so rows can be written
-                    // in parallel without overlap.
-                    let mut slices: Vec<(usize, &mut [u64])> = Vec::with_capacity(csr.num_nodes());
-                    {
-                        let mut rest: &mut [u64] = &mut out;
-                        let mut consumed = 0usize;
-                        for (u, &s) in starts.iter().enumerate() {
-                            let end = csr.offsets()[u + 1] as usize;
-                            let (_, r) = std::mem::take(&mut rest).split_at_mut(s - consumed);
-                            let (row, r) = r.split_at_mut(end - s);
-                            slices.push((u, row));
-                            rest = r;
-                            consumed = end;
-                        }
-                    }
-                    slices.into_par_iter().for_each(|(u, row)| {
-                        let neigh = csr.neighbors(u as NodeId);
-                        if let Some((&head, tail)) = neigh.split_first() {
-                            row[0] = u64::from(head);
-                            let mut prev = head;
-                            for (slot, &v) in row[1..].iter_mut().zip(tail) {
-                                *slot = u64::from(v - prev);
-                                prev = v;
+                    let slices = parcsr_scan::split_mut_by_ranges(&mut out, &edge_ranges);
+                    let work: Vec<(Chunk, &mut [u64])> = plan.into_iter().zip(slices).collect();
+                    run_chunked("pack.encode.chunk", work, |chunk, slice| {
+                        let base = csr.offsets()[chunk.range.start] as usize;
+                        for u in chunk.range.clone() {
+                            let s = csr.offsets()[u] as usize - base;
+                            let neigh = csr.neighbors(u as NodeId);
+                            if let Some((&head, tail)) = neigh.split_first() {
+                                slice[s] = u64::from(head);
+                                let mut prev = head;
+                                for (slot, &v) in slice[s + 1..s + neigh.len()].iter_mut().zip(tail)
+                                {
+                                    *slot = u64::from(v - prev);
+                                    prev = v;
+                                }
                             }
                         }
                     });
@@ -405,6 +421,28 @@ mod tests {
         for p in [2, 3, 8, 64] {
             assert_eq!(BitPackedCsr::from_csr(&csr, PackedCsrMode::Gap, p), base);
         }
+    }
+
+    #[test]
+    fn chunking_policy_does_not_change_output() {
+        let csr = sample_csr();
+        let base = BitPackedCsr::from_csr(&csr, PackedCsrMode::Gap, 1);
+        for mode in [PackedCsrMode::Raw, PackedCsrMode::Gap] {
+            let rows = BitPackedCsr::from_csr_with_chunking(&csr, mode, 1, ChunkPolicy::Rows);
+            for p in [1, 2, 3, 8, 64] {
+                for policy in [ChunkPolicy::Rows, ChunkPolicy::Edges] {
+                    assert_eq!(
+                        BitPackedCsr::from_csr_with_chunking(&csr, mode, p, policy),
+                        rows,
+                        "{mode:?} p={p} {policy:?}"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            BitPackedCsr::from_csr_with_chunking(&csr, PackedCsrMode::Gap, 4, ChunkPolicy::Edges),
+            base
+        );
     }
 
     #[test]

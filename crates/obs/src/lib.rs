@@ -29,6 +29,11 @@
 //!   JSON trace writer — span events with `args` payloads plus counter
 //!   events for memory and the query-latency histograms — built on the
 //!   hand-rolled [`json`] module (shared with `parcsr-bench`).
+//! * **Analysis** ([`analyze`]): pure arithmetic over collected spans —
+//!   per-stage worker-utilization/critical-path metrics and chunk-imbalance
+//!   statistics. Compiled unconditionally (it holds no recording state), so
+//!   offline tools like `cargo xtask trace-analyze` use it without the
+//!   `enabled` feature.
 //!
 //! # Cost model
 //!
@@ -42,6 +47,7 @@
 //! `--mem-metrics` flags decide whether anything is collected, and the
 //! [`set_trace_sample`] period bounds the recording cost of what is.
 
+pub mod analyze;
 pub mod export;
 pub mod json;
 pub mod mem;

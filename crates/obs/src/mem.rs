@@ -22,6 +22,24 @@
 //! allocator-internal overhead, so the numbers are deterministic across
 //! machines for a deterministic run.
 //!
+//! # Mid-span sampling
+//!
+//! The process-wide watermark gives *top-level coordinator* spans exact
+//! peaks, but nested and worker spans fall back to `max(live at entry, live
+//! at exit)` — an allocate-and-free spike inside such a span is invisible.
+//! [`set_sample_period`] (`--mem-sample N` on the binaries) arms an
+//! allocation-count trigger: every `N`-th allocation *on each thread* folds
+//! the current live size into a per-thread high-water mark. The span layer
+//! brackets each nested/worker span with [`span_mark_save`] /
+//! [`span_mark_restore`], so the span's recorded peak becomes
+//! `max(entry, exit, sampled mark)` and intra-span spikes are caught to
+//! within the sampling resolution. Marks propagate outward on restore, so
+//! an inner span's spike also raises every enclosing span's peak. The
+//! trigger only observes allocations made by the span's own thread —
+//! cross-thread attribution stays the watermark's job. With `N = 0` (the
+//! default) the trigger is disarmed and costs one relaxed load per
+//! allocation.
+//!
 //! Without the `enabled` cargo feature the whole module collapses to inert
 //! stubs and the allocator type does not exist, so the default workspace
 //! build contains no `unsafe` from this file.
@@ -128,6 +146,66 @@ pub fn reset_watermark() {
     }
 }
 
+/// Sets the mid-span sampling period: every `n`-th allocation on a thread
+/// updates that thread's high-water mark, so nested/worker spans report
+/// true intra-span peaks instead of `max(entry, exit)`. `0` (the default)
+/// disarms the trigger. Wired to `--mem-sample N` / `PARCSR_MEM_SAMPLE` on
+/// the binaries; a no-op unless the `enabled` feature is compiled in.
+pub fn set_sample_period(n: u64) {
+    #[cfg(feature = "enabled")]
+    imp::SAMPLE_EVERY.store(n, std::sync::atomic::Ordering::Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = n;
+}
+
+/// The current mid-span sampling period (`0` = disarmed; always `0` without
+/// the feature).
+#[must_use]
+pub fn sample_period() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        imp::SAMPLE_EVERY.load(std::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        0
+    }
+}
+
+/// Opens a sampled-peak bracket for a span on the current thread: resets the
+/// thread's high-water mark to the current live size and returns the
+/// previous mark for [`span_mark_restore`]. Called by the span layer at the
+/// start of each kept nested/worker span when sampling is armed. Returns `0`
+/// without the feature.
+#[must_use]
+pub fn span_mark_save() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        imp::mark_save()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        0
+    }
+}
+
+/// Closes a sampled-peak bracket: returns the high-water mark observed since
+/// the matching [`span_mark_save`] and folds it into `saved` (the enclosing
+/// span's mark) so spikes propagate outward. Returns `0` without the
+/// feature.
+#[must_use]
+pub fn span_mark_restore(saved: u64) -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        imp::mark_restore(saved)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = saved;
+        0
+    }
+}
+
 /// Publishes the current accounting as `mem.live_bytes` / `mem.peak_bytes`
 /// gauges so the metrics snapshot (and its exporters) carry the memory view
 /// without a special case. A no-op when accounting is not [`active`].
@@ -144,6 +222,7 @@ pub use imp::CountingAlloc;
 #[cfg(feature = "enabled")]
 mod imp {
     use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 
     /// Runtime reporting switch (`--mem-metrics`).
@@ -155,12 +234,53 @@ mod imp {
     pub(super) static PEAK: AtomicU64 = AtomicU64::new(0);
     /// Resettable per-stage watermark of `LIVE`.
     pub(super) static WATER: AtomicU64 = AtomicU64::new(0);
+    /// Mid-span sampling period (`--mem-sample N`); `0` = disarmed.
+    pub(super) static SAMPLE_EVERY: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        // Both cells are const-initialized: TLS touched from inside the
+        // global allocator must not itself allocate.
+        /// Allocation countdown driving the 1-in-N sampling trigger.
+        static TICK: Cell<u64> = const { Cell::new(0) };
+        /// Per-thread sampled high-water mark of `LIVE`, bracketed per span
+        /// by `mark_save` / `mark_restore`.
+        static MARK: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(super) fn mark_save() -> u64 {
+        // try_with: TLS may already be torn down during thread exit.
+        MARK.try_with(|m| m.replace(LIVE.load(Relaxed)))
+            .unwrap_or(0)
+    }
+
+    pub(super) fn mark_restore(saved: u64) -> u64 {
+        MARK.try_with(|m| {
+            let observed = m.get();
+            m.set(observed.max(saved));
+            observed
+        })
+        .unwrap_or(0)
+    }
 
     #[inline]
     fn on_alloc(bytes: u64) {
         let live = LIVE.fetch_add(bytes, Relaxed) + bytes;
         PEAK.fetch_max(live, Relaxed);
         WATER.fetch_max(live, Relaxed);
+        let period = SAMPLE_EVERY.load(Relaxed);
+        if period != 0 {
+            // try_with (not with): this runs inside the allocator, and TLS
+            // destructors may already have run on an exiting thread.
+            let _ = TICK.try_with(|t| {
+                let n = t.get() + 1;
+                if n >= period {
+                    t.set(0);
+                    let _ = MARK.try_with(|m| m.set(m.get().max(live)));
+                } else {
+                    t.set(n);
+                }
+            });
+        }
     }
 
     #[inline]

@@ -39,7 +39,12 @@
 //! pipeline stages — use a resettable allocator watermark, so their peak is
 //! exact even for allocations made by worker threads inside the stage;
 //! nested and worker spans fall back to `max(live at entry, live at exit)`,
-//! which misses intra-span spikes but costs nothing extra per allocation.
+//! which misses intra-span spikes but costs nothing extra per allocation —
+//! unless mid-span sampling is armed ([`crate::mem::set_sample_period`],
+//! `--mem-sample N`), in which case every `N`-th allocation on the span's
+//! thread feeds a per-thread high-water mark and the recorded peak becomes
+//! `max(entry, exit, sampled mark)`, with inner spikes propagating to
+//! enclosing spans.
 
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -169,9 +174,21 @@ mod collect {
         /// only maintains the depth counter.
         sample: Option<u32>,
         args: SpanArgs,
-        /// Memory accounting at entry: `(live bytes, uses the resettable
-        /// watermark)`. `None` when memory accounting was off at entry.
-        mem: Option<(u64, bool)>,
+        /// Memory accounting at entry; `None` when accounting was off.
+        mem: Option<MemTrack>,
+    }
+
+    /// Per-span memory bookkeeping captured at entry.
+    struct MemTrack {
+        /// Live heap bytes when the span opened.
+        live_at_begin: u64,
+        /// True for top-level coordinator spans, which own the exact
+        /// resettable watermark.
+        top: bool,
+        /// The enclosing span's sampled high-water mark, to restore at
+        /// finish; `None` when mid-span sampling was disarmed at entry
+        /// (or the span is top-level and uses the watermark instead).
+        saved_mark: Option<u64>,
     }
 
     #[derive(Default)]
@@ -245,12 +262,19 @@ mod collect {
             let mem = crate::mem::active().then(|| {
                 // Top-level coordinator spans (the sequential pipeline
                 // stages) own the resettable watermark; everything else uses
-                // the cheap endpoint approximation.
+                // the endpoint approximation, sharpened by the sampled
+                // per-thread mark when `--mem-sample` armed it.
                 let top = depth == 0 && rayon::current_thread_index().is_none();
                 if top {
                     crate::mem::reset_watermark();
                 }
-                (crate::mem::live_bytes(), top)
+                let saved_mark =
+                    (!top && crate::mem::sample_period() > 0).then(crate::mem::span_mark_save);
+                MemTrack {
+                    live_at_begin: crate::mem::live_bytes(),
+                    top,
+                    saved_mark,
+                }
             });
             Some(ActiveSpan {
                 name,
@@ -273,14 +297,15 @@ mod collect {
                 return; // sampled out: depth bookkeeping only
             };
             let (mem_peak, mem_live) = match active.mem {
-                Some((live_at_begin, top)) => {
+                Some(track) => {
                     let live_now = crate::mem::live_bytes();
-                    let peak = if top {
+                    let sampled = track.saved_mark.map_or(0, crate::mem::span_mark_restore);
+                    let peak = if track.top {
                         crate::mem::watermark_bytes()
                     } else {
-                        live_at_begin.max(live_now)
+                        track.live_at_begin.max(live_now).max(sampled)
                     };
-                    (peak.max(live_at_begin), live_now)
+                    (peak.max(track.live_at_begin), live_now)
                 }
                 None => (0, 0),
             };

@@ -1,0 +1,97 @@
+//! Property tests for the trace analyzer's math. These run without the
+//! `enabled` feature: `parcsr_obs::analyze` is plain arithmetic over
+//! already-collected spans and is always compiled.
+
+use parcsr_obs::analyze::{analyze, AnalyzedSpan};
+use proptest::prelude::*;
+
+/// A random stage instance: wall `[0, wall)` plus worker spans described as
+/// `(tid, start offset, duration, sample)`, clipped into the stage.
+fn build_spans(wall: u64, workers: &[(u32, u64, u64, u32)]) -> Vec<AnalyzedSpan> {
+    let mut spans = vec![AnalyzedSpan {
+        name: "stage".to_string(),
+        start_ns: 0,
+        dur_ns: wall,
+        tid: 0,
+        depth: 0,
+        sample: 1,
+        chunk: None,
+        chunk_len: None,
+        edges: None,
+    }];
+    for &(tid, start, dur, sample) in workers {
+        let start = start.min(wall);
+        let dur = dur.min(wall - start);
+        spans.push(AnalyzedSpan {
+            name: "stage.work".to_string(),
+            start_ns: start,
+            dur_ns: dur,
+            tid: 1 + tid % 8,
+            depth: 0,
+            sample: sample.max(1),
+            chunk: Some(u64::from(tid)),
+            chunk_len: Some(dur),
+            edges: None,
+        });
+    }
+    spans
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn utilization_in_unit_interval_and_critical_path_bounded(
+        wall in 1u64..1_000_000,
+        workers in prop::collection::vec(
+            (0u32..8, 0u64..1_000_000, 0u64..1_000_000, 1u32..16), 0..24),
+    ) {
+        let spans = build_spans(wall, &workers);
+        let a = analyze(&spans);
+        prop_assert_eq!(a.instances.len(), 1);
+        let i = &a.instances[0];
+
+        // Utilization is a fraction of available capacity.
+        prop_assert!(i.utilization > 0.0 && i.utilization <= 1.0,
+            "utilization {} out of (0, 1]", i.utilization);
+        // The critical path is one lane's work: never more than the total.
+        prop_assert!(i.critical_path_ns <= i.busy_ns,
+            "critical path {} exceeds total work {}", i.critical_path_ns, i.busy_ns);
+        prop_assert!(i.critical_path_ratio > 0.0 && i.critical_path_ratio <= 1.0);
+
+        // Busy time equals the sample-scaled sum of attributed durations.
+        let expected: u64 = spans.iter().skip(1)
+            .map(|s| s.dur_ns * u64::from(s.sample))
+            .sum();
+        if expected > 0 {
+            prop_assert_eq!(i.busy_ns, expected);
+        }
+
+        // The summary agrees with the single instance.
+        let s = a.stage("stage").unwrap();
+        prop_assert!((s.utilization - i.utilization).abs() < 1e-12);
+        prop_assert!((s.min_utilization - i.utilization).abs() < 1e-12);
+        prop_assert_eq!(s.max_workers, i.workers.len());
+    }
+
+    #[test]
+    fn chunk_cv_is_finite_and_straggler_is_the_max(
+        wall in 1u64..1_000_000,
+        workers in prop::collection::vec(
+            (0u32..8, 0u64..1_000_000, 1u64..1_000_000, 1u32..4), 1..24),
+    ) {
+        let spans = build_spans(wall, &workers);
+        let a = analyze(&spans);
+        let i = &a.instances[0];
+        if let Some(st) = a.stage("stage").unwrap().chunks.as_ref() {
+            prop_assert!(st.cv.is_finite() && st.cv >= 0.0);
+            let max = i.chunks.iter().map(|c| c.dur_ns).max().unwrap();
+            prop_assert_eq!(st.max_ns, max);
+            prop_assert!(st.mean_ns <= max as f64 + 1e-9);
+            prop_assert!(st.observed == i.chunks.len());
+            if let Some(c) = st.corr_chunk_len {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&c));
+            }
+        }
+    }
+}

@@ -36,6 +36,15 @@ fn facade_is_inert_without_the_feature() {
     assert_eq!(obs::mem::peak_bytes(), 0);
     obs::mem::reset_watermark();
     obs::mem::publish_gauges();
+    obs::mem::set_sample_period(4);
+    assert_eq!(obs::mem::sample_period(), 0);
+    assert_eq!(obs::mem::span_mark_save(), 0);
+    assert_eq!(obs::mem::span_mark_restore(7), 0);
+
+    // The analyzer is plain arithmetic and stays available, but a disabled
+    // build has nothing to feed it.
+    let analysis = parcsr_obs::analyze::analyze_records(&obs::drain());
+    assert!(analysis.instances.is_empty() && analysis.stages.is_empty());
 
     metrics::counter("c").inc();
     metrics::gauge("g").set(9);

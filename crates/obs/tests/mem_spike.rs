@@ -1,0 +1,102 @@
+//! Regression test for mid-span memory sampling: an allocate-and-free spike
+//! inside a *nested* span is invisible to the endpoint approximation
+//! (`max(live at entry, live at exit)`) but must be caught once
+//! `mem::set_sample_period` arms the allocation-count trigger.
+//!
+//! Runs in its own integration-test binary because it registers the
+//! counting global allocator and asserts on process-wide accounting — other
+//! tests allocating concurrently would make the numbers nondeterministic,
+//! so this file holds exactly one `#[test]`.
+#![cfg(feature = "enabled")]
+
+use parcsr_obs::{self as obs, mem};
+
+#[global_allocator]
+static ALLOC: mem::CountingAlloc = mem::CountingAlloc::new();
+
+/// Allocates `bytes`, touches it, frees it, all inside the current span.
+fn spike(bytes: usize) {
+    let v = vec![1u8; bytes];
+    std::hint::black_box(&v[bytes / 2]);
+    drop(v);
+}
+
+/// Runs `outer` (top-level) → `mid` → `inner`, with the spike inside
+/// `inner`, and returns the recorded `(inner, mid)` peaks.
+fn run_nested_spike(bytes: usize) -> (u64, u64) {
+    {
+        let _outer = obs::enter("spike.outer");
+        let _mid = obs::enter("spike.mid");
+        obs::span!("spike.inner", {
+            spike(bytes);
+        });
+    }
+    let records = obs::drain();
+    let peak_of = |name: &str| {
+        records
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("span `{name}` missing from {records:?}"))
+            .mem_peak
+    };
+    (peak_of("spike.inner"), peak_of("spike.mid"))
+}
+
+#[test]
+fn sampled_mark_catches_intra_span_spike() {
+    obs::set_enabled(true);
+    mem::set_enabled(true);
+    let _ = obs::drain();
+    assert!(mem::active(), "counting allocator should be registered");
+
+    const SPIKE: usize = 32 << 20; // far above the test harness baseline
+
+    // Without sampling, the endpoint approximation misses the freed spike.
+    mem::set_sample_period(0);
+    let baseline = mem::live_bytes();
+    let (inner, mid) = run_nested_spike(SPIKE);
+    assert!(
+        inner < baseline + (SPIKE / 2) as u64,
+        "endpoint approximation should miss the spike: peak {inner}, baseline {baseline}"
+    );
+    assert!(mid < baseline + (SPIKE / 2) as u64);
+
+    // With a period of 1 every allocation updates the mark: both the inner
+    // span and (via mark propagation on restore) the enclosing nested span
+    // must report a peak that includes the spike.
+    mem::set_sample_period(1);
+    let (inner, mid) = run_nested_spike(SPIKE);
+    mem::set_sample_period(0);
+    assert!(
+        inner >= SPIKE as u64,
+        "sampled peak should catch the spike: got {inner}"
+    );
+    assert!(
+        mid >= SPIKE as u64,
+        "spike should propagate to the enclosing span: got {mid}"
+    );
+
+    // A coarse period still catches a spike made of many allocations: 64
+    // one-MB allocations held together, sampled every 16th.
+    mem::set_sample_period(16);
+    let before = mem::live_bytes();
+    {
+        let _outer = obs::enter("spike.outer");
+        obs::span!("spike.inner", {
+            let held: Vec<Vec<u8>> = (0..64).map(|_| vec![1u8; 1 << 20]).collect();
+            std::hint::black_box(&held);
+        });
+    }
+    mem::set_sample_period(0);
+    let records = obs::drain();
+    let inner = records
+        .iter()
+        .find(|r| r.name == "spike.inner")
+        .expect("inner span recorded")
+        .mem_peak;
+    // At worst the trigger lags 15 allocations (15 MB) behind the true peak.
+    assert!(
+        inner >= before + (48 << 20),
+        "coarse sampling should still see most of the ramp: got {inner}, before {before}"
+    );
+}

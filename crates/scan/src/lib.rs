@@ -70,4 +70,4 @@ pub use sequential::{
     exclusive_scan_seq, exclusive_scan_seq_by, inclusive_scan_seq, inclusive_scan_seq_by,
 };
 pub use two_pass::{inclusive_scan_two_pass, inclusive_scan_two_pass_by};
-pub use util::{chunk_ranges, split_mut_by_ranges};
+pub use util::{chunk_ranges, chunk_ranges_weighted, split_mut_by_ranges};

@@ -38,6 +38,59 @@ pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
     ranges
 }
 
+/// Splits `0..weights.len()` into at most `chunks` contiguous, non-empty
+/// ranges of near-equal total *weight* — the size-aware alternative to
+/// [`chunk_ranges`] for skewed inputs (hub rows), where equal element counts
+/// leave one chunk with most of the work.
+///
+/// Boundaries are placed greedily: chunk `i` ends at the first element where
+/// the cumulative weight reaches `total × (i + 1) / chunks`, while always
+/// taking at least one element and leaving at least one for each remaining
+/// chunk. Returns exactly `min(chunks, weights.len())` ranges covering the
+/// input contiguously; an all-zero weight vector falls back to
+/// [`chunk_ranges`]. `chunks == 0` is treated as `1`.
+///
+/// ```
+/// use parcsr_scan::chunk_ranges_weighted;
+/// // A hub at the front: element 0 alone is half the work.
+/// assert_eq!(chunk_ranges_weighted(&[6, 1, 1, 1, 1, 2], 2), vec![0..1, 1..6]);
+/// assert_eq!(chunk_ranges_weighted(&[0, 0, 0, 0], 2), vec![0..2, 2..4]);
+/// ```
+pub fn chunk_ranges_weighted(weights: &[u64], chunks: usize) -> Vec<Range<usize>> {
+    let len = weights.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.max(1).min(len);
+    let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+    if total == 0 {
+        return chunk_ranges(len, chunks);
+    }
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    let mut cum: u128 = 0;
+    for i in 0..chunks {
+        let target = total * (i as u128 + 1) / chunks as u128;
+        // Leave at least one element for each of the remaining chunks; the
+        // last chunk takes everything left (a zero-weight tail would
+        // otherwise satisfy the target early and strand elements).
+        let max_end = len - (chunks - i - 1);
+        let mut end = start + 1;
+        cum += u128::from(weights[start]);
+        while end < max_end && cum < target {
+            cum += u128::from(weights[end]);
+            end += 1;
+        }
+        if i == chunks - 1 {
+            end = len;
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
 /// Splits a mutable slice into disjoint sub-slices described by `ranges`.
 ///
 /// The ranges must be sorted, non-overlapping and contained in
@@ -117,6 +170,65 @@ mod tests {
                 let min = ranges.iter().map(|r| r.len()).min().unwrap();
                 let max = ranges.iter().map(|r| r.len()).max().unwrap();
                 assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_split_isolates_a_hub() {
+        // Element 0 carries half the weight: it gets a chunk of its own.
+        assert_eq!(
+            chunk_ranges_weighted(&[6, 1, 1, 1, 1, 2], 2),
+            vec![0..1, 1..6]
+        );
+        // Uniform weights reduce to the near-equal element split.
+        assert_eq!(
+            chunk_ranges_weighted(&[1; 8], 4),
+            vec![0..2, 2..4, 4..6, 6..8]
+        );
+    }
+
+    #[test]
+    fn weighted_split_edge_cases() {
+        assert!(chunk_ranges_weighted(&[], 4).is_empty());
+        assert_eq!(chunk_ranges_weighted(&[3, 3], 0), vec![0..2]);
+        assert_eq!(chunk_ranges_weighted(&[0, 0, 0, 0], 2), vec![0..2, 2..4]);
+        // More chunks than elements: one element each.
+        assert_eq!(
+            chunk_ranges_weighted(&[5, 1, 1], 10),
+            vec![0..1, 1..2, 2..3]
+        );
+        // A zero-weight tail still gets covered by the last chunk.
+        assert_eq!(chunk_ranges_weighted(&[5, 0, 0], 1), vec![0..3]);
+        assert_eq!(chunk_ranges_weighted(&[5, 5, 0, 0], 2), vec![0..1, 1..4]);
+    }
+
+    #[test]
+    fn weighted_ranges_cover_exactly_once_and_balance() {
+        // A deterministic skewed weight vector: one hub plus a long tail.
+        let weights: Vec<u64> = (0..1000u64)
+            .map(|i| if i == 17 { 5000 } else { 1 + i % 7 })
+            .collect();
+        for chunks in [1usize, 2, 3, 7, 64, 1500] {
+            let ranges = chunk_ranges_weighted(&weights, chunks);
+            assert_eq!(ranges.len(), chunks.min(weights.len()).max(1));
+            let mut prev_end = 0;
+            for r in &ranges {
+                assert_eq!(r.start, prev_end, "contiguous");
+                assert!(!r.is_empty(), "non-empty");
+                prev_end = r.end;
+            }
+            assert_eq!(prev_end, weights.len());
+            // No chunk except a single-element one exceeds its fair share
+            // by more than the largest single weight.
+            let total: u64 = weights.iter().sum();
+            let fair = total / chunks as u64;
+            for r in &ranges {
+                let w: u64 = weights[r.clone()].iter().sum();
+                assert!(
+                    r.len() == 1 || w <= fair + 5000,
+                    "chunk {r:?} weight {w} vs fair {fair}"
+                );
             }
         }
     }

@@ -8,11 +8,21 @@
 //!   counter (`"C"`) events, non-empty, time-ordered per thread / per
 //!   counter, with well-typed span args. CI runs it on a bench smoke
 //!   trace so a silently-broken recorder fails the build.
+//! * `trace-analyze FILE [--stage NAME] [--json OUT] [--check]` — the
+//!   parallel-efficiency report (see [`trace_analyze`]): per-stage worker
+//!   utilization, critical-path ratio, and chunk-imbalance statistics,
+//!   with per-worker timeline bars for `--stage`. `--check` gates CI on
+//!   every stage reporting positive utilization.
 //! * `stage-diff BASE CUR [--threshold F]` — compares two bench
 //!   `*.stages.json` files (see [`stage_diff`]): per-stage construction
 //!   time *shares* and peak heap bytes must stay within the threshold
 //!   (default 0.10) of the baseline. CI diffs the smoke run against a
 //!   committed baseline so a stage silently ballooning fails the build.
+//! * `bless-baseline` — reruns the CI obs smoke (same binary, same flags,
+//!   reps 5) and rewrites `results/baselines/table2_smoke.stages.json`
+//!   with the fresh output, after validating that it parses and
+//!   stage-diffs cleanly against itself. Run it after intentionally
+//!   changing the pipeline's stage shape.
 //! * `lint` — the workspace's static-analysis gate, in two stages:
 //!   1. **text lints** (see [`lints`]): every `unsafe` must carry a nearby
 //!      `// SAFETY:` comment, `unsafe` is forbidden outside a small file
@@ -27,7 +37,9 @@
 
 mod lints;
 mod stage_diff;
+mod trace_analyze;
 mod trace_check;
+mod trace_read;
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -40,6 +52,22 @@ fn main() -> ExitCode {
             Some(file) => check_trace(Path::new(file)),
             None => {
                 eprintln!("usage: cargo xtask check-trace <trace.json>");
+                ExitCode::from(2)
+            }
+        },
+        Some("trace-analyze") => match args.get(1) {
+            Some(file) => match parse_analyze_args(&args[2..]) {
+                Ok(opts) => run_trace_analyze(Path::new(file), &opts),
+                Err(e) => {
+                    eprintln!("xtask trace-analyze: {e}");
+                    ExitCode::from(2)
+                }
+            },
+            None => {
+                eprintln!(
+                    "usage: cargo xtask trace-analyze <trace.json> [--stage NAME] \
+                     [--json OUT] [--check]"
+                );
                 ExitCode::from(2)
             }
         },
@@ -62,14 +90,88 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some("bless-baseline") => bless_baseline(),
         _ => {
             eprintln!(
                 "usage: cargo xtask lint [--skip-clippy] | check-trace <trace.json> | \
-                 stage-diff <base.json> <cur.json> [--threshold F]"
+                 trace-analyze <trace.json> [--stage NAME] [--json OUT] [--check] | \
+                 stage-diff <base.json> <cur.json> [--threshold F] | bless-baseline"
             );
             ExitCode::from(2)
         }
     }
+}
+
+/// Options for `trace-analyze` after the file argument.
+#[derive(Default)]
+struct AnalyzeOpts {
+    stage: Option<String>,
+    json_out: Option<PathBuf>,
+    check: bool,
+}
+
+fn parse_analyze_args(rest: &[String]) -> Result<AnalyzeOpts, String> {
+    let mut opts = AnalyzeOpts::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--stage" => {
+                let name = it.next().ok_or("--stage needs a stage name")?;
+                opts.stage = Some(name.clone());
+            }
+            "--json" => {
+                let path = it.next().ok_or("--json needs an output path")?;
+                opts.json_out = Some(PathBuf::from(path));
+            }
+            "--check" => opts.check = true,
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs the analyzer over a trace file; exit 0 unless the file is
+/// unreadable/invalid or `--check` found an idle or empty stage set.
+fn run_trace_analyze(path: &Path, opts: &AnalyzeOpts) -> ExitCode {
+    let text = match trace_read::read_file("trace-analyze", path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = match trace_analyze::analyze_trace_text(&text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask trace-analyze: {} invalid: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    print!(
+        "{}",
+        trace_analyze::render_report(&analysis, opts.stage.as_deref())
+    );
+    if let Some(out) = &opts.json_out {
+        let mut body = analysis.to_json().pretty();
+        body.push('\n');
+        if let Err(e) = std::fs::write(out, body) {
+            eprintln!("xtask trace-analyze: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("xtask trace-analyze: wrote {}", out.display());
+    }
+    if opts.check {
+        if let Err(e) = trace_analyze::check_analysis(&analysis) {
+            eprintln!("xtask trace-analyze: {} FAILED: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "xtask trace-analyze: {} ok ({} stages, all utilization > 0)",
+            path.display(),
+            analysis.stages.len()
+        );
+    }
+    ExitCode::SUCCESS
 }
 
 /// Parses `[--threshold F]` from the tail of a stage-diff invocation.
@@ -89,11 +191,10 @@ fn parse_threshold(rest: &[String]) -> Result<f64, String> {
 /// Diffs two bench stage-breakdown JSON files; exit 0 iff every stage's
 /// time share and peak memory stayed within the threshold.
 fn run_stage_diff(base: &Path, cur: &Path, threshold: f64) -> ExitCode {
-    let read = |p: &Path| {
-        std::fs::read_to_string(p)
-            .map_err(|e| format!("xtask stage-diff: cannot read {}: {e}", p.display()))
-    };
-    let (base_text, cur_text) = match (read(base), read(cur)) {
+    let (base_text, cur_text) = match (
+        trace_read::read_file("stage-diff", base),
+        trace_read::read_file("stage-diff", cur),
+    ) {
         (Ok(b), Ok(c)) => (b, c),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("{e}");
@@ -105,7 +206,9 @@ fn run_stage_diff(base: &Path, cur: &Path, threshold: f64) -> ExitCode {
             eprint!("{}", out.report);
             if out.failed {
                 eprintln!(
-                    "xtask stage-diff: {} vs {} FAILED",
+                    "xtask stage-diff: {} vs {} FAILED \
+                     (intentional shift? refresh the baseline with \
+                     `cargo xtask bless-baseline`)",
                     base.display(),
                     cur.display()
                 );
@@ -129,10 +232,10 @@ fn run_stage_diff(base: &Path, cur: &Path, threshold: f64) -> ExitCode {
 /// Validates a `--trace` output file; exit 0 iff it is a well-formed,
 /// non-empty, per-thread time-ordered Chrome trace.
 fn check_trace(path: &Path) -> ExitCode {
-    let text = match std::fs::read_to_string(path) {
+    let text = match trace_read::read_file("check-trace", path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("xtask check-trace: cannot read {}: {e}", path.display());
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
@@ -146,6 +249,90 @@ fn check_trace(path: &Path) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Reruns the CI obs smoke command and rewrites the committed stage
+/// baseline with its output. The smoke must produce JSON that parses and
+/// stage-diffs cleanly against itself before the baseline is replaced.
+fn bless_baseline() -> ExitCode {
+    let root = workspace_root();
+    let baseline = root.join("results/baselines/table2_smoke.stages.json");
+    let trace_tmp = root.join("target/bless-baseline.trace.json");
+    eprintln!("xtask bless-baseline: running the CI obs smoke (reps 5, all obs flags)...");
+    // Mirror of the "Bench smoke with all obs flags" CI step; keep the two
+    // in sync or the blessed baseline will not match what CI measures.
+    let output = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .current_dir(&root)
+        .args([
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "parcsr-bench",
+            "--features",
+            "obs",
+            "--bin",
+            "table2",
+            "--",
+            "--scale",
+            "0.02",
+            "--reps",
+            "5",
+            "--procs",
+            "1,2",
+            "--trace-sample",
+            "8",
+            "--metrics",
+            "--mem-metrics",
+            "--trace",
+        ])
+        .arg(&trace_tmp)
+        .arg("--json")
+        .output();
+    let output = match output {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask bless-baseline: could not run cargo: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !output.status.success() {
+        eprintln!("xtask bless-baseline: smoke run failed:");
+        eprint!("{}", String::from_utf8_lossy(&output.stderr));
+        return ExitCode::FAILURE;
+    }
+    let text = match String::from_utf8(output.stdout) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask bless-baseline: smoke output is not UTF-8: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Self-diff exercises the full baseline parser on the new text; a file
+    // that cannot even diff against itself must not become the baseline.
+    if let Err(e) = stage_diff::diff_stage_text(&text, &text, 0.25) {
+        eprintln!("xtask bless-baseline: smoke output is not a valid stage breakdown: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(dir) = baseline.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("xtask bless-baseline: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&baseline, &text) {
+        eprintln!(
+            "xtask bless-baseline: cannot write {}: {e}",
+            baseline.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "xtask bless-baseline: wrote {} ({} bytes); review and commit it",
+        baseline.display(),
+        text.len()
+    );
+    ExitCode::SUCCESS
 }
 
 /// The workspace root: two levels above this crate's manifest.

@@ -21,6 +21,8 @@
 
 use parcsr_obs::json::Json;
 
+use crate::trace_read::parse_json;
+
 /// One construction stage of one `(dataset, processors)` sample.
 struct Stage {
     name: String,
@@ -36,7 +38,7 @@ struct Sample {
 }
 
 fn parse_samples(which: &str, text: &str) -> Result<Vec<Sample>, String> {
-    let doc = Json::parse(text).map_err(|e| format!("{which}: not valid JSON: {e}"))?;
+    let doc = parse_json(which, text)?;
     let datasets = doc
         .as_array()
         .ok_or_else(|| format!("{which}: top level is not an array of dataset results"))?;

@@ -7,21 +7,21 @@
 //! time-ordered — the cheapest end-to-end proof that the instrumentation
 //! actually recorded the pipeline.
 //!
-//! Two event kinds are accepted, mirroring the exporter:
+//! Structural parsing lives in [`crate::trace_read`] (shared with
+//! `stage-diff` and `trace-analyze`); this module adds the semantic rules:
 //!
-//! * complete (`"ph": "X"`) span events — must carry
-//!   `name`/`ph`/`ts`/`dur`/`pid`/`tid`, be time-ordered per thread, and
+//! * complete (`"X"`) span events must be time-ordered per thread, and
 //!   their `args` payload (when present) must hold only non-negative
 //!   integers for the typed keys (`depth`, `sample`, `edges`, `chunk`,
 //!   `chunk_len`, `bits`). Per-chunk spans (names ending `.chunk` or
 //!   `_chunk`) must carry a `chunk` index — a chunk span without its index
 //!   means the instrumentation site lost its payload.
-//! * counter (`"ph": "C"`) events — the memory / metric series. Must carry
-//!   `name`/`ph`/`ts`/`pid`/`tid`/`args` (no `dur`), use a known metric
-//!   namespace (`mem.`, `query.`, `pool.`), be time-ordered per counter
-//!   name, and hold a non-empty `args` object of non-negative numbers.
+//! * counter (`"C"`) events — the memory / metric series. Must use a known
+//!   metric namespace (`mem.`, `query.`, `pool.`), be time-ordered per
+//!   counter name, and hold a non-empty `args` object of non-negative
+//!   numbers.
 
-use parcsr_obs::json::Json;
+use crate::trace_read::{parse_trace, Phase, TraceEvent};
 
 /// Span-arg keys the exporter may emit; every one is a non-negative count
 /// or width, so anything negative (or non-integer) is a recorder bug.
@@ -32,8 +32,9 @@ const SPAN_ARG_KEYS: &[&str] = &["depth", "sample", "edges", "chunk", "chunk_len
 /// the known prefixes.
 const COUNTER_PREFIXES: &[&str] = &["mem.", "query.", "pool."];
 
-fn check_span_args(i: usize, name: &str, ev: &Json) -> Result<(), String> {
-    let Some(args) = ev.get("args") else {
+fn check_span_args(i: usize, ev: &TraceEvent) -> Result<(), String> {
+    let name = &ev.name;
+    let Some(args) = &ev.args else {
         return Ok(());
     };
     if args.as_object().is_none() {
@@ -60,7 +61,8 @@ fn check_span_args(i: usize, name: &str, ev: &Json) -> Result<(), String> {
     Ok(())
 }
 
-fn check_counter(i: usize, name: &str, ev: &Json) -> Result<(), String> {
+fn check_counter(i: usize, ev: &TraceEvent) -> Result<(), String> {
+    let name = &ev.name;
     if !COUNTER_PREFIXES.iter().any(|p| name.starts_with(p)) {
         return Err(format!(
             "event {i}: counter `{name}` is outside the known namespaces \
@@ -68,7 +70,8 @@ fn check_counter(i: usize, name: &str, ev: &Json) -> Result<(), String> {
         ));
     }
     let args = ev
-        .get("args")
+        .args
+        .as_ref()
         .ok_or_else(|| format!("event {i}: counter `{name}` is missing `args`"))?;
     let fields = args
         .as_object()
@@ -94,13 +97,7 @@ fn check_counter(i: usize, name: &str, ev: &Json) -> Result<(), String> {
 
 /// Validates trace text; returns the event count on success.
 pub fn check_trace_text(text: &str) -> Result<usize, String> {
-    let json = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
-    let events = json
-        .as_array()
-        .ok_or_else(|| "top level is not an array of trace events".to_string())?;
-    if events.is_empty() {
-        return Err("trace contains no events (was the binary built with --features obs?)".into());
-    }
+    let events = parse_trace(text)?;
 
     // Span events are ordered per tid; counter events per counter name.
     // Both maps are tiny (few tids, few counters), linear scan is fine.
@@ -108,68 +105,39 @@ pub fn check_trace_text(text: &str) -> Result<usize, String> {
     let mut counter_last_ts: Vec<(String, f64)> = Vec::new();
     let mut saw_span = false;
     for (i, ev) in events.iter().enumerate() {
-        if ev.as_object().is_none() {
-            return Err(format!("event {i} is not an object"));
-        }
-        let name = ev
-            .get("name")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("event {i} is missing required field `name`"))?
-            .to_string();
-        let ts = ev
-            .get("ts")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| format!("event {i} has a missing or non-numeric ts"))?;
-        match ev.get("ph").and_then(Json::as_str) {
-            Some("X") => {
+        match ev.ph {
+            Phase::Complete => {
                 saw_span = true;
-                for field in ["dur", "pid", "tid"] {
-                    if ev.get(field).is_none() {
-                        return Err(format!("event {i} is missing required field `{field}`"));
-                    }
-                }
-                let tid = ev
-                    .get("tid")
-                    .and_then(Json::as_i64)
-                    .ok_or_else(|| format!("event {i} has a non-integer tid"))?;
-                match span_last_ts.iter_mut().find(|(t, _)| *t == tid) {
+                match span_last_ts.iter_mut().find(|(t, _)| *t == ev.tid) {
                     Some((_, last)) => {
-                        if ts < *last {
+                        if ev.ts_us < *last {
                             return Err(format!(
-                                "event {i} (tid {tid}) goes backwards in time: ts {ts} \
-                                 after {last}"
+                                "event {i} (tid {}) goes backwards in time: ts {} \
+                                 after {last}",
+                                ev.tid, ev.ts_us
                             ));
                         }
-                        *last = ts;
+                        *last = ev.ts_us;
                     }
-                    None => span_last_ts.push((tid, ts)),
+                    None => span_last_ts.push((ev.tid, ev.ts_us)),
                 }
-                check_span_args(i, &name, ev)?;
+                check_span_args(i, ev)?;
             }
-            Some("C") => {
-                for field in ["pid", "tid"] {
-                    if ev.get(field).is_none() {
-                        return Err(format!("event {i} is missing required field `{field}`"));
-                    }
-                }
-                check_counter(i, &name, ev)?;
-                match counter_last_ts.iter_mut().find(|(n, _)| *n == name) {
+            Phase::Counter => {
+                check_counter(i, ev)?;
+                match counter_last_ts.iter_mut().find(|(n, _)| *n == ev.name) {
                     Some((_, last)) => {
-                        if ts < *last {
+                        if ev.ts_us < *last {
                             return Err(format!(
-                                "event {i}: counter `{name}` goes backwards in time: \
-                                 ts {ts} after {last}"
+                                "event {i}: counter `{}` goes backwards in time: \
+                                 ts {} after {last}",
+                                ev.name, ev.ts_us
                             ));
                         }
-                        *last = ts;
+                        *last = ev.ts_us;
                     }
-                    None => counter_last_ts.push((name, ts)),
+                    None => counter_last_ts.push((ev.name.clone(), ev.ts_us)),
                 }
-            }
-            _ => {
-                return Err(format!(
-                    "event {i} is neither a complete (`\"X\"`) nor a counter (`\"C\"`) event"
-                ));
             }
         }
     }
@@ -328,5 +296,14 @@ mod tests {
         let text = format!("[{}]", counter("mem.peak_bytes", 20, r#"{"peak_bytes":1}"#));
         let err = check_trace_text(&text).unwrap_err();
         assert!(err.contains("no span events"), "{err}");
+    }
+
+    #[test]
+    fn arg_typing_survives_the_shared_reader() {
+        // `args` present but not an object is a span-level error here, not
+        // a parse error in trace_read.
+        let text = r#"[{"name":"a","ph":"X","ts":1,"dur":2,"pid":1,"tid":0,"args":[1]}]"#;
+        let err = check_trace_text(text).unwrap_err();
+        assert!(err.contains("not an object"), "{err}");
     }
 }

@@ -3,8 +3,15 @@
 #
 # Usage: scripts/run_experiments.sh [extra table2/fig flags...]
 # e.g.:  scripts/run_experiments.sh --full --procs 1,4,8,16,64
+#
+# Every artifact name is prefixed with a per-run id (override with
+# PARCSR_RUN_ID=... for stable names), so consecutive runs land side by
+# side instead of silently overwriting each other.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RUN_ID="${PARCSR_RUN_ID:-$(date +%Y%m%d-%H%M%S)}"
+OUT="results/${RUN_ID}"
 
 mkdir -p results
 echo "== building release binaries (obs feature: tracing + metrics + mem) =="
@@ -13,28 +20,37 @@ cargo build --release -p parcsr-bench --features obs
 # Every run records metrics and heap accounting; the stage summaries on
 # stderr (now including the `== mem ==` section) are archived next to the
 # tables so memory regressions are diffable across runs.
-echo "== Table II =="
+echo "== Table II (run ${RUN_ID}) =="
 cargo run --release -q -p parcsr-bench --features obs --bin table2 -- \
-  --metrics --mem-metrics --trace results/table2.trace.json "$@" \
-  | tee results/table2.md \
-  2> >(tee results/table2.stages.txt >&2)
+  --metrics --mem-metrics --trace "${OUT}.table2.trace.json" "$@" \
+  2> >(tee "${OUT}.table2.stages.txt" >&2) \
+  | tee "${OUT}.table2.md"
 echo "== Figure 6 =="
 cargo run --release -q -p parcsr-bench --features obs --bin fig6 -- \
-  --metrics --mem-metrics --trace results/fig6.trace.json "$@" \
-  | tee results/fig6.txt \
-  2> >(tee results/fig6.stages.txt >&2)
+  --metrics --mem-metrics --trace "${OUT}.fig6.trace.json" "$@" \
+  2> >(tee "${OUT}.fig6.stages.txt" >&2) \
+  | tee "${OUT}.fig6.txt"
 echo "== Figure 7 =="
 cargo run --release -q -p parcsr-bench --features obs --bin fig7 -- \
-  --metrics --mem-metrics --trace results/fig7.trace.json "$@" \
-  | tee results/fig7.txt \
-  2> >(tee results/fig7.stages.txt >&2)
+  --metrics --mem-metrics --trace "${OUT}.fig7.trace.json" "$@" \
+  2> >(tee "${OUT}.fig7.stages.txt" >&2) \
+  | tee "${OUT}.fig7.txt"
 
 # Machine-readable per-stage breakdown per (dataset, p): the bench JSON
-# schema carries a `stages` array (with `mem_peak_bytes`) and a `mem`
-# object on every processor sample. Compare two of these with
+# schema carries a `stages` array (with `mem_peak_bytes`, and with
+# `--imbalance` a per-stage utilization/cv/critical-path object) and a
+# `mem` object on every processor sample. Compare two of these with
 # `cargo xtask stage-diff <baseline> <current>`.
-echo "== Table II (JSON, per-stage breakdown + memory) =="
+echo "== Table II (JSON, per-stage breakdown + memory + imbalance) =="
 cargo run --release -q -p parcsr-bench --features obs --bin table2 -- \
-  --json --metrics --mem-metrics "$@" > results/table2.stages.json
+  --json --metrics --mem-metrics --imbalance "$@" > "${OUT}.table2.stages.json"
 
-echo "results written to results/ (incl. *.trace.json Chrome traces and *.stages.* breakdowns with memory sections)"
+# Worker-utilization / chunk-imbalance analysis of each Chrome trace
+# (cargo xtask trace-analyze <trace> for the human-readable report).
+echo "== trace analysis (worker utilization + chunk imbalance) =="
+for trace in "${OUT}".*.trace.json; do
+  cargo xtask trace-analyze "$trace" --json "${trace%.trace.json}.imbalance.json" \
+    > "${trace%.trace.json}.imbalance.txt"
+done
+
+echo "results written to results/ with prefix ${RUN_ID} (incl. *.trace.json Chrome traces, *.stages.* breakdowns with memory sections, and *.imbalance.json analyzer output)"
