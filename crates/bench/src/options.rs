@@ -1,6 +1,8 @@
 //! Minimal CLI option parsing shared by the harness binaries (no external
 //! argument-parsing dependency; the flags are few and stable).
 
+use parcsr::ChunkPolicy;
+
 /// Harness options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
@@ -43,6 +45,10 @@ pub struct Options {
     /// critical-path ratio) to each `stages` entry of the JSON output;
     /// requires the `obs` build feature to measure anything.
     pub imbalance: bool,
+    /// How build stages split rows into parallel chunks (default: edge
+    /// weighted; `--chunk-policy rows` restores the historical row-count
+    /// split).
+    pub chunk_policy: ChunkPolicy,
 }
 
 impl Default for Options {
@@ -61,6 +67,7 @@ impl Default for Options {
             mem_metrics: false,
             mem_sample: None,
             imbalance: false,
+            chunk_policy: ChunkPolicy::default(),
         }
     }
 }
@@ -132,6 +139,10 @@ impl Options {
                     opts.mem_sample = Some(n);
                 }
                 "--imbalance" => opts.imbalance = true,
+                "--chunk-policy" => {
+                    opts.chunk_policy = ChunkPolicy::parse(&value("--chunk-policy")?)
+                        .map_err(|e| format!("--chunk-policy: {e}"))?;
+                }
                 "--help" | "-h" => {
                     return Err(HELP.to_string());
                 }
@@ -175,7 +186,10 @@ Flags:
                   (default: $PARCSR_MEM_SAMPLE, else off; implies accounting)
   --imbalance     append per-stage worker-utilization / chunk-imbalance stats
                   to the JSON output
-                  (observability flags need a build with --features obs)";
+                  (observability flags need a build with --features obs)
+  --chunk-policy <rows|edges>  how build stages split rows into parallel
+                  chunks (default edges: weight rows by degree so hubs
+                  spread out; rows = historical near-equal row counts)";
 
 #[cfg(test)]
 mod tests {
@@ -304,6 +318,17 @@ mod tests {
             assert_eq!(o.trace_sample, Some(8), "{args:?}");
             assert!(o.metrics && o.mem_metrics, "{args:?}");
         }
+    }
+
+    #[test]
+    fn chunk_policy_flag() {
+        assert_eq!(parse(&[]).unwrap().chunk_policy, ChunkPolicy::Edges);
+        let o = parse(&["--chunk-policy", "rows"]).unwrap();
+        assert_eq!(o.chunk_policy, ChunkPolicy::Rows);
+        let o = parse(&["--chunk-policy", "edges"]).unwrap();
+        assert_eq!(o.chunk_policy, ChunkPolicy::Edges);
+        assert!(parse(&["--chunk-policy", "nope"]).is_err());
+        assert!(parse(&["--chunk-policy"]).is_err());
     }
 
     #[test]

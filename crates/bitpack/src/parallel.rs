@@ -9,6 +9,12 @@
 
 use rayon::prelude::*;
 
+// Per-value cost is uniform (every element packs to `width` bits), so the
+// count split is the right plan here; skew-aware planning applies to *rows*,
+// not packed values. The shared planner carries the coverage debug-assert a
+// private copy once silently dropped.
+use parcsr_runtime::chunk_ranges;
+
 use crate::bitbuf::BitBuf;
 use crate::fixed::{bits_needed, PackedArray};
 
@@ -30,7 +36,7 @@ pub fn pack_parallel(values: &[u64], chunks: usize) -> PackedArray {
 ///
 /// Panics if any value does not fit in `width` bits.
 pub fn pack_parallel_with_width(values: &[u64], chunks: usize, width: u32) -> PackedArray {
-    let ranges = parcsr_chunk_ranges(values.len(), chunks);
+    let ranges = chunk_ranges(values.len(), chunks);
     if ranges.len() <= 1 {
         return PackedArray::pack_with_width(values, width);
     }
@@ -68,26 +74,6 @@ pub fn pack_parallel_with_width(values: &[u64], chunks: usize, width: u32) -> Pa
         },
     );
     PackedArray::from_raw_parts(merged, width, values.len())
-}
-
-// Local copy of the chunking rule so this substrate crate does not depend on
-// the scan crate; kept bit-identical to `parcsr_scan::chunk_ranges` (the
-// cross-crate integration tests check the pipelines agree).
-fn parcsr_chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
-    if len == 0 {
-        return Vec::new();
-    }
-    let chunks = chunks.max(1).min(len);
-    let base = len / chunks;
-    let extra = len % chunks;
-    let mut ranges = Vec::with_capacity(chunks);
-    let mut start = 0;
-    for i in 0..chunks {
-        let size = base + usize::from(i < extra);
-        ranges.push(start..start + size);
-        start += size;
-    }
-    ranges
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::time::Instant;
 
-use parcsr::query::{edges_exist_batch_binary, neighbors_batch};
-use parcsr::{BitPackedCsr, CsrBuilder, PackedCsrMode};
+use parcsr::query::{edges_exist_batch_binary_with_chunking, neighbors_batch_with_chunking};
+use parcsr::{BitPackedCsr, ChunkPolicy, CsrBuilder, PackedCsrMode};
 use parcsr_graph::gen::{barabasi_albert, erdos_renyi, rmat, BaParams, ErParams, RmatParams};
 use parcsr_graph::{io as gio, DegreeStats, EdgeList};
 
@@ -45,7 +45,8 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             out,
             gap,
             procs,
-        } => compress(input, out, *gap, resolve_procs(*procs)),
+            chunk_policy,
+        } => compress(input, out, *gap, resolve_procs(*procs), *chunk_policy),
         Command::Stats { input } => stats(input),
         Command::Info { input } => info(input),
         Command::Query {
@@ -53,13 +54,21 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
             neighbors,
             edges,
             procs,
-        } => query(input, neighbors, edges, resolve_procs(*procs)),
+            chunk_policy,
+        } => query(
+            input,
+            neighbors,
+            edges,
+            resolve_procs(*procs),
+            *chunk_policy,
+        ),
         Command::TemporalCompress {
             input,
             out,
             gap,
             procs,
-        } => temporal_compress(input, out, *gap, resolve_procs(*procs)),
+            chunk_policy,
+        } => temporal_compress(input, out, *gap, resolve_procs(*procs), *chunk_policy),
         Command::TemporalQuery {
             input,
             frame,
@@ -70,7 +79,13 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
     }
 }
 
-fn temporal_compress(input: &str, out: &str, gap: bool, procs: usize) -> Result<String, CliError> {
+fn temporal_compress(
+    input: &str,
+    out: &str,
+    gap: bool,
+    procs: usize,
+    chunk_policy: ChunkPolicy,
+) -> Result<String, CliError> {
     let events = gio::read_temporal_edge_list_file(input)
         .map_err(|e| err(format!("reading {input}: {e}")))?;
     let mode = if gap {
@@ -82,6 +97,7 @@ fn temporal_compress(input: &str, out: &str, gap: bool, procs: usize) -> Result<
     let tcsr = parcsr_temporal::TcsrBuilder::new()
         .processors(procs)
         .frame_mode(mode)
+        .chunk_policy(chunk_policy)
         .build(&events);
     let ms = t.elapsed().as_secs_f64() * 1e3;
     let file = File::create(out).map_err(|e| err(format!("creating {out}: {e}")))?;
@@ -168,7 +184,13 @@ fn generate(
     ))
 }
 
-fn compress(input: &str, out: &str, gap: bool, procs: usize) -> Result<String, CliError> {
+fn compress(
+    input: &str,
+    out: &str,
+    gap: bool,
+    procs: usize,
+    chunk_policy: ChunkPolicy,
+) -> Result<String, CliError> {
     let graph =
         gio::read_edge_list_file(input).map_err(|e| err(format!("reading {input}: {e}")))?;
     let mode = if gap {
@@ -178,8 +200,11 @@ fn compress(input: &str, out: &str, gap: bool, procs: usize) -> Result<String, C
     };
 
     let t = Instant::now();
-    let (csr, timings) = CsrBuilder::new().processors(procs).build_timed(&graph);
-    let packed = BitPackedCsr::from_csr(&csr, mode, procs);
+    let (csr, timings) = CsrBuilder::new()
+        .processors(procs)
+        .chunk_policy(chunk_policy)
+        .build_timed(&graph);
+    let packed = BitPackedCsr::from_csr_with_chunking(&csr, mode, procs, chunk_policy);
     let total_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let file = File::create(out).map_err(|e| err(format!("creating {out}: {e}")))?;
@@ -246,6 +271,7 @@ fn query(
     neighbors: &[u32],
     edges: &[(u32, u32)],
     procs: usize,
+    chunk_policy: ChunkPolicy,
 ) -> Result<String, CliError> {
     let packed = load_pcsr(input)?;
     let n = packed.num_nodes() as u32;
@@ -260,7 +286,7 @@ fn query(
 
     let mut report = String::new();
     if !neighbors.is_empty() {
-        let rows = neighbors_batch(&packed, neighbors, procs);
+        let rows = neighbors_batch_with_chunking(&packed, neighbors, procs, chunk_policy);
         for (u, row) in neighbors.iter().zip(rows) {
             let preview: Vec<u32> = row.iter().copied().take(16).collect();
             let _ = writeln!(
@@ -272,7 +298,7 @@ fn query(
         }
     }
     if !edges.is_empty() {
-        let answers = edges_exist_batch_binary(&packed, edges, procs);
+        let answers = edges_exist_batch_binary_with_chunking(&packed, edges, procs, chunk_policy);
         for (&(u, v), exists) in edges.iter().zip(answers) {
             let _ = writeln!(report, "edge ({u}, {v}): {exists}");
         }
@@ -311,6 +337,7 @@ mod tests {
             out: pcsr.clone(),
             gap: true,
             procs: 2,
+            chunk_policy: ChunkPolicy::Edges,
         })
         .unwrap();
         assert!(report.contains("packed CSR"), "{report}");
@@ -327,6 +354,7 @@ mod tests {
             neighbors: vec![0, 1],
             edges: vec![(0, 1)],
             procs: 2,
+            chunk_policy: ChunkPolicy::Edges,
         })
         .unwrap();
         assert!(report.contains("neighbors(0)"), "{report}");
@@ -353,6 +381,7 @@ mod tests {
             out: pcsr.clone(),
             gap: false,
             procs: 1,
+            chunk_policy: ChunkPolicy::Rows,
         })
         .unwrap();
         let e = execute(&Command::Query {
@@ -360,6 +389,7 @@ mod tests {
             neighbors: vec![500],
             edges: vec![],
             procs: 1,
+            chunk_policy: ChunkPolicy::Edges,
         })
         .unwrap_err();
         assert!(e.to_string().contains("out of range"));
@@ -380,6 +410,7 @@ mod tests {
             out: tcsr_path.clone(),
             gap: true,
             procs: 2,
+            chunk_policy: ChunkPolicy::Edges,
         })
         .unwrap();
         assert!(report.contains("gap mode"), "{report}");
@@ -419,6 +450,7 @@ mod tests {
             out: out.clone(),
             gap: false,
             procs: 1,
+            chunk_policy: ChunkPolicy::Rows,
         })
         .unwrap();
         let e = execute(&Command::TemporalQuery {

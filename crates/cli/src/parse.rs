@@ -3,6 +3,8 @@
 
 use std::fmt;
 
+use parcsr::ChunkPolicy;
+
 /// Which synthetic model `generate` uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Model {
@@ -40,6 +42,8 @@ pub enum Command {
         gap: bool,
         /// Processor count (0 = all).
         procs: usize,
+        /// How build stages split rows into parallel chunks.
+        chunk_policy: ChunkPolicy,
     },
     /// Print degree statistics of a SNAP text file.
     Stats {
@@ -61,6 +65,8 @@ pub enum Command {
         edges: Vec<(u32, u32)>,
         /// Processor count (0 = all).
         procs: usize,
+        /// How query batches split across processors.
+        chunk_policy: ChunkPolicy,
     },
     /// Compress a temporal triplet file (`u v t` lines) into a `.tcsr`.
     TemporalCompress {
@@ -72,6 +78,8 @@ pub enum Command {
         gap: bool,
         /// Processor count (0 = all).
         procs: usize,
+        /// How the event stream splits into parallel chunks.
+        chunk_policy: ChunkPolicy,
     },
     /// Query a `.tcsr` file at a time-frame.
     TemporalQuery {
@@ -187,11 +195,18 @@ usage: parcsr <command> [flags]
 commands:
   generate --nodes N --edges M --out FILE [--model rmat|er|ba] [--seed S]
   compress INPUT --out FILE [--mode raw|gap] [--procs P]
+           [--chunk-policy rows|edges]
   stats    INPUT
   info     FILE.pcsr
   query    FILE.pcsr [--neighbors u1,u2,...] [--edge u,v] [--procs P]
+           [--chunk-policy rows|edges]
   temporal-compress INPUT --out FILE [--mode random|gap] [--procs P]
+           [--chunk-policy rows|edges]
   temporal-query FILE.tcsr --frame T [--edge u,v] [--neighbors u1,u2] [--count]
+
+  --chunk-policy controls how parallel work splits into chunks: `edges`
+  (default) weights rows/queries by degree so hub nodes spread across
+  processors; `rows` restores the historical near-equal count split.
 
 global flags (any command):
   --trace FILE    write a Chrome trace (chrome://tracing JSON) of the run
@@ -288,6 +303,7 @@ impl Command {
                     .value("compress")
                     .map_err(|_| invalid("compress requires an input path"))?;
                 let (mut out, mut gap, mut procs) = (None, true, 0usize);
+                let mut chunk_policy = ChunkPolicy::default();
                 while let Some(flag) = args.items.next() {
                     match flag.as_str() {
                         "--out" => out = Some(args.value("--out")?),
@@ -299,6 +315,10 @@ impl Command {
                             }
                         }
                         "--procs" => procs = args.parsed("--procs")?,
+                        "--chunk-policy" => {
+                            chunk_policy = ChunkPolicy::parse(&args.value("--chunk-policy")?)
+                                .map_err(invalid)?
+                        }
                         other => return Err(invalid(format!("unknown flag {other}"))),
                     }
                 }
@@ -307,6 +327,7 @@ impl Command {
                     out: out.ok_or_else(|| invalid("compress requires --out"))?,
                     gap,
                     procs,
+                    chunk_policy,
                 })
             }
             "stats" => Ok(Command::Stats {
@@ -324,6 +345,7 @@ impl Command {
                     .value("query")
                     .map_err(|_| invalid("query requires an input path"))?;
                 let (mut neighbors, mut edges, mut procs) = (Vec::new(), Vec::new(), 0usize);
+                let mut chunk_policy = ChunkPolicy::default();
                 while let Some(flag) = args.items.next() {
                     match flag.as_str() {
                         "--neighbors" => {
@@ -337,6 +359,10 @@ impl Command {
                         }
                         "--edge" => edges.push(parse_pair(&args.value("--edge")?, "--edge")?),
                         "--procs" => procs = args.parsed("--procs")?,
+                        "--chunk-policy" => {
+                            chunk_policy = ChunkPolicy::parse(&args.value("--chunk-policy")?)
+                                .map_err(invalid)?
+                        }
                         other => return Err(invalid(format!("unknown flag {other}"))),
                     }
                 }
@@ -348,6 +374,7 @@ impl Command {
                     neighbors,
                     edges,
                     procs,
+                    chunk_policy,
                 })
             }
             "temporal-compress" => {
@@ -355,6 +382,7 @@ impl Command {
                     .value("temporal-compress")
                     .map_err(|_| invalid("temporal-compress requires an input path"))?;
                 let (mut out, mut gap, mut procs) = (None, true, 0usize);
+                let mut chunk_policy = ChunkPolicy::default();
                 while let Some(flag) = args.items.next() {
                     match flag.as_str() {
                         "--out" => out = Some(args.value("--out")?),
@@ -366,6 +394,10 @@ impl Command {
                             }
                         }
                         "--procs" => procs = args.parsed("--procs")?,
+                        "--chunk-policy" => {
+                            chunk_policy = ChunkPolicy::parse(&args.value("--chunk-policy")?)
+                                .map_err(invalid)?
+                        }
                         other => return Err(invalid(format!("unknown flag {other}"))),
                     }
                 }
@@ -374,6 +406,7 @@ impl Command {
                     out: out.ok_or_else(|| invalid("temporal-compress requires --out"))?,
                     gap,
                     procs,
+                    chunk_policy,
                 })
             }
             "temporal-query" => {
@@ -469,8 +502,55 @@ mod tests {
                 out: "out.pcsr".into(),
                 gap: true,
                 procs: 0,
+                chunk_policy: ChunkPolicy::Edges,
             }
         );
+    }
+
+    #[test]
+    fn chunk_policy_flag() {
+        let c = parse(&["compress", "in.txt", "--out", "o", "--chunk-policy", "rows"]).unwrap();
+        assert!(matches!(
+            c,
+            Command::Compress {
+                chunk_policy: ChunkPolicy::Rows,
+                ..
+            }
+        ));
+        let c = parse(&[
+            "query",
+            "g.pcsr",
+            "--edge",
+            "1,2",
+            "--chunk-policy",
+            "edges",
+        ])
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::Query {
+                chunk_policy: ChunkPolicy::Edges,
+                ..
+            }
+        ));
+        let c = parse(&[
+            "temporal-compress",
+            "ev.txt",
+            "--out",
+            "g.tcsr",
+            "--chunk-policy",
+            "rows",
+        ])
+        .unwrap();
+        assert!(matches!(
+            c,
+            Command::TemporalCompress {
+                chunk_policy: ChunkPolicy::Rows,
+                ..
+            }
+        ));
+        assert!(parse(&["compress", "in.txt", "--out", "o", "--chunk-policy", "nope"]).is_err());
+        assert!(parse(&["compress", "in.txt", "--out", "o", "--chunk-policy"]).is_err());
     }
 
     #[test]
@@ -509,6 +589,7 @@ mod tests {
                 neighbors: vec![1, 2, 3],
                 edges: vec![(4, 5), (6, 7)],
                 procs: 0,
+                chunk_policy: ChunkPolicy::Edges,
             }
         );
     }
@@ -536,6 +617,7 @@ mod tests {
                 out: "g.tcsr".into(),
                 gap: false,
                 procs: 0,
+                chunk_policy: ChunkPolicy::Edges,
             }
         );
         assert!(parse(&["temporal-compress", "ev.txt"]).is_err());

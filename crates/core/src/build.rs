@@ -10,11 +10,11 @@
 
 use std::time::Instant;
 
-use rayon::prelude::*;
-
 use parcsr_graph::{EdgeList, NodeId};
+use parcsr_runtime::split_mut_by_ranges;
 use parcsr_scan::{ScanAlgorithm, Scanner};
 
+use crate::chunked::{run_chunked, ChunkPolicy};
 use crate::degree::degrees_parallel;
 
 /// A Compressed Sparse Row graph: `offsets` (the paper's `iA`, as row start
@@ -191,15 +191,17 @@ impl BuildTimings {
 pub struct CsrBuilder {
     processors: usize,
     scan: ScanAlgorithm,
+    chunk_policy: ChunkPolicy,
 }
 
 impl CsrBuilder {
     /// Builder with the paper's defaults: chunked scan, one chunk per
-    /// current rayon thread.
+    /// current rayon thread, edge-weighted chunking.
     pub fn new() -> Self {
         CsrBuilder {
             processors: rayon::current_num_threads(),
             scan: ScanAlgorithm::Chunked,
+            chunk_policy: ChunkPolicy::default(),
         }
     }
 
@@ -212,6 +214,13 @@ impl CsrBuilder {
     /// Sets the scan algorithm used for the offset array.
     pub fn scan_algorithm(mut self, alg: ScanAlgorithm) -> Self {
         self.scan = alg;
+        self
+    }
+
+    /// Sets the chunking policy for the column-fill stage. The output CSR is
+    /// identical either way; only the parallel work split changes.
+    pub fn chunk_policy(mut self, policy: ChunkPolicy) -> Self {
+        self.chunk_policy = policy;
         self
     }
 
@@ -273,12 +282,34 @@ impl CsrBuilder {
         timings.scan_ms = ms_since(t);
 
         // Column fill: the sorted edge list's target column, copied in
-        // parallel.
+        // row chunks planned by the chunking policy. Under the default
+        // edge-weighted plan a hub row's edges stay inside one worker's chunk
+        // instead of inflating whichever row-balanced chunk drew the hub.
         let t = Instant::now();
         let targets: Vec<NodeId> = parcsr_obs::with_span_args(
             "scatter",
             parcsr_obs::SpanArgs::new().edges(sorted.num_edges() as u64),
-            || sorted.edges().par_iter().map(|&(_, v)| v).collect(),
+            || {
+                let plan = self.chunk_policy.plan(&offsets, p);
+                let edge_ranges: Vec<_> = plan
+                    .iter()
+                    .map(|c| offsets[c.range.start] as usize..offsets[c.range.end] as usize)
+                    .collect();
+                let mut targets = vec![0 as NodeId; sorted.num_edges()];
+                let outs = split_mut_by_ranges(&mut targets, &edge_ranges);
+                run_chunked(
+                    "scatter.chunk",
+                    plan.into_iter().zip(outs).collect(),
+                    |chunk, out: &mut [NodeId]| {
+                        let first = offsets[chunk.range.start] as usize;
+                        let src = &sorted.edges()[first..first + out.len()];
+                        for (slot, &(_, v)) in out.iter_mut().zip(src) {
+                            *slot = v;
+                        }
+                    },
+                );
+                targets
+            },
         );
         timings.fill_ms = ms_since(t);
 
@@ -437,6 +468,22 @@ mod tests {
         }
         // Double transpose is the identity.
         assert_eq!(t.transposed(), csr);
+    }
+
+    #[test]
+    fn chunk_policy_does_not_change_csr() {
+        let g = rmat(RmatParams::new(512, 8_000, 5));
+        for p in [1, 2, 7, 64] {
+            let rows = CsrBuilder::new()
+                .processors(p)
+                .chunk_policy(ChunkPolicy::Rows)
+                .build(&g);
+            let edges = CsrBuilder::new()
+                .processors(p)
+                .chunk_policy(ChunkPolicy::Edges)
+                .build(&g);
+            assert_eq!(rows, edges, "p={p}");
+        }
     }
 
     #[test]

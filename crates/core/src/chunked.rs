@@ -1,186 +1,9 @@
 //! Chunk planning and span-instrumented chunked execution.
 //!
-//! The paper's kernels all open with "divide the rows into `p` chunks" —
-//! and on a social graph that division is exactly where load imbalance is
-//! born: a hub row carries orders of magnitude more edges than the median,
-//! so equal *row counts* give one worker most of the *work*. This module
-//! makes the split policy explicit and observable:
-//!
-//! * [`ChunkPolicy`] plans row chunks over a CSR offsets array — by row
-//!   count ([`ChunkPolicy::Rows`], the historical default) or by edge count
-//!   ([`ChunkPolicy::Edges`], weighted by `degree + 1` so empty-row runs
-//!   still spread out);
-//! * [`run_chunked`] executes one planned chunk per parallel task, wrapping
-//!   each in a span carrying the `chunk`/`chunk_len`/`edges` payloads that
-//!   `parcsr_obs::analyze` turns into imbalance statistics (chunk-duration
-//!   CV, duration-vs-size correlation, straggler id).
-//!
-//! `examples/imbalance.rs` A/B-tests the two policies on a skewed hub graph
-//! and EXPERIMENTS.md records the measured utilization gap.
+//! The implementation lives in the shared [`parcsr_runtime`] crate (one
+//! planner for the scan, degree, pack, query-batch and TCSR pipelines);
+//! this module re-exports it under the historical `parcsr::chunked` path.
+//! See `parcsr_runtime` for the policy semantics and
+//! `examples/imbalance.rs` for the measured A/B.
 
-use std::ops::Range;
-
-use rayon::prelude::*;
-
-use parcsr_scan::{chunk_ranges, chunk_ranges_weighted};
-
-/// How a row range is divided into parallel chunks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum ChunkPolicy {
-    /// Near-equal row counts per chunk (`chunk_ranges`): the right default
-    /// when per-row cost is uniform.
-    Rows,
-    /// Near-equal edge counts per chunk (`chunk_ranges_weighted` over
-    /// `degree + 1` weights): resists hub-row skew at the cost of reading
-    /// the offsets array during planning.
-    Edges,
-}
-
-impl ChunkPolicy {
-    /// Stable name for reports and experiment output.
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        match self {
-            ChunkPolicy::Rows => "rows",
-            ChunkPolicy::Edges => "edges",
-        }
-    }
-
-    /// Plans row chunks for a CSR-shaped `offsets` array (length `n + 1`,
-    /// non-decreasing). Returns at most `chunks` non-empty [`Chunk`]s
-    /// covering `0..n` contiguously; empty when `n == 0`.
-    #[must_use]
-    pub fn plan(self, offsets: &[u64], chunks: usize) -> Vec<Chunk> {
-        let n = offsets.len().saturating_sub(1);
-        let ranges = match self {
-            ChunkPolicy::Rows => chunk_ranges(n, chunks),
-            ChunkPolicy::Edges => {
-                // `+ 1` charges each row's constant cost, so long runs of
-                // empty rows still spread across chunks.
-                let weights: Vec<u64> = offsets.windows(2).map(|w| w[1] - w[0] + 1).collect();
-                chunk_ranges_weighted(&weights, chunks)
-            }
-        };
-        ranges
-            .into_iter()
-            .enumerate()
-            .map(|(index, range)| {
-                let edges = offsets[range.end] - offsets[range.start];
-                Chunk {
-                    index,
-                    range,
-                    edges,
-                }
-            })
-            .collect()
-    }
-}
-
-/// One planned chunk of rows.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Chunk {
-    /// Chunk index within the plan (also the span's `chunk` payload).
-    pub index: usize,
-    /// Row range covered by this chunk.
-    pub range: Range<usize>,
-    /// Edges contained in the row range (the span's `edges` payload).
-    pub edges: u64,
-}
-
-/// Runs `f` once per `(chunk, payload)` pair in parallel, each call wrapped
-/// in a span named `span_name` carrying the chunk's `chunk`/`chunk_len`/
-/// `edges` payloads. Results come back in chunk order. `span_name` should
-/// end in `.chunk` so `cargo xtask check-trace` enforces its payload.
-pub fn run_chunked<T, R, F>(span_name: &'static str, work: Vec<(Chunk, T)>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(&Chunk, T) -> R + Sync + Send,
-{
-    work.into_par_iter()
-        .map(|(chunk, payload)| {
-            parcsr_obs::with_span_args(
-                span_name,
-                parcsr_obs::SpanArgs::new()
-                    .chunk(chunk.index as u64)
-                    .chunk_len(chunk.range.len() as u64)
-                    .edges(chunk.edges),
-                || f(&chunk, payload),
-            )
-        })
-        .collect()
-}
-
-/// [`run_chunked`] without per-chunk payloads.
-pub fn run_chunked_plan<R, F>(span_name: &'static str, plan: Vec<Chunk>, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(&Chunk) -> R + Sync + Send,
-{
-    let work: Vec<(Chunk, ())> = plan.into_iter().map(|c| (c, ())).collect();
-    run_chunked(span_name, work, |c, ()| f(c))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// Offsets of a 6-row CSR where row 0 is a hub: degrees 12,1,1,1,1,0.
-    const HUB: [u64; 7] = [0, 12, 13, 14, 15, 16, 16];
-
-    #[test]
-    fn row_policy_balances_rows_not_edges() {
-        let plan = ChunkPolicy::Rows.plan(&HUB, 2);
-        assert_eq!(plan.len(), 2);
-        assert_eq!(plan[0].range, 0..3);
-        assert_eq!(plan[1].range, 3..6);
-        assert_eq!(plan[0].edges, 14);
-        assert_eq!(plan[1].edges, 2);
-    }
-
-    #[test]
-    fn edge_policy_isolates_the_hub() {
-        let plan = ChunkPolicy::Edges.plan(&HUB, 2);
-        assert_eq!(plan.len(), 2);
-        assert_eq!(plan[0].range, 0..1, "hub row gets its own chunk");
-        assert_eq!(plan[1].range, 1..6);
-        assert_eq!(plan[0].edges, 12);
-        assert_eq!(plan[1].edges, 4);
-    }
-
-    #[test]
-    fn plans_cover_rows_exactly_once() {
-        for policy in [ChunkPolicy::Rows, ChunkPolicy::Edges] {
-            for chunks in [1usize, 2, 3, 7, 64] {
-                let plan = policy.plan(&HUB, chunks);
-                let mut prev = 0;
-                let mut edges = 0;
-                for (i, c) in plan.iter().enumerate() {
-                    assert_eq!(c.index, i);
-                    assert_eq!(c.range.start, prev);
-                    assert!(!c.range.is_empty());
-                    prev = c.range.end;
-                    edges += c.edges;
-                }
-                assert_eq!(prev, 6, "{policy:?} x{chunks}");
-                assert_eq!(edges, 16);
-            }
-        }
-        assert!(ChunkPolicy::Rows.plan(&[0], 4).is_empty());
-        assert!(ChunkPolicy::Edges.plan(&[], 4).is_empty());
-    }
-
-    #[test]
-    fn run_chunked_preserves_chunk_order() {
-        let plan = ChunkPolicy::Edges.plan(&HUB, 3);
-        let indices = run_chunked_plan("test.chunk", plan.clone(), |c| c.index);
-        assert_eq!(indices, (0..plan.len()).collect::<Vec<_>>());
-
-        let sums: Vec<u64> = run_chunked(
-            "test.chunk",
-            plan.iter().cloned().map(|c| (c, 2u64)).collect(),
-            |c, factor| c.edges * factor,
-        );
-        assert_eq!(sums.iter().sum::<u64>(), 32);
-    }
-}
+pub use parcsr_runtime::{run_chunked, run_chunked_plan, Chunk, ChunkPolicy};

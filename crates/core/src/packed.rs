@@ -57,9 +57,12 @@ pub struct BitPackedCsr {
 impl BitPackedCsr {
     /// Packs a CSR using `processors` parallel packers per array
     /// (Algorithm 4 runs the bit-pack once for `iA` and once for `jA`),
-    /// splitting the gap encode by row count ([`ChunkPolicy::Rows`]).
+    /// splitting the gap encode by edge count ([`ChunkPolicy::Edges`], the
+    /// workspace default — hub rows spread across workers instead of
+    /// dragging one chunk; `--chunk-policy rows` on the binaries restores
+    /// the historical row-count split).
     pub fn from_csr(csr: &Csr, mode: PackedCsrMode, processors: usize) -> Self {
-        Self::from_csr_with_chunking(csr, mode, processors, ChunkPolicy::Rows)
+        Self::from_csr_with_chunking(csr, mode, processors, ChunkPolicy::default())
     }
 
     /// [`from_csr`](Self::from_csr) with an explicit chunk-splitting policy

@@ -15,6 +15,12 @@
 //! * [`edge_exists_split`] (Algorithm 8 / third block): a *single* query
 //!   whose neighbor row is itself split into `p` chunks searched in
 //!   parallel — worthwhile only for hub nodes, which the benches show.
+//!
+//! The batch drivers weight each query by the degree of its subject node
+//! (plus a constant per-query charge) and split the batch with the shared
+//! [`ChunkPolicy`] planner, so a run of hub queries no longer lands in one
+//! processor's chunk. [`ChunkPolicy::Rows`] restores the historical
+//! query-count split.
 
 use rayon::prelude::*;
 
@@ -22,6 +28,7 @@ use parcsr_graph::NodeId;
 use parcsr_scan::chunk_ranges;
 
 use crate::build::Csr;
+use crate::chunked::{run_chunked_plan, ChunkPolicy};
 use crate::packed::{BitPackedCsr, PackedCsrMode};
 
 /// Anything that can produce a node's sorted neighbor row. The query
@@ -124,32 +131,66 @@ impl NeighborSource for BitPackedCsr {
     }
 }
 
+/// Cumulative degrees of a query batch's subject nodes: `prefix[i+1] -
+/// prefix[i]` is the degree of query `i`, which is exactly the prefix-sum
+/// shape [`ChunkPolicy::plan`] weights by (the planner adds the constant
+/// per-query charge itself).
+fn degree_prefix<S: NeighborSource>(
+    source: &S,
+    nodes: impl Iterator<Item = NodeId>,
+    len: usize,
+) -> Vec<u64> {
+    let mut prefix = Vec::with_capacity(len + 1);
+    let mut cum = 0u64;
+    prefix.push(cum);
+    for u in nodes {
+        cum += source.degree(u) as u64;
+        prefix.push(cum);
+    }
+    prefix
+}
+
 /// Algorithm 6: answers an array of neighborhood queries, the query array
 /// split into `processors` chunks answered concurrently. Result `i` is the
-/// sorted neighbor row of `queries[i]`.
+/// sorted neighbor row of `queries[i]`. Splits with the default
+/// [`ChunkPolicy`] (edge-weighted); see [`neighbors_batch_with_chunking`].
 pub fn neighbors_batch<S: NeighborSource>(
     source: &S,
     queries: &[NodeId],
     processors: usize,
 ) -> Vec<Vec<NodeId>> {
-    let ranges = chunk_ranges(queries.len(), processors);
-    let mut results: Vec<Vec<Vec<NodeId>>> = Vec::new();
-    ranges
-        .par_iter()
-        .map(|r| {
-            let mut out = Vec::with_capacity(r.len());
-            for &u in &queries[r.clone()] {
-                // The result row is the one unavoidable allocation (it is
-                // the output); sized exactly from the packed degree so the
-                // streaming fill never reallocates.
-                let mut row = Vec::with_capacity(source.degree(u));
-                source.for_each_neighbor(u, &mut |v| row.push(v));
-                out.push(row);
-            }
-            out
-        })
-        .collect_into_vec(&mut results);
-    results.into_iter().flatten().collect()
+    neighbors_batch_with_chunking(source, queries, processors, ChunkPolicy::default())
+}
+
+/// [`neighbors_batch`] with an explicit chunking policy: queries are
+/// weighted by `degree + 1` under [`ChunkPolicy::Edges`] so hub-heavy
+/// batches spread across processors, or split by query count under
+/// [`ChunkPolicy::Rows`]. The result is identical either way.
+pub fn neighbors_batch_with_chunking<S: NeighborSource>(
+    source: &S,
+    queries: &[NodeId],
+    processors: usize,
+    policy: ChunkPolicy,
+) -> Vec<Vec<NodeId>> {
+    let prefix = degree_prefix(source, queries.iter().copied(), queries.len());
+    let _span = parcsr_obs::enter_with_args(
+        "query.neighbors",
+        parcsr_obs::SpanArgs::new().edges(*prefix.last().unwrap_or(&0)),
+    );
+    let plan = policy.plan(&prefix, processors);
+    let chunks: Vec<Vec<Vec<NodeId>>> = run_chunked_plan("query.neighbors.chunk", plan, |chunk| {
+        let mut out = Vec::with_capacity(chunk.range.len());
+        for &u in &queries[chunk.range.clone()] {
+            // The result row is the one unavoidable allocation (it is
+            // the output); sized exactly from the packed degree so the
+            // streaming fill never reallocates.
+            let mut row = Vec::with_capacity(source.degree(u));
+            source.for_each_neighbor(u, &mut |v| row.push(v));
+            out.push(row);
+        }
+        out
+    });
+    chunks.into_iter().flatten().collect()
 }
 
 /// Algorithm 7: answers an array of edge-existence queries, the query array
@@ -162,7 +203,20 @@ pub fn edges_exist_batch<S: NeighborSource>(
     queries: &[(NodeId, NodeId)],
     processors: usize,
 ) -> Vec<bool> {
-    batch_edge_queries(source, queries, processors, |source, u, v| {
+    edges_exist_batch_with_chunking(source, queries, processors, ChunkPolicy::default())
+}
+
+/// [`edges_exist_batch`] with an explicit chunking policy: queries are
+/// weighted by the source node's `degree + 1` under [`ChunkPolicy::Edges`]
+/// (a linear scan's cost is the row length), or split by query count under
+/// [`ChunkPolicy::Rows`]. The result is identical either way.
+pub fn edges_exist_batch_with_chunking<S: NeighborSource>(
+    source: &S,
+    queries: &[(NodeId, NodeId)],
+    processors: usize,
+    policy: ChunkPolicy,
+) -> Vec<bool> {
+    batch_edge_queries(source, queries, processors, policy, |source, u, v| {
         let mut found = false;
         source.for_each_neighbor_while(u, &mut |w| {
             if w >= v {
@@ -187,7 +241,20 @@ pub fn edges_exist_batch_binary<S: NeighborSource>(
     queries: &[(NodeId, NodeId)],
     processors: usize,
 ) -> Vec<bool> {
-    batch_edge_queries(source, queries, processors, |source, u, v| {
+    edges_exist_batch_binary_with_chunking(source, queries, processors, ChunkPolicy::default())
+}
+
+/// [`edges_exist_batch_binary`] with an explicit chunking policy. The
+/// binary-search probe costs `O(log deg)` rather than `O(deg)`, but on a
+/// gap-coded row the native path is still a stream scan, so the same
+/// `degree + 1` weighting applies.
+pub fn edges_exist_batch_binary_with_chunking<S: NeighborSource>(
+    source: &S,
+    queries: &[(NodeId, NodeId)],
+    processors: usize,
+    policy: ChunkPolicy,
+) -> Vec<bool> {
+    batch_edge_queries(source, queries, processors, policy, |source, u, v| {
         source.has_edge(u, v)
     })
 }
@@ -196,20 +263,22 @@ fn batch_edge_queries<S: NeighborSource>(
     source: &S,
     queries: &[(NodeId, NodeId)],
     processors: usize,
+    policy: ChunkPolicy,
     probe: impl Fn(&S, NodeId, NodeId) -> bool + Sync,
 ) -> Vec<bool> {
-    let ranges = chunk_ranges(queries.len(), processors);
-    let mut results: Vec<Vec<bool>> = Vec::new();
-    ranges
-        .par_iter()
-        .map(|r| {
-            queries[r.clone()]
-                .iter()
-                .map(|&(u, v)| probe(source, u, v))
-                .collect()
-        })
-        .collect_into_vec(&mut results);
-    results.into_iter().flatten().collect()
+    let prefix = degree_prefix(source, queries.iter().map(|&(u, _)| u), queries.len());
+    let _span = parcsr_obs::enter_with_args(
+        "query.edges",
+        parcsr_obs::SpanArgs::new().edges(*prefix.last().unwrap_or(&0)),
+    );
+    let plan = policy.plan(&prefix, processors);
+    let chunks: Vec<Vec<bool>> = run_chunked_plan("query.edges.chunk", plan, |chunk| {
+        queries[chunk.range.clone()]
+            .iter()
+            .map(|&(u, v)| probe(source, u, v))
+            .collect()
+    });
+    chunks.into_iter().flatten().collect()
 }
 
 /// Algorithm 8 (+ Algorithm 9 third block): single-edge existence with the
@@ -384,6 +453,40 @@ mod tests {
         assert_eq!(exists.len(), 2);
         assert_eq!(single, Some(csr.has_edge(3, 4)));
         assert_eq!(hoods[0], csr.neighbors(1));
+    }
+
+    #[test]
+    fn chunk_policy_does_not_change_query_results() {
+        let (csr, packed) = fixtures();
+        // Front-load hub queries so the weighted plan actually differs from
+        // the count split.
+        let mut queries: Vec<NodeId> = (0..256).collect();
+        queries.sort_by_key(|&u| std::cmp::Reverse(csr.degree(u)));
+        let edge_queries: Vec<(NodeId, NodeId)> =
+            queries.iter().map(|&u| (u, (u * 31) % 256)).collect();
+        for p in [1, 2, 7, 64] {
+            let rows = neighbors_batch_with_chunking(&packed, &queries, p, ChunkPolicy::Rows);
+            let edges = neighbors_batch_with_chunking(&packed, &queries, p, ChunkPolicy::Edges);
+            assert_eq!(rows, edges, "neighbors p={p}");
+            let rows =
+                edges_exist_batch_with_chunking(&packed, &edge_queries, p, ChunkPolicy::Rows);
+            let edges =
+                edges_exist_batch_with_chunking(&packed, &edge_queries, p, ChunkPolicy::Edges);
+            assert_eq!(rows, edges, "edges p={p}");
+            let rows = edges_exist_batch_binary_with_chunking(
+                &packed,
+                &edge_queries,
+                p,
+                ChunkPolicy::Rows,
+            );
+            let edges = edges_exist_batch_binary_with_chunking(
+                &packed,
+                &edge_queries,
+                p,
+                ChunkPolicy::Edges,
+            );
+            assert_eq!(rows, edges, "binary p={p}");
+        }
     }
 
     #[test]

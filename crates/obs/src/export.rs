@@ -48,6 +48,9 @@ fn span_args_json(r: &SpanRecord) -> Json {
     if let Some(bits) = r.args.bits {
         args.push(("bits".into(), Json::Int(i64::from(bits))));
     }
+    if let Some(chunks) = r.args.chunks {
+        args.push(("chunks".into(), Json::Int(chunks as i64)));
+    }
     Json::Object(args)
 }
 

@@ -65,6 +65,9 @@ pub struct SpanArgs {
     pub chunk_len: Option<u64>,
     /// Bit width of the packed elements.
     pub bits: Option<u32>,
+    /// Number of chunks a planner produced (planner spans, not per-chunk
+    /// spans).
+    pub chunks: Option<u64>,
 }
 
 impl SpanArgs {
@@ -76,6 +79,7 @@ impl SpanArgs {
             chunk: None,
             chunk_len: None,
             bits: None,
+            chunks: None,
         }
     }
 
@@ -107,6 +111,13 @@ impl SpanArgs {
         self
     }
 
+    /// Sets the planner output size (number of chunks planned).
+    #[must_use]
+    pub const fn chunks(mut self, n: u64) -> Self {
+        self.chunks = Some(n);
+        self
+    }
+
     /// True when no argument is set.
     #[must_use]
     pub const fn is_empty(&self) -> bool {
@@ -114,6 +125,7 @@ impl SpanArgs {
             && self.chunk.is_none()
             && self.chunk_len.is_none()
             && self.bits.is_none()
+            && self.chunks.is_none()
     }
 }
 
@@ -176,6 +188,12 @@ mod collect {
         args: SpanArgs,
         /// Memory accounting at entry; `None` when accounting was off.
         mem: Option<MemTrack>,
+    }
+
+    impl ActiveSpan {
+        pub(super) fn set_args(&mut self, args: SpanArgs) {
+            self.args = args;
+        }
     }
 
     /// Per-span memory bookkeeping captured at entry.
@@ -343,6 +361,20 @@ mod collect {
 pub struct Span {
     #[cfg(feature = "enabled")]
     active: Option<collect::ActiveSpan>,
+}
+
+impl Span {
+    /// Replaces the span's payload after entry — for arguments only known
+    /// once the span's work has run (a planner's output size, a computed
+    /// width). A no-op when recording is off or this span was sampled out.
+    pub fn set_args(&mut self, args: SpanArgs) {
+        #[cfg(feature = "enabled")]
+        if let Some(active) = self.active.as_mut() {
+            active.set_args(args);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = args;
+    }
 }
 
 impl Drop for Span {

@@ -1,0 +1,688 @@
+#![warn(missing_docs)]
+
+//! Shared parallel-runtime substrate: the single home of chunk planning and
+//! span-instrumented chunked execution.
+//!
+//! The paper's algorithms all start the same way: "divide the array into `p`
+//! chunks, one per processor" — and on a social graph that division is
+//! exactly where load imbalance is born: a hub row carries orders of
+//! magnitude more edges than the median, so equal *element counts* give one
+//! worker most of the *work*. This crate makes the split rule explicit,
+//! shared, and observable:
+//!
+//! * [`chunk_ranges`] — near-equal element counts, the uniform-cost split;
+//! * [`chunk_ranges_weighted`] — near-equal total weight over an explicit
+//!   per-element weight slice;
+//! * [`chunk_ranges_by_prefix_sum`] — the same weighted split driven
+//!   directly by a CSR-style prefix-sum array (offsets *are* the prefix
+//!   sum), allocation-free and `O(chunks · log n)`;
+//! * [`ChunkPolicy`] — the row-chunking rule the pipeline stages consume
+//!   ([`ChunkPolicy::Edges`] is the default: hub rows get isolated instead
+//!   of dragging a whole chunk);
+//! * [`run_chunked`] / [`run_chunked_plan`] — execute one planned chunk per
+//!   parallel task, each wrapped in a span carrying the
+//!   `chunk`/`chunk_len`/`edges` payloads that `parcsr_obs::analyze` turns
+//!   into imbalance statistics;
+//! * [`split_mut_by_ranges`] — hand out disjoint mutable sub-slices matching
+//!   a plan.
+//!
+//! Every planner in the workspace routes through here (`parcsr-scan`
+//! re-exports the planners for backward compatibility), so the scan,
+//! degree-computation, bit-packing, query-batching and TCSR pipelines agree
+//! on chunk boundaries. `examples/imbalance.rs` A/B-tests the policies on a
+//! skewed hub graph and EXPERIMENTS.md records the measured gap.
+
+use std::ops::Range;
+
+use rayon::prelude::*;
+
+/// Splits `0..len` into at most `chunks` contiguous, non-empty ranges of
+/// near-equal size (sizes differ by at most one, larger chunks first).
+///
+/// Returns fewer than `chunks` ranges when `len < chunks`, and an empty vector
+/// when `len == 0`. `chunks == 0` is treated as `1` so callers can pass a
+/// "number of processors" value straight through without special-casing.
+///
+/// ```
+/// use parcsr_runtime::chunk_ranges;
+/// assert_eq!(chunk_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+/// assert_eq!(chunk_ranges(2, 8).len(), 2);
+/// assert!(chunk_ranges(0, 4).is_empty());
+/// ```
+pub fn chunk_ranges(len: usize, chunks: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.max(1).min(len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+/// Splits `0..weights.len()` into at most `chunks` contiguous, non-empty
+/// ranges of near-equal total *weight* — the size-aware alternative to
+/// [`chunk_ranges`] for skewed inputs (hub rows), where equal element counts
+/// leave one chunk with most of the work.
+///
+/// Chunk `i`'s target is its fair share of the weight still remaining
+/// (`(total − consumed) / chunks_left`), so a hub that blows through several
+/// naive fixed targets does not force the following chunks down to one
+/// forced element each. The chunk stops at the element that first crosses
+/// its target, except that when stopping *before* the crossing element lands
+/// strictly nearer the target, the crossing element is left to the next
+/// chunk — so a hub sitting just past a boundary is isolated instead of
+/// dragging its predecessors' chunk far over target. Every chunk takes at
+/// least one element and leaves at least one for each remaining chunk.
+///
+/// Returns exactly `min(chunks, weights.len())` ranges covering the input
+/// contiguously; an all-zero weight vector falls back to [`chunk_ranges`].
+/// `chunks == 0` is treated as `1`.
+///
+/// ```
+/// use parcsr_runtime::chunk_ranges_weighted;
+/// // A hub at the front: element 0 alone is half the work.
+/// assert_eq!(chunk_ranges_weighted(&[6, 1, 1, 1, 1, 2], 2), vec![0..1, 1..6]);
+/// assert_eq!(chunk_ranges_weighted(&[0, 0, 0, 0], 2), vec![0..2, 2..4]);
+/// ```
+pub fn chunk_ranges_weighted(weights: &[u64], chunks: usize) -> Vec<Range<usize>> {
+    let len = weights.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.max(1).min(len);
+    let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+    if total == 0 {
+        return chunk_ranges(len, chunks);
+    }
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    let mut cum: u128 = 0;
+    for i in 0..chunks {
+        let remaining = (chunks - i) as u128;
+        if remaining == 1 {
+            // The last chunk takes everything left (a zero-weight tail
+            // would otherwise satisfy the target early and strand elements).
+            ranges.push(start..len);
+            start = len;
+            break;
+        }
+        let target = cum + (total - cum) / remaining;
+        // Leave at least one element for each of the remaining chunks.
+        let max_end = len - (chunks - i - 1);
+        let mut end = start + 1;
+        cum += u128::from(weights[start]);
+        while end < max_end && cum < target {
+            cum += u128::from(weights[end]);
+            end += 1;
+        }
+        if cum >= target && end > start + 1 {
+            // Nearest-boundary rule: if excluding the crossing element lands
+            // strictly nearer the target than including it, leave it to the
+            // next chunk (ties include).
+            let w_last = u128::from(weights[end - 1]);
+            if cum - target > target - (cum - w_last) {
+                end -= 1;
+                cum -= w_last;
+            }
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+/// [`chunk_ranges_weighted`] over the per-element weights implied by a
+/// CSR-style prefix-sum array, without materializing them: element `i`
+/// weighs `(prefix[i + 1] − prefix[i]) + 1` — its span of the prefix sum
+/// plus a constant charge so long runs of zero-weight elements (empty rows)
+/// still spread across chunks.
+///
+/// `prefix` must be non-decreasing with `prefix.len() == n + 1` (exactly the
+/// shape of a CSR offsets array); the result covers `0..n`. Produces ranges
+/// identical to calling [`chunk_ranges_weighted`] on the materialized
+/// weights, but allocation-free and in `O(chunks · log n)`: the cumulative
+/// weight of elements `0..e` is `(prefix[e] − prefix[0]) + e`, a strictly
+/// increasing function of `e`, so each chunk boundary is a binary search.
+///
+/// ```
+/// use parcsr_runtime::chunk_ranges_by_prefix_sum;
+/// // Offsets of 6 rows with degrees 11, 1, 1, 1, 1, 2: row 0 is a hub
+/// // carrying most of the weight, so it gets a chunk of its own.
+/// let offsets = [0u64, 11, 12, 13, 14, 15, 17];
+/// assert_eq!(chunk_ranges_by_prefix_sum(&offsets, 2), vec![0..1, 1..6]);
+/// assert!(chunk_ranges_by_prefix_sum(&[0], 4).is_empty());
+/// ```
+pub fn chunk_ranges_by_prefix_sum(prefix: &[u64], chunks: usize) -> Vec<Range<usize>> {
+    let len = prefix.len().saturating_sub(1);
+    if len == 0 {
+        return Vec::new();
+    }
+    debug_assert!(
+        prefix.windows(2).all(|w| w[0] <= w[1]),
+        "prefix sum must be non-decreasing"
+    );
+    let chunks = chunks.max(1).min(len);
+    let cum_at = |e: usize| u128::from(prefix[e] - prefix[0]) + e as u128;
+    let total = cum_at(len);
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for i in 0..chunks {
+        let remaining = (chunks - i) as u128;
+        if remaining == 1 {
+            ranges.push(start..len);
+            start = len;
+            break;
+        }
+        let cum_start = cum_at(start);
+        let target = cum_start + (total - cum_start) / remaining;
+        let max_end = len - (chunks - i - 1);
+        // First e in [start + 1, max_end] with cum_at(e) >= target; max_end
+        // when no such e exists (a light tail under a heavy head).
+        let mut end = {
+            let (mut lo, mut hi) = (start + 1, max_end);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if cum_at(mid) >= target {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            lo
+        };
+        // Same nearest-boundary rule as `chunk_ranges_weighted`.
+        if cum_at(end) >= target && end > start + 1 {
+            let overshoot = cum_at(end) - target;
+            let undershoot = target - cum_at(end - 1);
+            if overshoot > undershoot {
+                end -= 1;
+            }
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+/// Splits a mutable slice into disjoint sub-slices described by `ranges`.
+///
+/// The ranges must be sorted, non-overlapping and contained in
+/// `0..data.len()` — exactly what [`chunk_ranges`] produces. Gaps between
+/// ranges are allowed (the gap elements are simply not handed out).
+///
+/// # Panics
+///
+/// Panics if the ranges are out of order or exceed the slice length.
+pub fn split_mut_by_ranges<'a, T>(
+    mut data: &'a mut [T],
+    ranges: &[Range<usize>],
+) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut consumed = 0;
+    for r in ranges {
+        assert!(r.start >= consumed, "ranges must be sorted and disjoint");
+        let (_, rest) = data.split_at_mut(r.start - consumed);
+        let (piece, rest) = rest.split_at_mut(r.end - r.start);
+        out.push(piece);
+        data = rest;
+        consumed = r.end;
+    }
+    out
+}
+
+/// How a row range is divided into parallel chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChunkPolicy {
+    /// Near-equal row counts per chunk ([`chunk_ranges`]): the historical
+    /// default, right only when per-row cost is uniform.
+    Rows,
+    /// Near-equal edge counts per chunk ([`chunk_ranges_by_prefix_sum`] over
+    /// the offsets array, charging `degree + 1` per row so empty-row runs
+    /// still spread out): resists hub-row skew and is the workspace default.
+    #[default]
+    Edges,
+}
+
+impl ChunkPolicy {
+    /// Stable name for reports and experiment output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ChunkPolicy::Rows => "rows",
+            ChunkPolicy::Edges => "edges",
+        }
+    }
+
+    /// Parses a policy name as written on a command line (`"rows"` /
+    /// `"edges"`).
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "rows" => Ok(ChunkPolicy::Rows),
+            "edges" => Ok(ChunkPolicy::Edges),
+            other => Err(format!("unknown chunk policy `{other}` (rows|edges)")),
+        }
+    }
+
+    /// Plans row chunks for a CSR-shaped `offsets` array (length `n + 1`,
+    /// non-decreasing). Returns at most `chunks` non-empty [`Chunk`]s
+    /// covering `0..n` contiguously; empty when `n == 0`. Planning is
+    /// allocation-free beyond the returned plan and records a `plan` span
+    /// whose `chunks` payload is the plan size.
+    #[must_use]
+    pub fn plan(self, offsets: &[u64], chunks: usize) -> Vec<Chunk> {
+        let mut span = parcsr_obs::enter("plan");
+        let n = offsets.len().saturating_sub(1);
+        let ranges = match self {
+            ChunkPolicy::Rows => chunk_ranges(n, chunks),
+            ChunkPolicy::Edges => chunk_ranges_by_prefix_sum(offsets, chunks),
+        };
+        let plan: Vec<Chunk> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(index, range)| {
+                let edges = offsets[range.end] - offsets[range.start];
+                Chunk {
+                    index,
+                    range,
+                    edges,
+                }
+            })
+            .collect();
+        let edges = if n == 0 { 0 } else { offsets[n] - offsets[0] };
+        span.set_args(
+            parcsr_obs::SpanArgs::new()
+                .chunks(plan.len() as u64)
+                .edges(edges),
+        );
+        plan
+    }
+
+    /// The fallback plan for stages whose elements have no prefix sum to
+    /// weight by (e.g. raw event lists): a near-equal count split regardless
+    /// of policy, with each chunk's element count as its `edges` payload.
+    #[must_use]
+    pub fn plan_uniform(self, len: usize, chunks: usize) -> Vec<Chunk> {
+        let mut span = parcsr_obs::enter("plan");
+        let plan: Vec<Chunk> = chunk_ranges(len, chunks)
+            .into_iter()
+            .enumerate()
+            .map(|(index, range)| Chunk {
+                index,
+                edges: range.len() as u64,
+                range,
+            })
+            .collect();
+        span.set_args(
+            parcsr_obs::SpanArgs::new()
+                .chunks(plan.len() as u64)
+                .edges(len as u64),
+        );
+        plan
+    }
+}
+
+/// One planned chunk of rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Chunk index within the plan (also the span's `chunk` payload).
+    pub index: usize,
+    /// Row range covered by this chunk.
+    pub range: Range<usize>,
+    /// Edges contained in the row range (the span's `edges` payload).
+    pub edges: u64,
+}
+
+/// Runs `f` once per `(chunk, payload)` pair in parallel, each call wrapped
+/// in a span named `span_name` carrying the chunk's `chunk`/`chunk_len`/
+/// `edges` payloads. Results come back in chunk order. `span_name` should
+/// end in `.chunk` so `cargo xtask check-trace` enforces its payload.
+pub fn run_chunked<T, R, F>(span_name: &'static str, work: Vec<(Chunk, T)>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&Chunk, T) -> R + Sync + Send,
+{
+    work.into_par_iter()
+        .map(|(chunk, payload)| {
+            parcsr_obs::with_span_args(
+                span_name,
+                parcsr_obs::SpanArgs::new()
+                    .chunk(chunk.index as u64)
+                    .chunk_len(chunk.range.len() as u64)
+                    .edges(chunk.edges),
+                || f(&chunk, payload),
+            )
+        })
+        .collect()
+}
+
+/// [`run_chunked`] without per-chunk payloads.
+pub fn run_chunked_plan<R, F>(span_name: &'static str, plan: Vec<Chunk>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Chunk) -> R + Sync + Send,
+{
+    let work: Vec<(Chunk, ())> = plan.into_iter().map(|c| (c, ())).collect();
+    run_chunked(span_name, work, |c, ()| f(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        assert_eq!(chunk_ranges(8, 4), vec![0..2, 2..4, 4..6, 6..8]);
+    }
+
+    #[test]
+    fn uneven_split_puts_extra_in_leading_chunks() {
+        assert_eq!(chunk_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+
+    #[test]
+    fn more_chunks_than_elements() {
+        let r = chunk_ranges(3, 10);
+        assert_eq!(r, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn zero_len_is_empty() {
+        assert!(chunk_ranges(0, 5).is_empty());
+    }
+
+    #[test]
+    fn zero_chunks_treated_as_one() {
+        assert_eq!(chunk_ranges(5, 0), vec![0..5]);
+    }
+
+    #[test]
+    fn single_chunk() {
+        assert_eq!(chunk_ranges(7, 1), vec![0..7]);
+    }
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        for len in [1usize, 2, 3, 10, 97, 1000] {
+            for chunks in [1usize, 2, 3, 7, 64, 1500] {
+                let ranges = chunk_ranges(len, chunks);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, prev_end, "contiguous");
+                    assert!(!r.is_empty(), "non-empty");
+                    covered += r.len();
+                    prev_end = r.end;
+                }
+                assert_eq!(covered, len);
+                // Sizes differ by at most one.
+                let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_split_isolates_a_hub() {
+        // Element 0 carries half the weight: it gets a chunk of its own.
+        assert_eq!(
+            chunk_ranges_weighted(&[6, 1, 1, 1, 1, 2], 2),
+            vec![0..1, 1..6]
+        );
+        // Uniform weights reduce to the near-equal element split.
+        assert_eq!(
+            chunk_ranges_weighted(&[1; 8], 4),
+            vec![0..2, 2..4, 4..6, 6..8]
+        );
+    }
+
+    #[test]
+    fn weighted_split_edge_cases() {
+        assert!(chunk_ranges_weighted(&[], 4).is_empty());
+        assert_eq!(chunk_ranges_weighted(&[3, 3], 0), vec![0..2]);
+        assert_eq!(chunk_ranges_weighted(&[0, 0, 0, 0], 2), vec![0..2, 2..4]);
+        // More chunks than elements: one element each.
+        assert_eq!(
+            chunk_ranges_weighted(&[5, 1, 1], 10),
+            vec![0..1, 1..2, 2..3]
+        );
+        // A zero-weight tail still gets covered by the last chunk.
+        assert_eq!(chunk_ranges_weighted(&[5, 0, 0], 1), vec![0..3]);
+        assert_eq!(chunk_ranges_weighted(&[5, 5, 0, 0], 2), vec![0..1, 1..4]);
+    }
+
+    #[test]
+    fn weighted_split_recovers_after_a_leading_hub() {
+        // A hub that blows through several fixed fair-share boundaries:
+        // re-targeting against the *remaining* weight keeps the successor
+        // chunks balanced instead of one-element dribbles feeding a bloated
+        // last chunk.
+        let weights = [100, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        assert_eq!(
+            chunk_ranges_weighted(&weights, 4),
+            vec![0..1, 1..5, 5..9, 9..13]
+        );
+    }
+
+    #[test]
+    fn weighted_split_does_not_pull_a_hub_across_a_boundary() {
+        // Cumulative weight sits just below the first target when the hub
+        // arrives; the nearest-boundary rule leaves the hub to the next
+        // chunk instead of handing chunk 0 nearly the whole input.
+        let weights = [39, 100, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+        assert_eq!(chunk_ranges_weighted(&weights, 3), vec![0..1, 1..2, 2..13]);
+    }
+
+    #[test]
+    fn weighted_ranges_cover_exactly_once_and_balance() {
+        // A deterministic skewed weight vector: one hub plus a long tail.
+        let weights: Vec<u64> = (0..1000u64)
+            .map(|i| if i == 17 { 5000 } else { 1 + i % 7 })
+            .collect();
+        for chunks in [1usize, 2, 3, 7, 64, 1500] {
+            let ranges = chunk_ranges_weighted(&weights, chunks);
+            assert_eq!(ranges.len(), chunks.min(weights.len()).max(1));
+            let mut prev_end = 0;
+            for r in &ranges {
+                assert_eq!(r.start, prev_end, "contiguous");
+                assert!(!r.is_empty(), "non-empty");
+                prev_end = r.end;
+            }
+            assert_eq!(prev_end, weights.len());
+            // No chunk except a single-element one exceeds its fair share
+            // by more than the largest single weight.
+            let total: u64 = weights.iter().sum();
+            let fair = total / chunks as u64;
+            for r in &ranges {
+                let w: u64 = weights[r.clone()].iter().sum();
+                assert!(
+                    r.len() == 1 || w <= fair + 5000,
+                    "chunk {r:?} weight {w} vs fair {fair}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sum_planner_matches_weighted_planner_exactly() {
+        // The prefix-sum planner must reproduce `chunk_ranges_weighted`
+        // over the implied `degree + 1` weights, boundary for boundary.
+        let degree_vectors: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![0],
+            vec![12, 1, 1, 1, 1, 0],
+            vec![0, 0, 0, 0, 0],
+            vec![99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            vec![38, 99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            (0..500u64).map(|i| (i * 37 + 11) % 23).collect(),
+            (0..500u64)
+                .map(|i| if i % 97 == 0 { 4000 } else { i % 5 })
+                .collect(),
+        ];
+        for degrees in &degree_vectors {
+            let mut prefix = vec![7u64]; // non-zero base: offsets need not start at 0
+            for &d in degrees {
+                prefix.push(prefix.last().unwrap() + d);
+            }
+            let weights: Vec<u64> = degrees.iter().map(|&d| d + 1).collect();
+            for chunks in [1usize, 2, 3, 7, 64, 1000] {
+                assert_eq!(
+                    chunk_ranges_by_prefix_sum(&prefix, chunks),
+                    chunk_ranges_weighted(&weights, chunks),
+                    "degrees {degrees:?} x{chunks}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sum_planner_edge_cases() {
+        assert!(chunk_ranges_by_prefix_sum(&[], 4).is_empty());
+        assert!(chunk_ranges_by_prefix_sum(&[0], 4).is_empty());
+        assert_eq!(chunk_ranges_by_prefix_sum(&[0, 5], 4), vec![0..1]);
+        // All-empty rows still split by the constant per-row charge.
+        assert_eq!(
+            chunk_ranges_by_prefix_sum(&[3, 3, 3, 3, 3], 2),
+            vec![0..2, 2..4]
+        );
+    }
+
+    #[test]
+    fn split_mut_matches_ranges() {
+        let mut data: Vec<u32> = (0..10).collect();
+        let ranges = chunk_ranges(10, 3);
+        let parts = split_mut_by_ranges(&mut data, &ranges);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &[0, 1, 2, 3]);
+        assert_eq!(parts[1], &[4, 5, 6]);
+        assert_eq!(parts[2], &[7, 8, 9]);
+    }
+
+    #[test]
+    fn split_mut_allows_gaps() {
+        let mut data: Vec<u32> = (0..10).collect();
+        let parts = split_mut_by_ranges(&mut data, &[1..3, 5..6]);
+        assert_eq!(parts[0], &[1, 2]);
+        assert_eq!(parts[1], &[5]);
+    }
+
+    #[test]
+    fn split_mut_pieces_are_writable() {
+        let mut data = vec![0u8; 6];
+        let ranges = chunk_ranges(6, 2);
+        let mut parts = split_mut_by_ranges(&mut data, &ranges);
+        for p in parts.iter_mut() {
+            for x in p.iter_mut() {
+                *x = 9;
+            }
+        }
+        assert_eq!(data, vec![9; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn split_mut_rejects_overlap() {
+        let mut data = vec![0u8; 6];
+        let _ = split_mut_by_ranges(&mut data, &[0..3, 2..5]);
+    }
+
+    /// Offsets of a 6-row CSR where row 0 is a hub: degrees 12,1,1,1,1,0.
+    const HUB: [u64; 7] = [0, 12, 13, 14, 15, 16, 16];
+
+    #[test]
+    fn default_policy_is_edges() {
+        assert_eq!(ChunkPolicy::default(), ChunkPolicy::Edges);
+    }
+
+    #[test]
+    fn policy_parses_its_own_names() {
+        for policy in [ChunkPolicy::Rows, ChunkPolicy::Edges] {
+            assert_eq!(ChunkPolicy::parse(policy.name()), Ok(policy));
+        }
+        assert!(ChunkPolicy::parse("columns").is_err());
+    }
+
+    #[test]
+    fn row_policy_balances_rows_not_edges() {
+        let plan = ChunkPolicy::Rows.plan(&HUB, 2);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].range, 0..3);
+        assert_eq!(plan[1].range, 3..6);
+        assert_eq!(plan[0].edges, 14);
+        assert_eq!(plan[1].edges, 2);
+    }
+
+    #[test]
+    fn edge_policy_isolates_the_hub() {
+        let plan = ChunkPolicy::Edges.plan(&HUB, 2);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].range, 0..1, "hub row gets its own chunk");
+        assert_eq!(plan[1].range, 1..6);
+        assert_eq!(plan[0].edges, 12);
+        assert_eq!(plan[1].edges, 4);
+    }
+
+    #[test]
+    fn plans_cover_rows_exactly_once() {
+        for policy in [ChunkPolicy::Rows, ChunkPolicy::Edges] {
+            for chunks in [1usize, 2, 3, 7, 64] {
+                let plan = policy.plan(&HUB, chunks);
+                let mut prev = 0;
+                let mut edges = 0;
+                for (i, c) in plan.iter().enumerate() {
+                    assert_eq!(c.index, i);
+                    assert_eq!(c.range.start, prev);
+                    assert!(!c.range.is_empty());
+                    prev = c.range.end;
+                    edges += c.edges;
+                }
+                assert_eq!(prev, 6, "{policy:?} x{chunks}");
+                assert_eq!(edges, 16);
+            }
+        }
+        assert!(ChunkPolicy::Rows.plan(&[0], 4).is_empty());
+        assert!(ChunkPolicy::Edges.plan(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn uniform_plan_counts_elements_as_edges() {
+        for policy in [ChunkPolicy::Rows, ChunkPolicy::Edges] {
+            let plan = policy.plan_uniform(10, 3);
+            assert_eq!(plan.len(), 3);
+            let mut prev = 0;
+            for (i, c) in plan.iter().enumerate() {
+                assert_eq!(c.index, i);
+                assert_eq!(c.range.start, prev);
+                assert_eq!(c.edges, c.range.len() as u64);
+                prev = c.range.end;
+            }
+            assert_eq!(prev, 10);
+        }
+        assert!(ChunkPolicy::Edges.plan_uniform(0, 4).is_empty());
+    }
+
+    #[test]
+    fn run_chunked_preserves_chunk_order() {
+        let plan = ChunkPolicy::Edges.plan(&HUB, 3);
+        let indices = run_chunked_plan("test.chunk", plan.clone(), |c| c.index);
+        assert_eq!(indices, (0..plan.len()).collect::<Vec<_>>());
+
+        let sums: Vec<u64> = run_chunked(
+            "test.chunk",
+            plan.iter().cloned().map(|c| (c, 2u64)).collect(),
+            |c, factor| c.edges * factor,
+        );
+        assert_eq!(sums.iter().sum::<u64>(), 32);
+    }
+}

@@ -13,7 +13,7 @@
 
 use parcsr_check as check;
 
-use crate::util::chunk_ranges;
+use parcsr_runtime::chunk_ranges;
 
 /// Known-bad variants of the chunked scan, used to validate the checker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -29,7 +29,7 @@ use rayon::prelude::*;
 
 use crate::op::{AddOp, ScanOp};
 use crate::sequential::inclusive_scan_seq_by;
-use crate::util::{chunk_ranges, split_mut_by_ranges};
+use parcsr_runtime::{chunk_ranges, split_mut_by_ranges};
 
 /// In-place inclusive scan using the paper's chunked algorithm with `chunks`
 /// logical processors, phrased as three rayon phases.

@@ -13,7 +13,7 @@
 use rayon::prelude::*;
 
 use parcsr_graph::{TemporalEdge, TemporalEdgeList, Timestamp};
-use parcsr_scan::chunk_ranges;
+use parcsr_runtime::{run_chunked_plan, ChunkPolicy};
 
 use crate::frame::{key, DeltaFrame, FrameMode};
 use crate::tcsr::Tcsr;
@@ -73,6 +73,7 @@ fn merge_frame_piece(slot: &mut Vec<u64>, mut keys: Vec<u64>) {
 pub struct TcsrBuilder {
     processors: usize,
     mode: FrameMode,
+    chunk_policy: ChunkPolicy,
 }
 
 impl TcsrBuilder {
@@ -81,6 +82,7 @@ impl TcsrBuilder {
         TcsrBuilder {
             processors: rayon::current_num_threads(),
             mode: FrameMode::Random,
+            chunk_policy: ChunkPolicy::default(),
         }
     }
 
@@ -96,11 +98,20 @@ impl TcsrBuilder {
         self
     }
 
+    /// Sets the chunking policy. Events carry no offsets array to weight
+    /// by, so both policies currently fall back to the count split; the
+    /// knob exists so callers can thread one policy through the whole
+    /// pipeline.
+    pub fn chunk_policy(mut self, policy: ChunkPolicy) -> Self {
+        self.chunk_policy = policy;
+        self
+    }
+
     /// Builds the differential TCSR from a time-sorted event list.
     pub fn build(&self, events: &TemporalEdgeList) -> Tcsr {
         let num_frames = events.num_frames();
         let evs = events.events();
-        let ranges = chunk_ranges(evs.len(), self.processors);
+        let plan = self.chunk_policy.plan_uniform(evs.len(), self.processors);
 
         // Per chunk: (frame, sorted parity-collapsed key list) in frame
         // order. Chunks see disjoint event ranges of the (t, u, v)-sorted
@@ -109,19 +120,9 @@ impl TcsrBuilder {
             "tcsr.collapse",
             parcsr_obs::SpanArgs::new().edges(evs.len() as u64),
             || {
-                ranges
-                    .par_iter()
-                    .enumerate()
-                    .map(|(i, r)| {
-                        let _span = parcsr_obs::enter_with_args(
-                            "tcsr.chunk",
-                            parcsr_obs::SpanArgs::new()
-                                .chunk(i as u64)
-                                .chunk_len(r.len() as u64),
-                        );
-                        collapse_chunk(&evs[r.clone()])
-                    })
-                    .collect()
+                run_chunked_plan("tcsr.chunk", plan, |chunk| {
+                    collapse_chunk(&evs[chunk.range.clone()])
+                })
             },
         );
         // collect() is the sync(): all chunk-local CSR pieces exist before

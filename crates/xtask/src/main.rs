@@ -66,7 +66,7 @@ fn main() -> ExitCode {
             None => {
                 eprintln!(
                     "usage: cargo xtask trace-analyze <trace.json> [--stage NAME] \
-                     [--json OUT] [--check]"
+                     [--json OUT] [--check] [--min-util F]"
                 );
                 ExitCode::from(2)
             }
@@ -94,7 +94,8 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: cargo xtask lint [--skip-clippy] | check-trace <trace.json> | \
-                 trace-analyze <trace.json> [--stage NAME] [--json OUT] [--check] | \
+                 trace-analyze <trace.json> [--stage NAME] [--json OUT] [--check] \
+                 [--min-util F] | \
                  stage-diff <base.json> <cur.json> [--threshold F] | bless-baseline"
             );
             ExitCode::from(2)
@@ -108,6 +109,7 @@ struct AnalyzeOpts {
     stage: Option<String>,
     json_out: Option<PathBuf>,
     check: bool,
+    min_util: f64,
 }
 
 fn parse_analyze_args(rest: &[String]) -> Result<AnalyzeOpts, String> {
@@ -124,6 +126,13 @@ fn parse_analyze_args(rest: &[String]) -> Result<AnalyzeOpts, String> {
                 opts.json_out = Some(PathBuf::from(path));
             }
             "--check" => opts.check = true,
+            "--min-util" => {
+                let value = it.next().ok_or("--min-util needs a value")?;
+                opts.min_util = match value.parse::<f64>() {
+                    Ok(f) if (0.0..=1.0).contains(&f) => f,
+                    _ => return Err(format!("--min-util must be in [0, 1], got `{value}`")),
+                };
+            }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
@@ -161,12 +170,17 @@ fn run_trace_analyze(path: &Path, opts: &AnalyzeOpts) -> ExitCode {
         eprintln!("xtask trace-analyze: wrote {}", out.display());
     }
     if opts.check {
-        if let Err(e) = trace_analyze::check_analysis(&analysis) {
+        if let Err(e) = trace_analyze::check_analysis(&analysis, opts.min_util) {
             eprintln!("xtask trace-analyze: {} FAILED: {e}", path.display());
             return ExitCode::FAILURE;
         }
+        let floor = if opts.min_util > 0.0 {
+            format!(">= {}", opts.min_util)
+        } else {
+            "> 0".to_string()
+        };
         eprintln!(
-            "xtask trace-analyze: {} ok ({} stages, all utilization > 0)",
+            "xtask trace-analyze: {} ok ({} stages, all utilization {floor})",
             path.display(),
             analysis.stages.len()
         );

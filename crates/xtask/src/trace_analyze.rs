@@ -1,7 +1,7 @@
 //! `trace-analyze` — parallel-efficiency report over a Chrome trace file.
 //!
 //! `cargo xtask trace-analyze <trace.json> [--stage NAME] [--json OUT]
-//! [--check]` feeds the trace's complete (`"X"`) events through
+//! [--check] [--min-util F]` feeds the trace's complete (`"X"`) events through
 //! [`parcsr_obs::analyze`] and prints, per top-level stage: instance count,
 //! wall and busy time, worker utilization, critical-path ratio, and — when
 //! the stage recorded per-chunk spans — the chunk-imbalance block
@@ -16,6 +16,9 @@
 //! * `--check` turns the report into a gate: at least one stage must be
 //!   present and every stage's utilization must be positive — the cheapest
 //!   proof that worker spans actually carry attributable time.
+//! * `--min-util F` raises the `--check` floor: every stage's utilization
+//!   must be at least `F` (CI uses this to catch load-imbalance
+//!   regressions, not just dead traces).
 
 use std::fmt::Write as _;
 
@@ -60,8 +63,9 @@ pub fn analyze_trace_text(text: &str) -> Result<TraceAnalysis, String> {
     Ok(analyze(&spans_from_events(&events)))
 }
 
-/// The `--check` gate: at least one stage, every utilization positive.
-pub fn check_analysis(analysis: &TraceAnalysis) -> Result<(), String> {
+/// The `--check` gate: at least one stage, every utilization positive, and
+/// — with `min_util > 0` — every stage's utilization at or above the floor.
+pub fn check_analysis(analysis: &TraceAnalysis, min_util: f64) -> Result<(), String> {
     if analysis.stages.is_empty() {
         return Err("no top-level stages in trace (nothing to analyze)".into());
     }
@@ -70,6 +74,12 @@ pub fn check_analysis(analysis: &TraceAnalysis) -> Result<(), String> {
         if s.utilization.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(format!(
                 "stage `{}` reports non-positive utilization {}",
+                s.name, s.utilization
+            ));
+        }
+        if s.utilization.partial_cmp(&min_util) == Some(std::cmp::Ordering::Less) {
+            return Err(format!(
+                "stage `{}` utilization {:.3} is below the --min-util floor {min_util}",
                 s.name, s.utilization
             ));
         }
@@ -258,9 +268,20 @@ mod tests {
     #[test]
     fn check_gate_accepts_good_and_rejects_empty_or_idle() {
         let analysis = analyze_trace_text(&trace()).unwrap();
-        assert!(check_analysis(&analysis).is_ok());
+        assert!(check_analysis(&analysis, 0.0).is_ok());
         let empty = TraceAnalysis::default();
-        assert!(check_analysis(&empty).unwrap_err().contains("no top-level"));
+        assert!(check_analysis(&empty, 0.0)
+            .unwrap_err()
+            .contains("no top-level"));
+    }
+
+    #[test]
+    fn check_gate_enforces_utilization_floor() {
+        // The fixture's degree stage sits at exactly 0.5 utilization.
+        let analysis = analyze_trace_text(&trace()).unwrap();
+        assert!(check_analysis(&analysis, 0.5).is_ok(), "floor is inclusive");
+        let err = check_analysis(&analysis, 0.75).unwrap_err();
+        assert!(err.contains("below the --min-util floor"), "{err}");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! * complete (`"X"`) span events must be time-ordered per thread, and
 //!   their `args` payload (when present) must hold only non-negative
 //!   integers for the typed keys (`depth`, `sample`, `edges`, `chunk`,
-//!   `chunk_len`, `bits`). Per-chunk spans (names ending `.chunk` or
+//!   `chunk_len`, `bits`, `chunks`). Per-chunk spans (names ending `.chunk` or
 //!   `_chunk`) must carry a `chunk` index — a chunk span without its index
 //!   means the instrumentation site lost its payload.
 //! * counter (`"C"`) events — the memory / metric series. Must use a known
@@ -25,7 +25,15 @@ use crate::trace_read::{parse_trace, Phase, TraceEvent};
 
 /// Span-arg keys the exporter may emit; every one is a non-negative count
 /// or width, so anything negative (or non-integer) is a recorder bug.
-const SPAN_ARG_KEYS: &[&str] = &["depth", "sample", "edges", "chunk", "chunk_len", "bits"];
+const SPAN_ARG_KEYS: &[&str] = &[
+    "depth",
+    "sample",
+    "edges",
+    "chunk",
+    "chunk_len",
+    "bits",
+    "chunks",
+];
 
 /// Metric namespaces counter events may use. A counter outside these was
 /// registered ad hoc and would silently vanish from dashboards keyed on
