@@ -2,7 +2,10 @@
 //! is nothing but repeated batched neighborhood queries, which is why the
 //! paper's Algorithm 6 batching matters for analytics.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+// ORDERING: Relaxed throughout — level claims are first-writer-wins
+// compare-exchanges on independent cells, and each level's stores are
+// published to the next round by the parallel iterator's join barrier.
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 
 use rayon::prelude::*;
 
@@ -46,7 +49,7 @@ pub fn bfs_parallel<S: NeighborSource>(graph: &S, source: NodeId) -> Vec<u32> {
     let n = graph.num_nodes();
     assert!((source as usize) < n, "source {source} out of range");
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHABLE)).collect();
-    dist[source as usize].store(0, Ordering::Relaxed);
+    dist[source as usize].store(0, Relaxed);
     let mut frontier = vec![source];
     let mut level = 0u32;
     while !frontier.is_empty() {
@@ -59,7 +62,7 @@ pub fn bfs_parallel<S: NeighborSource>(graph: &S, source: NodeId) -> Vec<u32> {
                 // structure — no per-node row buffer.
                 graph.for_each_neighbor(u, &mut |v| {
                     if dist[v as usize]
-                        .compare_exchange(UNREACHABLE, level, Ordering::Relaxed, Ordering::Relaxed)
+                        .compare_exchange(UNREACHABLE, level, Relaxed, Relaxed)
                         .is_ok()
                     {
                         claimed.push(v);

@@ -6,7 +6,11 @@
 //! canonical labeling independent of execution order — which makes the
 //! parallel version trivially comparable to the sequential one.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+// ORDERING: Relaxed throughout — labels only move monotonically downward
+// via fetch_min on independent cells; a stale read can only delay
+// convergence by a round (each round ends at a join barrier), never
+// corrupt a label.
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 
 use rayon::prelude::*;
 
@@ -54,13 +58,13 @@ pub fn connected_components_parallel(csr: &Csr) -> Vec<NodeId> {
             .into_par_iter()
             .map(|u| {
                 let mut changed = false;
-                let lu = labels[u as usize].load(Ordering::Relaxed);
+                let lu = labels[u as usize].load(Relaxed);
                 for &v in csr.neighbors(u) {
-                    let lv = labels[v as usize].load(Ordering::Relaxed);
+                    let lv = labels[v as usize].load(Relaxed);
                     if lv < lu {
-                        changed |= labels[u as usize].fetch_min(lv, Ordering::Relaxed) > lv;
+                        changed |= labels[u as usize].fetch_min(lv, Relaxed) > lv;
                     } else if lu < lv {
-                        changed |= labels[v as usize].fetch_min(lu, Ordering::Relaxed) > lu;
+                        changed |= labels[v as usize].fetch_min(lu, Relaxed) > lu;
                     }
                 }
                 changed
@@ -77,10 +81,10 @@ pub fn connected_components_parallel(csr: &Csr) -> Vec<NodeId> {
         let changed = (0..n)
             .into_par_iter()
             .map(|u| {
-                let l = labels[u].load(Ordering::Relaxed);
-                let ll = labels[l as usize].load(Ordering::Relaxed);
+                let l = labels[u].load(Relaxed);
+                let ll = labels[l as usize].load(Relaxed);
                 if ll < l {
-                    labels[u].fetch_min(ll, Ordering::Relaxed);
+                    labels[u].fetch_min(ll, Relaxed);
                     true
                 } else {
                     false
@@ -93,13 +97,13 @@ pub fn connected_components_parallel(csr: &Csr) -> Vec<NodeId> {
                 .into_par_iter()
                 .map(|u| {
                     let mut changed = false;
-                    let lu = labels[u as usize].load(Ordering::Relaxed);
+                    let lu = labels[u as usize].load(Relaxed);
                     for &v in csr.neighbors(u) {
-                        let lv = labels[v as usize].load(Ordering::Relaxed);
+                        let lv = labels[v as usize].load(Relaxed);
                         if lv < lu {
-                            changed |= labels[u as usize].fetch_min(lv, Ordering::Relaxed) > lv;
+                            changed |= labels[u as usize].fetch_min(lv, Relaxed) > lv;
                         } else if lu < lv {
-                            changed |= labels[v as usize].fetch_min(lu, Ordering::Relaxed) > lu;
+                            changed |= labels[v as usize].fetch_min(lu, Relaxed) > lu;
                         }
                     }
                     changed

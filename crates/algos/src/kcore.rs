@@ -7,7 +7,10 @@
 //! as ground truth; the parallel variant peels one `k`-level per round with
 //! rayon sweeps, converging to the identical (unique) decomposition.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+// ORDERING: Relaxed throughout — each peel phase (select, mark, decrement)
+// ends at a join barrier; within a phase, stores hit disjoint cells or are
+// commutative fetch_subs, so no cross-cell ordering is needed.
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 
 use rayon::prelude::*;
 
@@ -103,8 +106,7 @@ pub fn kcore_parallel(csr: &Csr) -> Vec<u32> {
             let wave: Vec<NodeId> = (0..n as NodeId)
                 .into_par_iter()
                 .filter(|&u| {
-                    removed[u as usize].load(Ordering::Relaxed) == 0
-                        && degree[u as usize].load(Ordering::Relaxed) <= k
+                    removed[u as usize].load(Relaxed) == 0 && degree[u as usize].load(Relaxed) <= k
                 })
                 .collect();
             if wave.is_empty() {
@@ -112,15 +114,15 @@ pub fn kcore_parallel(csr: &Csr) -> Vec<u32> {
             }
             alive -= wave.len();
             wave.par_iter().for_each(|&u| {
-                removed[u as usize].store(1, Ordering::Relaxed);
-                core[u as usize].store(k, Ordering::Relaxed);
+                removed[u as usize].store(1, Relaxed);
+                core[u as usize].store(k, Relaxed);
             });
             // Decrement neighbors after marking the whole wave, so peers in
             // the same wave do not double-count each other.
             wave.par_iter().for_each(|&u| {
                 for &v in &adj[u as usize] {
-                    if removed[v as usize].load(Ordering::Relaxed) == 0 {
-                        degree[v as usize].fetch_sub(1, Ordering::Relaxed);
+                    if removed[v as usize].load(Relaxed) == 0 {
+                        degree[v as usize].fetch_sub(1, Relaxed);
                     }
                 }
             });

@@ -7,7 +7,10 @@
 //! relax-until-stable shape as the components algorithm.
 
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+// ORDERING: Relaxed throughout — distances only move monotonically
+// downward via fetch_min; a stale read costs at most an extra round, and
+// rounds are separated by join barriers until a round changes nothing.
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 use rayon::prelude::*;
 
@@ -58,12 +61,12 @@ pub fn parallel_sssp(graph: &WeightedCsr, source: NodeId) -> Vec<u64> {
     let n = graph.num_nodes();
     assert!((source as usize) < n, "source {source} out of range");
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
-    dist[source as usize].store(0, Ordering::Relaxed);
+    dist[source as usize].store(0, Relaxed);
     loop {
         let changed = (0..n as NodeId)
             .into_par_iter()
             .map(|u| {
-                let du = dist[u as usize].load(Ordering::Relaxed);
+                let du = dist[u as usize].load(Relaxed);
                 if du == INF {
                     return false;
                 }
@@ -71,8 +74,8 @@ pub fn parallel_sssp(graph: &WeightedCsr, source: NodeId) -> Vec<u64> {
                 let mut changed = false;
                 for (&v, &w) in targets.iter().zip(weights) {
                     let nd = du + u64::from(w);
-                    if nd < dist[v as usize].load(Ordering::Relaxed) {
-                        changed |= dist[v as usize].fetch_min(nd, Ordering::Relaxed) > nd;
+                    if nd < dist[v as usize].load(Relaxed) {
+                        changed |= dist[v as usize].fetch_min(nd, Relaxed) > nd;
                     }
                 }
                 changed

@@ -15,7 +15,10 @@
 //! ablation shows what the design avoids: one `fetch_add` per *edge* instead
 //! of one store per *node run*.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+// ORDERING: Relaxed throughout — every store/fetch_add hits its own
+// node's cell, and all cells are read only after the chunk collect()
+// barrier (the paper's sync()).
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
 
 use rayon::prelude::*;
 
@@ -91,7 +94,7 @@ pub fn degrees_parallel(edges: &[Edge], num_nodes: usize, processors: usize) -> 
                     .chunk_len(r.len() as u64),
             );
             count_chunk_runs(&edges[r.clone()], num_nodes, |node, run_len| {
-                global[node as usize].store(run_len, Ordering::Relaxed);
+                global[node as usize].store(run_len, Relaxed);
             })
         })
         .collect();
@@ -119,7 +122,7 @@ pub fn degrees_atomic(edges: &[Edge], num_nodes: usize) -> Vec<u32> {
     let global: Vec<AtomicU32> = (0..num_nodes).map(|_| AtomicU32::new(0)).collect();
     edges.par_iter().for_each(|&(u, _)| {
         assert!((u as usize) < num_nodes, "node {u} out of range");
-        global[u as usize].fetch_add(1, Ordering::Relaxed);
+        global[u as usize].fetch_add(1, Relaxed);
     });
     global.into_iter().map(AtomicU32::into_inner).collect()
 }

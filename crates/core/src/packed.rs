@@ -180,6 +180,7 @@ impl BitPackedCsr {
     /// # Panics
     ///
     /// Panics if `u` is out of range.
+    // LINT: hot — per-lookup decode kernel; must stay allocation-free.
     pub fn row_iter(&self, u: NodeId) -> PackedRowIter<'_> {
         let i = u as usize;
         assert!(i < self.num_nodes, "node {u} out of range");
@@ -224,6 +225,7 @@ impl BitPackedCsr {
     /// * [`PackedCsrMode::Gap`] rows must be prefix-summed from the head, so
     ///   the probe streams the row with an early exit once the running sum
     ///   reaches `v` (rows are sorted, so the sum is non-decreasing).
+    // LINT: hot — per-lookup probe kernel; must stay allocation-free.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         let _t = parcsr_obs::time_histogram(&parcsr_obs::metrics::wellknown::HAS_EDGE_NS);
         let i = u as usize;

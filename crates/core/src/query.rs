@@ -59,6 +59,7 @@ pub trait NeighborSource: Sync {
     /// the heap; the batch query drivers below rely on that to stay
     /// allocation-free per query.
     fn for_each_neighbor_while(&self, u: NodeId, visit: &mut dyn FnMut(NodeId) -> bool) {
+        // LINT: alloc-ok(default fallback for sources without a native streaming path; both in-tree sources override it allocation-free)
         let mut row = Vec::with_capacity(self.degree(u));
         self.row_into(u, &mut row);
         for &v in &row {
@@ -140,6 +141,7 @@ fn degree_prefix<S: NeighborSource>(
     nodes: impl Iterator<Item = NodeId>,
     len: usize,
 ) -> Vec<u64> {
+    // LINT: alloc-ok(one exactly-sized planner array per batch call, not per query)
     let mut prefix = Vec::with_capacity(len + 1);
     let mut cum = 0u64;
     prefix.push(cum);
@@ -179,17 +181,20 @@ pub fn neighbors_batch_with_chunking<S: NeighborSource>(
     );
     let plan = policy.plan(&prefix, processors);
     let chunks: Vec<Vec<Vec<NodeId>>> = run_chunked_plan("query.neighbors.chunk", plan, |chunk| {
+        // LINT: alloc-ok(one exactly-sized result container per chunk; the rows it holds are the API output)
         let mut out = Vec::with_capacity(chunk.range.len());
         for &u in &queries[chunk.range.clone()] {
             // The result row is the one unavoidable allocation (it is
             // the output); sized exactly from the packed degree so the
             // streaming fill never reallocates.
+            // LINT: alloc-ok(the result row is the output, sized exactly from the packed degree so the streaming fill never reallocates)
             let mut row = Vec::with_capacity(source.degree(u));
             source.for_each_neighbor(u, &mut |v| row.push(v));
             out.push(row);
         }
         out
     });
+    // LINT: alloc-ok(flattening chunk outputs into the single result vector the API returns)
     chunks.into_iter().flatten().collect()
 }
 
@@ -276,8 +281,10 @@ fn batch_edge_queries<S: NeighborSource>(
         queries[chunk.range.clone()]
             .iter()
             .map(|&(u, v)| probe(source, u, v))
+            // LINT: alloc-ok(one exactly-sized bool vector per chunk; flattened below into the API result)
             .collect()
     });
+    // LINT: alloc-ok(flattening chunk outputs into the single result vector the API returns)
     chunks.into_iter().flatten().collect()
 }
 
@@ -294,6 +301,7 @@ pub fn edge_exists_split<S: NeighborSource>(
     // Splitting one row across workers needs random access into it, so this
     // is the one query where materialization is unavoidable on a streaming
     // source; the buffer is sized exactly once from the degree.
+    // LINT: alloc-ok(row must be materialized for random-access splitting; sized exactly once from the degree)
     let mut row = Vec::with_capacity(source.degree(u));
     source.row_into(u, &mut row);
     let ranges = chunk_ranges(row.len(), processors);
@@ -308,6 +316,7 @@ pub fn edge_exists_split_binary<S: NeighborSource>(
     v: NodeId,
     processors: usize,
 ) -> bool {
+    // LINT: alloc-ok(row must be materialized for random-access splitting; sized exactly once from the degree)
     let mut row = Vec::with_capacity(source.degree(u));
     source.row_into(u, &mut row);
     let ranges = chunk_ranges(row.len(), processors);

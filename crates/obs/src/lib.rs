@@ -60,7 +60,10 @@ pub use span::{
 };
 
 #[cfg(feature = "enabled")]
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+// ORDERING: Relaxed throughout — ENABLED and TRACE_SAMPLE are independent
+// on/off knobs; readers need eventual visibility only, and no other
+// memory is published through them.
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering::Relaxed};
 
 #[cfg(feature = "enabled")]
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -78,7 +81,7 @@ pub const fn compiled() -> bool {
 /// was compiled in.
 pub fn set_enabled(on: bool) {
     #[cfg(feature = "enabled")]
-    ENABLED.store(on, Ordering::Relaxed);
+    ENABLED.store(on, Relaxed);
     #[cfg(not(feature = "enabled"))]
     let _ = on;
 }
@@ -89,7 +92,7 @@ pub fn set_enabled(on: bool) {
 pub fn is_enabled() -> bool {
     #[cfg(feature = "enabled")]
     {
-        ENABLED.load(Ordering::Relaxed)
+        ENABLED.load(Relaxed)
     }
     #[cfg(not(feature = "enabled"))]
     {
@@ -105,7 +108,7 @@ pub fn is_enabled() -> bool {
 /// the binaries.
 pub fn set_trace_sample(n: u32) {
     #[cfg(feature = "enabled")]
-    TRACE_SAMPLE.store(n.max(1), Ordering::Relaxed);
+    TRACE_SAMPLE.store(n.max(1), Relaxed);
     #[cfg(not(feature = "enabled"))]
     let _ = n;
 }
@@ -116,7 +119,7 @@ pub fn set_trace_sample(n: u32) {
 pub fn trace_sample() -> u32 {
     #[cfg(feature = "enabled")]
     {
-        TRACE_SAMPLE.load(Ordering::Relaxed)
+        TRACE_SAMPLE.load(Relaxed)
     }
     #[cfg(not(feature = "enabled"))]
     {

@@ -58,6 +58,8 @@ pub struct MemSnapshot {
 /// is compiled in; reporting additionally requires a registered
 /// [`CountingAlloc`] to have observed an allocation.
 pub fn set_enabled(on: bool) {
+    // ORDERING: Relaxed — an independent on/off flag; readers need eventual
+    // visibility only, and no other memory is published through it.
     #[cfg(feature = "enabled")]
     imp::MEM_ON.store(on, std::sync::atomic::Ordering::Relaxed);
     #[cfg(not(feature = "enabled"))]
@@ -71,6 +73,8 @@ pub fn set_enabled(on: bool) {
 pub fn active() -> bool {
     #[cfg(feature = "enabled")]
     {
+        // ORDERING: Relaxed — advisory flag and monotone peak counter;
+        // eventual visibility is enough for a reporting gate.
         use std::sync::atomic::Ordering::Relaxed;
         imp::MEM_ON.load(Relaxed) && imp::PEAK.load(Relaxed) > 0
     }
@@ -99,6 +103,8 @@ pub fn snapshot() -> Option<MemSnapshot> {
 pub fn live_bytes() -> u64 {
     #[cfg(feature = "enabled")]
     {
+        // ORDERING: Relaxed — statistical counter read for reporting; no
+        // memory is synchronized through it.
         imp::LIVE.load(std::sync::atomic::Ordering::Relaxed)
     }
     #[cfg(not(feature = "enabled"))]
@@ -112,6 +118,7 @@ pub fn live_bytes() -> u64 {
 pub fn peak_bytes() -> u64 {
     #[cfg(feature = "enabled")]
     {
+        // ORDERING: Relaxed — monotone peak gauge; advisory reporting only.
         imp::PEAK.load(std::sync::atomic::Ordering::Relaxed)
     }
     #[cfg(not(feature = "enabled"))]
@@ -126,6 +133,7 @@ pub fn peak_bytes() -> u64 {
 pub fn watermark_bytes() -> u64 {
     #[cfg(feature = "enabled")]
     {
+        // ORDERING: Relaxed — stage watermark gauge; advisory reporting only.
         imp::WATER.load(std::sync::atomic::Ordering::Relaxed)
     }
     #[cfg(not(feature = "enabled"))]
@@ -141,6 +149,9 @@ pub fn watermark_bytes() -> u64 {
 pub fn reset_watermark() {
     #[cfg(feature = "enabled")]
     {
+        // ORDERING: Relaxed — the store/fetch_max race with concurrent
+        // worker allocations is tolerated (see the doc comment): at most one
+        // in-flight allocation is misattributed.
         use std::sync::atomic::Ordering::Relaxed;
         imp::WATER.store(imp::LIVE.load(Relaxed), Relaxed);
     }
@@ -152,6 +163,8 @@ pub fn reset_watermark() {
 /// disarms the trigger. Wired to `--mem-sample N` / `PARCSR_MEM_SAMPLE` on
 /// the binaries; a no-op unless the `enabled` feature is compiled in.
 pub fn set_sample_period(n: u64) {
+    // ORDERING: Relaxed — sampling knob; eventual visibility is enough and
+    // exact period boundaries do not matter.
     #[cfg(feature = "enabled")]
     imp::SAMPLE_EVERY.store(n, std::sync::atomic::Ordering::Relaxed);
     #[cfg(not(feature = "enabled"))]
@@ -164,6 +177,8 @@ pub fn set_sample_period(n: u64) {
 pub fn sample_period() -> u64 {
     #[cfg(feature = "enabled")]
     {
+        // ORDERING: Relaxed — sampling knob read; a racy period change only
+        // shifts which allocation trips the next sample.
         imp::SAMPLE_EVERY.load(std::sync::atomic::Ordering::Relaxed)
     }
     #[cfg(not(feature = "enabled"))]
@@ -223,6 +238,10 @@ pub use imp::CountingAlloc;
 mod imp {
     use std::alloc::{GlobalAlloc, Layout, System};
     use std::cell::Cell;
+    // ORDERING: Relaxed throughout — allocator counters are per-cell
+    // monotone or commutative updates (fetch_add/fetch_sub/fetch_max) read
+    // for reporting; nothing synchronizes through them, and the watermark
+    // race is documented at `reset_watermark`.
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 
     /// Runtime reporting switch (`--mem-metrics`).

@@ -14,6 +14,9 @@
 //! `1/32` (~3.1%) while covering the full `u64` range in 1920 buckets
 //! (15 KiB of relaxed atomics per histogram).
 
+// ORDERING: Relaxed throughout — counters, gauges, and histogram buckets
+// are independent statistical cells, snapshotted after the workload's
+// join; no reader depends on cross-cell ordering.
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
 
 /// Monotonically increasing event count.

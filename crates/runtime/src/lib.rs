@@ -24,13 +24,18 @@
 //!   `chunk`/`chunk_len`/`edges` payloads that `parcsr_obs::analyze` turns
 //!   into imbalance statistics;
 //! * [`split_mut_by_ranges`] — hand out disjoint mutable sub-slices matching
-//!   a plan.
+//!   a plan;
+//! * [`pool::with_processors`] — the cached fixed-width rayon pools the
+//!   processor sweep pins each measurement to, next to the planner that
+//!   feeds them.
 //!
 //! Every planner in the workspace routes through here (`parcsr-scan`
 //! re-exports the planners for backward compatibility), so the scan,
 //! degree-computation, bit-packing, query-batching and TCSR pipelines agree
 //! on chunk boundaries. `examples/imbalance.rs` A/B-tests the policies on a
 //! skewed hub graph and EXPERIMENTS.md records the measured gap.
+
+pub mod pool;
 
 use std::ops::Range;
 

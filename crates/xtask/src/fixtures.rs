@@ -1,0 +1,183 @@
+//! Fixture-corpus self-test for the lint passes: seeded-violation style,
+//! like the race checker's fault-injection tests. Each rule owns a
+//! directory of `.rs` snippets under `crates/xtask/tests/lint_fixtures/`
+//! (excluded from the workspace lint walk); `accept_*` files must lint
+//! completely clean, `reject_*` files must trip *their* rule — so a lint
+//! that silently stops firing fails CI, not just stops reporting.
+//!
+//! Fixture header directives (plain comments, read before linting):
+//!
+//! * `//@ path: crates/foo/src/bar.rs` — the pretend workspace-relative
+//!   path the snippet is linted as (rules like the hot-path file ban and
+//!   the span-coverage exemptions key on it). Defaults to
+//!   `crates/fixture/src/lib.rs`.
+//! * `//@ expect-line: N` — repeatable; a reject fixture asserting that a
+//!   violation of the rule fires on 1-based line `N`.
+
+use std::path::Path;
+
+use crate::lints;
+
+/// Rules every corpus must cover with at least one accept and one reject
+/// fixture (the token-aware passes; extra rule directories are welcome).
+pub const REQUIRED_RULES: &[&str] = &[
+    "hot-path-alloc",
+    "atomic-ordering",
+    "lock-across-parallel",
+    "span-coverage",
+];
+
+/// Header directives parsed from a fixture file.
+struct Header {
+    path: String,
+    expect_lines: Vec<usize>,
+}
+
+fn parse_header(name: &str, text: &str, errors: &mut Vec<String>) -> Header {
+    let mut h = Header {
+        path: "crates/fixture/src/lib.rs".to_string(),
+        expect_lines: Vec::new(),
+    };
+    for line in text.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("//@") else {
+            continue;
+        };
+        let rest = rest.trim();
+        if let Some(p) = rest.strip_prefix("path:") {
+            h.path = p.trim().to_string();
+        } else if let Some(n) = rest.strip_prefix("expect-line:") {
+            match n.trim().parse::<usize>() {
+                Ok(l) if l > 0 => h.expect_lines.push(l),
+                _ => errors.push(format!("{name}: bad `//@ expect-line:` value `{n}`")),
+            }
+        } else {
+            errors.push(format!("{name}: unknown fixture directive `//@ {rest}`"));
+        }
+    }
+    h
+}
+
+/// Runs the whole corpus under `dir`. `Ok(summary)` iff every accept
+/// fixture is clean, every reject fixture trips exactly its rule (covering
+/// any `expect-line`s), and every required rule has both kinds.
+pub fn check_fixture_corpus(dir: &Path) -> Result<String, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut accepts = 0usize;
+    let mut rejects = 0usize;
+    let mut covered: Vec<(String, bool, bool)> = Vec::new(); // rule, has_accept, has_reject
+
+    let mut rule_dirs: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(e) => {
+            return Err(vec![format!(
+                "cannot read fixture corpus {}: {e}",
+                dir.display()
+            )])
+        }
+    };
+    rule_dirs.sort();
+
+    for rule_dir in rule_dirs {
+        let rule = rule_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut has_accept = false;
+        let mut has_reject = false;
+        let mut files: Vec<_> = match std::fs::read_dir(&rule_dir) {
+            Ok(entries) => entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+                .collect(),
+            Err(e) => {
+                errors.push(format!("cannot read {}: {e}", rule_dir.display()));
+                continue;
+            }
+        };
+        files.sort();
+        for file in files {
+            let stem = file
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let name = format!("{rule}/{stem}");
+            let text = match std::fs::read_to_string(&file) {
+                Ok(t) => t,
+                Err(e) => {
+                    errors.push(format!("cannot read {name}: {e}"));
+                    continue;
+                }
+            };
+            let header = parse_header(&name, &text, &mut errors);
+            let violations = lints::lint_file(&header.path, &text);
+            if stem.starts_with("accept_") {
+                has_accept = true;
+                accepts += 1;
+                for v in &violations {
+                    errors.push(format!("{name}: accept fixture not clean: {v}"));
+                }
+            } else if stem.starts_with("reject_") {
+                has_reject = true;
+                rejects += 1;
+                if !violations.iter().any(|v| v.rule == rule) {
+                    errors.push(format!(
+                        "{name}: reject fixture produced no `{rule}` violation \
+                         (the rule has stopped firing)"
+                    ));
+                }
+                for v in &violations {
+                    if v.rule != rule {
+                        errors.push(format!(
+                            "{name}: reject fixture tripped a different rule: {v}"
+                        ));
+                    }
+                }
+                for l in &header.expect_lines {
+                    if !violations.iter().any(|v| v.rule == rule && v.line == *l) {
+                        errors.push(format!(
+                            "{name}: expected a `{rule}` violation on line {l}; got: {:?}",
+                            violations.iter().map(|v| v.line).collect::<Vec<_>>()
+                        ));
+                    }
+                }
+            } else {
+                errors.push(format!(
+                    "{name}: fixture files must be named accept_* or reject_*"
+                ));
+            }
+        }
+        covered.push((rule, has_accept, has_reject));
+    }
+
+    for required in REQUIRED_RULES {
+        match covered.iter().find(|(r, _, _)| r == required) {
+            None => errors.push(format!(
+                "no fixture directory for required rule `{required}`"
+            )),
+            Some((_, a, r)) => {
+                if !a {
+                    errors.push(format!("rule `{required}` has no accept_* fixture"));
+                }
+                if !r {
+                    errors.push(format!("rule `{required}` has no reject_* fixture"));
+                }
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(format!(
+            "{} rule dirs, {} accept + {} reject fixtures ok",
+            covered.len(),
+            accepts,
+            rejects
+        ))
+    } else {
+        Err(errors)
+    }
+}

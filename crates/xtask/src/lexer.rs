@@ -1,0 +1,619 @@
+//! A minimal hand-rolled Rust lexer for the token-aware lint passes.
+//!
+//! This is the structural upgrade of [`crate::lints`]' original line-based
+//! `strip_code`: instead of stripped text it produces a real token stream
+//! (identifiers, punctuation, delimiters, opaque literals) plus a brace-tree
+//! of scopes with `fn`-item attribution, which is exactly the amount of
+//! structure the workspace lints need — which function a token is in, which
+//! scopes are open at a call site, where a `let` statement ends. It is *not*
+//! a parser: no expression trees, no type grammar, no macro expansion. The
+//! workspace is offline, so `syn` is not an option, and the lint rules are
+//! conventions over surface syntax anyway.
+//!
+//! Handled faithfully because the lints would otherwise misfire:
+//!
+//! * line and (nested) block comments — dropped;
+//! * string literals, raw strings (`r#"…"#`, any hash depth), byte and
+//!   byte-raw strings — one opaque [`Kind::Lit`] token each, newlines inside
+//!   counted so later tokens keep correct line numbers;
+//! * char literals vs. lifetimes (`'a'` vs. `'a`), including escaped chars;
+//! * raw identifiers (`r#match`);
+//! * `::` fused into a single punctuation token (path matching);
+//! * numbers lexed without consuming `.` so `0..10` stays three tokens.
+
+/// Token category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `let`, `Vec`, …).
+    Ident,
+    /// Punctuation; `::` is fused, everything else is a single char.
+    Punct,
+    /// Opening delimiter `(`, `[` or `{`.
+    Open,
+    /// Closing delimiter `)`, `]` or `}`.
+    Close,
+    /// Any literal (string, raw string, char, byte, number); content opaque.
+    Lit,
+    /// Lifetime or loop label (`'a`, `'static`); text is the part after `'`.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Category.
+    pub kind: Kind,
+    /// Source text for idents/puncts/delimiters; empty for literals.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+    /// Innermost brace scope containing the token (index into
+    /// [`Lexed::scopes`]). Delimiter tokens belong to the *outer* scope.
+    pub scope: usize,
+}
+
+/// One `{ … }` scope in the brace tree. Scope 0 is the file root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scope {
+    /// Enclosing scope, `None` for the root.
+    pub parent: Option<usize>,
+    /// `Some(name)` iff this brace pair is the body of `fn name`.
+    pub fn_name: Option<String>,
+    /// Line of the `fn` keyword when `fn_name` is set, else of the `{`.
+    pub head_line: usize,
+    /// Line the scope opens on (1-based; 1 for the root).
+    pub open_line: usize,
+    /// Line the scope closes on; `usize::MAX` if unclosed at EOF.
+    pub close_line: usize,
+}
+
+/// A lexed file: flat token stream plus the scope tree.
+#[derive(Debug)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Brace scopes; index 0 is the file root.
+    pub scopes: Vec<Scope>,
+}
+
+impl Lexed {
+    /// Lexes a source file. Never fails: malformed input degrades to
+    /// best-effort tokens, which is fine for lint heuristics.
+    #[must_use]
+    pub fn lex(text: &str) -> Lexed {
+        let raw = raw_tokens(text);
+        attribute_scopes(raw)
+    }
+
+    /// The innermost enclosing `fn`-body scope of `scope`, if any.
+    #[must_use]
+    pub fn enclosing_fn(&self, mut scope: usize) -> Option<usize> {
+        loop {
+            if self.scopes[scope].fn_name.is_some() {
+                return Some(scope);
+            }
+            scope = self.scopes[scope].parent?;
+        }
+    }
+
+    /// True if `scope` is `ancestor` or nested (transitively) inside it.
+    #[must_use]
+    pub fn scope_within(&self, mut scope: usize, ancestor: usize) -> bool {
+        loop {
+            if scope == ancestor {
+                return true;
+            }
+            match self.scopes[scope].parent {
+                Some(p) => scope = p,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// Pass 1: raw tokens with line numbers, scopes not yet assigned.
+fn raw_tokens(text: &str) -> Vec<Token> {
+    let b = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+
+    // Advances past a (possibly raw, possibly byte) string body starting at
+    // the opening quote, counting newlines. `hashes` is the raw-string hash
+    // depth; `None` means a normal escaped string.
+    let scan_string = |i: &mut usize, line: &mut usize, hashes: Option<usize>| {
+        *i += 1; // opening quote
+        while *i < b.len() {
+            match b[*i] {
+                b'\n' => {
+                    *line += 1;
+                    *i += 1;
+                }
+                b'\\' if hashes.is_none() => *i += 2,
+                b'"' => match hashes {
+                    None => {
+                        *i += 1;
+                        return;
+                    }
+                    Some(h) => {
+                        let trailing = b[*i + 1..].iter().take_while(|&&c| c == b'#').count();
+                        if trailing >= h {
+                            *i += 1 + h;
+                            return;
+                        }
+                        *i += 1;
+                    }
+                },
+                _ => *i += 1,
+            }
+        }
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        let start_line = line;
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Rust block comments nest.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                scan_string(&mut i, &mut line, None);
+                tokens.push(lit(start_line));
+            }
+            b'\'' => {
+                // Char literal or lifetime/label.
+                if b.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal: skip the escape, then the quote.
+                    i += 2;
+                    if b.get(i) == Some(&b'u') {
+                        while i < b.len() && b[i] != b'}' {
+                            i += 1;
+                        }
+                        i += 1;
+                    } else if b.get(i) == Some(&b'x') {
+                        i += 3;
+                    } else {
+                        i += 1;
+                    }
+                    if b.get(i) == Some(&b'\'') {
+                        i += 1;
+                    }
+                    tokens.push(lit(start_line));
+                } else if b.get(i + 2) == Some(&b'\'') {
+                    i += 3; // 'x'
+                    tokens.push(lit(start_line));
+                } else {
+                    // Lifetime: consume ident chars after the quote.
+                    let s = i + 1;
+                    i += 1;
+                    while i < b.len() && is_ident(b[i]) {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: Kind::Lifetime,
+                        text: text[s..i].to_string(),
+                        line: start_line,
+                        scope: 0,
+                    });
+                }
+            }
+            b'r' if b.get(i + 1).is_some_and(|&n| n == b'"' || n == b'#') => {
+                let h = b[i + 1..].iter().take_while(|&&c| c == b'#').count();
+                if b.get(i + 1 + h) == Some(&b'"') {
+                    i += 1 + h;
+                    scan_string(&mut i, &mut line, Some(h));
+                    tokens.push(lit(start_line));
+                } else if h >= 1 && b.get(i + 2).is_some_and(|&n| is_ident(n)) {
+                    // Raw identifier r#name.
+                    let s = i + 2;
+                    i += 2;
+                    while i < b.len() && is_ident(b[i]) {
+                        i += 1;
+                    }
+                    tokens.push(ident(&text[s..i], start_line));
+                } else {
+                    i = push_ident(text, i, start_line, &mut tokens);
+                }
+            }
+            b'b' if b
+                .get(i + 1)
+                .is_some_and(|&n| n == b'"' || n == b'\'' || n == b'r') =>
+            {
+                match b[i + 1] {
+                    b'"' => {
+                        i += 1;
+                        scan_string(&mut i, &mut line, None);
+                        tokens.push(lit(start_line));
+                    }
+                    b'\'' => {
+                        // Byte char literal: b'x' or b'\n'.
+                        i += 2;
+                        if b.get(i) == Some(&b'\\') {
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                        if b.get(i) == Some(&b'\'') {
+                            i += 1;
+                        }
+                        tokens.push(lit(start_line));
+                    }
+                    _ => {
+                        // br"…" / br#"…"# or just an ident starting with br.
+                        let h = b[i + 2..].iter().take_while(|&&c| c == b'#').count();
+                        if b.get(i + 2 + h) == Some(&b'"') {
+                            i += 2 + h;
+                            scan_string(&mut i, &mut line, Some(h));
+                            tokens.push(lit(start_line));
+                        } else {
+                            i = push_ident(text, i, start_line, &mut tokens);
+                        }
+                    }
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                // Number: alphanumerics and underscores, but never `.` so
+                // range expressions like `0..10` keep their punctuation.
+                while i < b.len() && is_ident(b[i]) {
+                    i += 1;
+                }
+                tokens.push(lit(start_line));
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                i = push_ident(text, i, start_line, &mut tokens);
+            }
+            b'(' | b'[' | b'{' => {
+                tokens.push(Token {
+                    kind: Kind::Open,
+                    text: (c as char).to_string(),
+                    line: start_line,
+                    scope: 0,
+                });
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                tokens.push(Token {
+                    kind: Kind::Close,
+                    text: (c as char).to_string(),
+                    line: start_line,
+                    scope: 0,
+                });
+                i += 1;
+            }
+            b':' if b.get(i + 1) == Some(&b':') => {
+                tokens.push(Token {
+                    kind: Kind::Punct,
+                    text: "::".to_string(),
+                    line: start_line,
+                    scope: 0,
+                });
+                i += 2;
+            }
+            _ if c.is_ascii() => {
+                tokens.push(Token {
+                    kind: Kind::Punct,
+                    text: (c as char).to_string(),
+                    line: start_line,
+                    scope: 0,
+                });
+                i += 1;
+            }
+            _ => i += 1, // non-ASCII outside strings: skip the byte
+        }
+    }
+    tokens
+}
+
+fn lit(line: usize) -> Token {
+    Token {
+        kind: Kind::Lit,
+        text: String::new(),
+        line,
+        scope: 0,
+    }
+}
+
+fn ident(text: &str, line: usize) -> Token {
+    Token {
+        kind: Kind::Ident,
+        text: text.to_string(),
+        line,
+        scope: 0,
+    }
+}
+
+fn push_ident(text: &str, start: usize, line: usize, tokens: &mut Vec<Token>) -> usize {
+    let b = text.as_bytes();
+    let mut i = start;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    tokens.push(ident(&text[start..i], line));
+    i
+}
+
+/// Tracks a pending `fn` item between its keyword and its body brace.
+enum FnState {
+    None,
+    /// Saw `fn`, expecting the item name next.
+    ExpectName,
+    /// Saw `fn name`; the next `{` at signature depth 0 opens its body.
+    /// `depth` counts `(`/`[` nesting so `;` inside `[u8; 4]` and braces
+    /// inside parameter lists do not end or misbind the signature.
+    Armed {
+        name: String,
+        fn_line: usize,
+        depth: usize,
+    },
+}
+
+/// Pass 2: assigns scope ids, builds the brace tree, and binds `fn` items
+/// to their body scopes.
+fn attribute_scopes(mut tokens: Vec<Token>) -> Lexed {
+    let mut scopes = vec![Scope {
+        parent: None,
+        fn_name: None,
+        head_line: 1,
+        open_line: 1,
+        close_line: usize::MAX,
+    }];
+    let mut stack: Vec<usize> = vec![0];
+    let mut state = FnState::None;
+
+    for idx in 0..tokens.len() {
+        let current = *stack.last().expect("root scope never popped");
+        tokens[idx].scope = current;
+        // `fn` immediately followed by `(` is a function-pointer *type*
+        // (`fn(u32) -> u32`), not an item: it must not touch the state, or
+        // a pointer-typed parameter would steal the enclosing item's name.
+        let fn_pointer_type = tokens[idx].kind == Kind::Ident
+            && tokens[idx].text == "fn"
+            && tokens
+                .get(idx + 1)
+                .is_some_and(|n| n.kind == Kind::Open && n.text == "(");
+        let tok = &mut tokens[idx];
+        match tok.kind {
+            _ if fn_pointer_type => {}
+            Kind::Ident if tok.text == "fn" => state = FnState::ExpectName,
+            Kind::Ident => {
+                if let FnState::ExpectName = state {
+                    state = FnState::Armed {
+                        name: tok.text.clone(),
+                        fn_line: tok.line,
+                        depth: 0,
+                    };
+                }
+            }
+            Kind::Open if tok.text == "{" => {
+                let fn_name = match &mut state {
+                    FnState::Armed { name, depth: 0, .. } => {
+                        let name = std::mem::take(name);
+                        Some(name)
+                    }
+                    _ => None,
+                };
+                let head_line = match (&fn_name, &state) {
+                    (Some(_), FnState::Armed { fn_line, .. }) => *fn_line,
+                    _ => tok.line,
+                };
+                if fn_name.is_some() {
+                    state = FnState::None;
+                }
+                scopes.push(Scope {
+                    parent: Some(current),
+                    fn_name,
+                    head_line,
+                    open_line: tok.line,
+                    close_line: usize::MAX,
+                });
+                stack.push(scopes.len() - 1);
+            }
+            Kind::Open => {
+                if let FnState::Armed { depth, .. } = &mut state {
+                    *depth += 1;
+                }
+            }
+            Kind::Close if tok.text == "}" => {
+                if stack.len() > 1 {
+                    let closed = stack.pop().expect("non-empty");
+                    scopes[closed].close_line = tok.line;
+                    tok.scope = *stack.last().expect("root scope never popped");
+                }
+            }
+            Kind::Close => {
+                if let FnState::Armed { depth, .. } = &mut state {
+                    *depth = depth.saturating_sub(1);
+                }
+            }
+            Kind::Punct if tok.text == ";" => {
+                if let FnState::Armed { depth: 0, .. } = state {
+                    state = FnState::None; // bodiless trait fn
+                }
+            }
+            _ => {
+                if let FnState::ExpectName = state {
+                    // `fn(u32) -> u32` function-pointer type: no item name.
+                    state = FnState::None;
+                }
+            }
+        }
+    }
+    Lexed { tokens, scopes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lexed: &Lexed) -> Vec<&str> {
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_dropped() {
+        let src = "fn f() { // Vec::new in a comment\n    let s = \"Vec::new\"; /* vec![ */ }\n";
+        let lexed = Lexed::lex(src);
+        assert_eq!(idents(&lexed), ["fn", "f", "let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_do_not_derail_the_scanner() {
+        let src = "fn f() { let s = r#\"unsafe { \" } \"#; let t = 1; }";
+        let lexed = Lexed::lex(src);
+        assert_eq!(idents(&lexed), ["fn", "f", "let", "s", "let", "t"]);
+        // The brace inside the raw string must not have opened a scope.
+        assert_eq!(lexed.scopes.len(), 2);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let src = "let a = \"x\ny\nz\";\nlet b = 0;";
+        let lexed = Lexed::lex(src);
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn char_literals_versus_lifetimes() {
+        let src = "fn f<'a>(x: &'a u8) { let c = '{'; let q = '\\''; let n = '\\n'; }";
+        let lexed = Lexed::lex(src);
+        // The '{' char literal must not open a scope: one fn body only.
+        assert_eq!(lexed.scopes.len(), 2);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        assert_eq!(idents(&Lexed::lex(src)), ["fn", "f"]);
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let src = "Vec::new()";
+        let lexed = Lexed::lex(src);
+        assert_eq!(lexed.tokens[1].kind, Kind::Punct);
+        assert_eq!(lexed.tokens[1].text, "::");
+    }
+
+    #[test]
+    fn ranges_keep_their_dots() {
+        let src = "for i in 0..10 {}";
+        let lexed = Lexed::lex(src);
+        let dots = lexed.tokens.iter().filter(|t| t.text == ".").count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn fn_scopes_are_attributed() {
+        let src = "\
+fn outer(x: [u8; 4]) -> u32 {
+    let c = |y: u32| { y + 1 };
+    fn inner() {}
+    c(0)
+}
+";
+        let lexed = Lexed::lex(src);
+        let named: Vec<_> = lexed
+            .scopes
+            .iter()
+            .filter_map(|s| s.fn_name.as_deref())
+            .collect();
+        assert_eq!(named, ["outer", "inner"]);
+        // The closure body is a scope without a fn name, nested in `outer`.
+        let outer = lexed
+            .scopes
+            .iter()
+            .position(|s| s.fn_name.as_deref() == Some("outer"))
+            .unwrap();
+        let closure = lexed
+            .scopes
+            .iter()
+            .position(|s| s.fn_name.is_none() && s.parent == Some(outer))
+            .unwrap();
+        assert!(lexed.scope_within(closure, outer));
+        assert_eq!(lexed.enclosing_fn(closure), Some(outer));
+    }
+
+    #[test]
+    fn bodiless_trait_fn_does_not_capture_next_brace() {
+        let src = "trait T { fn named(&self); }\nfn real() {}";
+        let lexed = Lexed::lex(src);
+        let named: Vec<_> = lexed
+            .scopes
+            .iter()
+            .filter_map(|s| s.fn_name.as_deref())
+            .collect();
+        assert_eq!(named, ["real"]);
+    }
+
+    #[test]
+    fn fn_pointer_type_does_not_arm() {
+        let src = "fn apply(g: fn(u32) -> u32) { g(1); }";
+        let lexed = Lexed::lex(src);
+        let named: Vec<_> = lexed
+            .scopes
+            .iter()
+            .filter_map(|s| s.fn_name.as_deref())
+            .collect();
+        assert_eq!(named, ["apply"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let src = "fn r#match() {}";
+        assert_eq!(idents(&Lexed::lex(src)), ["fn", "match"]);
+    }
+
+    #[test]
+    fn byte_strings_are_opaque() {
+        let src = "let x = b\"{ unsafe \"; let y = br#\"} vec![ \"#;";
+        assert_eq!(idents(&Lexed::lex(src)), ["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn scope_close_lines_are_recorded() {
+        let src = "fn f() {\n    {\n    }\n}\n";
+        let lexed = Lexed::lex(src);
+        assert_eq!(lexed.scopes[1].close_line, 4);
+        assert_eq!(lexed.scopes[2].close_line, 3);
+    }
+}

@@ -1,0 +1,8 @@
+//! Library surface of the workspace automation driver: the hand-rolled
+//! Rust lexer, the static-analysis passes built on it, and the fixture
+//! corpus harness that keeps the passes honest. The `cargo xtask` binary
+//! (`src/main.rs`) drives these; integration tests exercise them directly.
+
+pub mod fixtures;
+pub mod lexer;
+pub mod lints;

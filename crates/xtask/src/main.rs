@@ -23,23 +23,32 @@
 //!   with the fresh output, after validating that it parses and
 //!   stage-diffs cleanly against itself. Run it after intentionally
 //!   changing the pipeline's stage shape.
-//! * `lint` — the workspace's static-analysis gate, in two stages:
-//!   1. **text lints** (see [`lints`]): every `unsafe` must carry a nearby
-//!      `// SAFETY:` comment, `unsafe` is forbidden outside a small file
-//!      allowlist, panicking constructs are banned on the hot query path,
-//!      and the crates owning `unsafe` code must deny
-//!      `unsafe_op_in_unsafe_fn`;
+//! * `lint [--skip-clippy] [--json OUT] [--inventory OUT]` — the
+//!   workspace's static-analysis gate, in two stages:
+//!   1. **source lints** (see [`xtask::lints`]): the line-based rules
+//!      (`SAFETY:` comments near every `unsafe`, the unsafe file
+//!      allowlist, hot-path panic bans, `unsafe_op_in_unsafe_fn` denial)
+//!      plus the token-aware passes driven by the in-tree lexer — the
+//!      hot-path allocation ban, the atomic-ordering audit, the
+//!      lock-across-parallel-region check, and span coverage of chunked
+//!      stages. `--json` writes the machine-readable report;
+//!      `--inventory` writes the atomic-ordering inventory table.
 //!   2. **curated clippy set** — `-D warnings` plus
 //!      `undocumented_unsafe_blocks`, `dbg_macro`, and `todo`, across all
 //!      targets. Skipped with `--skip-clippy` for a fast editor loop.
+//! * `lint-fixtures` — runs the lint fixture corpus
+//!   (`crates/xtask/tests/lint_fixtures/`): accept fixtures must be
+//!   clean, reject fixtures must still trip their rule, so the lints
+//!   themselves cannot rot. CI runs this next to the workspace lint.
 //!
 //! Exit code 0 means the tree is clean; 1 means violations were printed.
 
-mod lints;
 mod stage_diff;
 mod trace_analyze;
 mod trace_check;
 mod trace_read;
+
+use xtask::{fixtures, lints};
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -47,7 +56,14 @@ use std::process::{Command, ExitCode};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(args.iter().any(|a| a == "--skip-clippy")),
+        Some("lint") => match parse_lint_args(&args[1..]) {
+            Ok(opts) => lint(&opts),
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Some("lint-fixtures") => lint_fixtures(),
         Some("check-trace") => match args.get(1) {
             Some(file) => check_trace(Path::new(file)),
             None => {
@@ -93,7 +109,8 @@ fn main() -> ExitCode {
         Some("bless-baseline") => bless_baseline(),
         _ => {
             eprintln!(
-                "usage: cargo xtask lint [--skip-clippy] | check-trace <trace.json> | \
+                "usage: cargo xtask lint [--skip-clippy] [--json OUT] [--inventory OUT] | \
+                 lint-fixtures | check-trace <trace.json> | \
                  trace-analyze <trace.json> [--stage NAME] [--json OUT] [--check] \
                  [--min-util F] | \
                  stage-diff <base.json> <cur.json> [--threshold F] | bless-baseline"
@@ -370,7 +387,13 @@ fn rust_files(root: &Path, dir: &str) -> Vec<String> {
         for entry in entries.flatten() {
             let path = entry.path();
             if path.is_dir() {
-                if path.file_name().is_some_and(|n| n == "target") {
+                // `lint_fixtures` holds deliberately-violating snippets for
+                // the corpus self-test; they are linted by `lint-fixtures`
+                // under pretend paths, never as part of the tree.
+                if path
+                    .file_name()
+                    .is_some_and(|n| n == "target" || n == "lint_fixtures")
+                {
                     continue;
                 }
                 stack.push(path);
@@ -390,9 +413,37 @@ fn rust_files(root: &Path, dir: &str) -> Vec<String> {
     out
 }
 
-fn lint(skip_clippy: bool) -> ExitCode {
+/// Options for `lint` after the subcommand.
+#[derive(Default)]
+struct LintOpts {
+    skip_clippy: bool,
+    json_out: Option<PathBuf>,
+    inventory_out: Option<PathBuf>,
+}
+
+fn parse_lint_args(rest: &[String]) -> Result<LintOpts, String> {
+    let mut opts = LintOpts::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--skip-clippy" => opts.skip_clippy = true,
+            "--json" => {
+                let path = it.next().ok_or("--json needs an output path")?;
+                opts.json_out = Some(PathBuf::from(path));
+            }
+            "--inventory" => {
+                let path = it.next().ok_or("--inventory needs an output path")?;
+                opts.inventory_out = Some(PathBuf::from(path));
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn lint(opts: &LintOpts) -> ExitCode {
     let root = workspace_root();
-    let mut violations = Vec::new();
+    let mut report = lints::WorkspaceReport::default();
     for dir in ["crates", "shims", "tests", "examples", "benches"] {
         for rel in rust_files(&root, dir) {
             let text = match std::fs::read_to_string(root.join(&rel)) {
@@ -402,22 +453,54 @@ fn lint(skip_clippy: bool) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            violations.extend(lints::lint_file(&rel, &text));
+            report.merge(lints::analyze_file(&rel, &text));
         }
     }
 
-    for v in &violations {
+    for v in &report.violations {
         eprintln!("error: {v}");
     }
-    let mut failed = !violations.is_empty();
+    let mut failed = !report.violations.is_empty();
     eprintln!(
-        "xtask lint: text lints {} ({} violation{})",
+        "xtask lint: source lints {} ({} file{}, {} violation{}, {} explained \
+         waiver{}, {} ordering site{})",
         if failed { "FAILED" } else { "ok" },
-        violations.len(),
-        if violations.len() == 1 { "" } else { "s" }
+        report.files,
+        if report.files == 1 { "" } else { "s" },
+        report.violations.len(),
+        if report.violations.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.waivers.len(),
+        if report.waivers.len() == 1 { "" } else { "s" },
+        report.ordering_sites.len(),
+        if report.ordering_sites.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
     );
 
-    if !skip_clippy {
+    if let Some(out) = &opts.json_out {
+        let mut body = report.to_json().pretty();
+        body.push('\n');
+        if let Err(e) = std::fs::write(out, body) {
+            eprintln!("xtask lint: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("xtask lint: wrote {}", out.display());
+    }
+    if let Some(out) = &opts.inventory_out {
+        if let Err(e) = std::fs::write(out, report.inventory_markdown()) {
+            eprintln!("xtask lint: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("xtask lint: wrote {}", out.display());
+    }
+
+    if !opts.skip_clippy {
         let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
             .current_dir(&root)
             .args([
@@ -453,5 +536,30 @@ fn lint(skip_clippy: bool) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Runs the lint fixture corpus: accept fixtures clean, reject fixtures
+/// still rejecting. Exit 0 iff the corpus (and thus the lints) is healthy.
+fn lint_fixtures() -> ExitCode {
+    let dir = workspace_root().join("crates/xtask/tests/lint_fixtures");
+    match fixtures::check_fixture_corpus(&dir) {
+        Ok(summary) => {
+            eprintln!("xtask lint-fixtures: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("error: {e}");
+            }
+            eprintln!("xtask lint-fixtures: FAILED ({} error{})", errors.len(), {
+                if errors.len() == 1 {
+                    ""
+                } else {
+                    "s"
+                }
+            });
+            ExitCode::FAILURE
+        }
     }
 }

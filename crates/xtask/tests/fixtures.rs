@@ -1,0 +1,61 @@
+//! Integration tests for the lint layer: the fixture-corpus self-test
+//! (every rule keeps firing) and a `--json` report round-trip through the
+//! in-tree JSON parser.
+
+use std::path::Path;
+
+use parcsr_obs::json::Json;
+use xtask::{fixtures, lints};
+
+#[test]
+fn fixture_corpus_passes() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_fixtures");
+    if let Err(errors) = fixtures::check_fixture_corpus(&dir) {
+        panic!("fixture corpus failed:\n{}", errors.join("\n"));
+    }
+}
+
+#[test]
+fn json_report_round_trips() {
+    // A snippet linted as a hot-path file, producing at least one of each
+    // report row kind: a violation (unwaived allocation), an explained
+    // waiver, and a justified ordering site. The directive prefix is
+    // assembled at runtime so this test file itself stays directive-free.
+    let lint = concat!("//", " LINT:");
+    let src = format!(
+        "fn hot_alloc(n: usize) -> Vec<u64> {{\n\
+         \x20   Vec::with_capacity(n)\n\
+         }}\n\
+         \n\
+         fn waived(n: usize) -> Vec<u64> {{\n\
+         \x20   {lint} alloc-ok(round-trip test waiver)\n\
+         \x20   Vec::with_capacity(n)\n\
+         }}\n\
+         \n\
+         fn counter(c: &std::sync::atomic::AtomicU64) {{\n\
+         \x20   c.fetch_add(1, std::sync::atomic::Ordering::Relaxed); // ORDERING: advisory counter.\n\
+         }}\n"
+    );
+
+    let mut report = lints::WorkspaceReport::default();
+    report.merge(lints::analyze_file("crates/core/src/query.rs", &src));
+    assert_eq!(
+        report
+            .violations
+            .iter()
+            .map(|v| (v.rule, v.line))
+            .collect::<Vec<_>>(),
+        vec![("hot-path-alloc", 2)]
+    );
+    assert_eq!(report.waivers.len(), 1, "waiver row present");
+    assert_eq!(report.ordering_sites.len(), 1, "ordering row present");
+
+    let json = report.to_json();
+    let text = json.pretty();
+    let parsed = Json::parse(&text).expect("report JSON parses back");
+    assert_eq!(parsed, json, "pretty-print / parse round-trip is lossless");
+
+    // The inventory artifact renders one table row per ordering site.
+    let inventory = lints::WorkspaceReport::inventory_markdown(&report);
+    assert!(inventory.contains("advisory counter"));
+}

@@ -1,0 +1,23 @@
+// Both justification styles: a justified `use` import covering the file's
+// bare variant uses, and explicit `Ordering::X` paths justified per site
+// (one comment may cover a contiguous cluster of sites).
+
+// ORDERING: Relaxed throughout — independent statistics counters, read
+// only after the workload's join barrier.
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Relaxed);
+}
+
+fn publish(flag: &std::sync::atomic::AtomicBool, a: &AtomicU64, b: &AtomicU64) {
+    // ORDERING: Release store pairs with the Acquire load in `consume`;
+    // both counters above are published by it (cluster justification).
+    a.store(1, std::sync::atomic::Ordering::Relaxed);
+    b.store(2, std::sync::atomic::Ordering::Relaxed);
+    flag.store(true, std::sync::atomic::Ordering::Release);
+}
+
+fn consume(flag: &std::sync::atomic::AtomicBool) -> bool {
+    flag.load(std::sync::atomic::Ordering::Acquire) // ORDERING: pairs with the Release store in `publish`.
+}

@@ -1,0 +1,10 @@
+//@ expect-line: 9
+// An explicit `Ordering::Relaxed` site with no `ORDERING:` justification
+// in the contiguous comment block above it. The stale comment further up
+// does not attach: the blank line below it ends the block.
+
+// ORDERING: this comment is separated from the site and must not count.
+
+fn bump(c: &std::sync::atomic::AtomicU64) {
+    c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}

@@ -1,0 +1,24 @@
+//@ path: crates/bitpack/src/cursor.rs
+// A HOT_PATHS file: every function is implicitly hot. This one stays
+// allocation-free, so it lints clean with no markers at all.
+
+pub struct Cursor<'a> {
+    words: &'a [u64],
+    bit: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn advance(&mut self, width: usize) -> u64 {
+        let word = self.words[self.bit / 64];
+        self.bit += width;
+        word >> (self.bit % 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules in hot files may allocate: exempt from the cutoff down.
+    fn helper() -> Vec<u64> {
+        (0..4u64).collect()
+    }
+}

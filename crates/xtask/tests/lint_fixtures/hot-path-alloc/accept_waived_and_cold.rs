@@ -1,0 +1,25 @@
+// Cold functions may allocate freely; hot functions may allocate only
+// under an explained waiver; allocation tokens inside comments and raw
+// strings never count.
+
+fn cold_setup(n: usize) -> Vec<u32> {
+    let mut v = Vec::with_capacity(n);
+    v.extend((0..n as u32).collect::<Vec<_>>());
+    v
+}
+
+// LINT: hot
+fn hot_decode(n: usize) -> Vec<u32> {
+    // LINT: alloc-ok(the result vector is the API contract; sized exactly once)
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n as u32 {
+        out.push(i);
+    }
+    out
+}
+
+// LINT: hot
+fn hot_docs() -> &'static str {
+    // Vec::new and format! in this comment are prose, not code.
+    r#" vec![ Box::new String::from .collect() .to_owned() "#
+}

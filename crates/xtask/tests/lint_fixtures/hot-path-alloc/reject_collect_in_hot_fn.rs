@@ -1,0 +1,13 @@
+//@ expect-line: 9
+// A hot-marked function allocating inside a nested closure: the hotness
+// propagates through the closure scope and the `.collect()` is flagged.
+
+// LINT: hot
+fn hot_sum(xs: &[u32]) -> u32 {
+    xs.iter()
+        .map(|x| {
+            let doubled: Vec<u32> = xs.iter().map(|y| y + x).collect();
+            doubled.len() as u32
+        })
+        .sum()
+}

@@ -1,0 +1,10 @@
+//@ path: crates/core/src/query.rs
+//@ expect-line: 7
+// An unwaived allocation anywhere in a HOT_PATHS file is a violation —
+// no `LINT: hot` marker needed.
+
+fn probe_buffer(n: usize) -> Vec<u64> {
+    let mut buf = Vec::with_capacity(n);
+    buf.push(0);
+    buf
+}

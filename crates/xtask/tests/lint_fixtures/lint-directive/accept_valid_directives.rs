@@ -1,0 +1,15 @@
+// Well-formed directives parse clean: `hot` arms the allocation ban for
+// the next fn (which stays allocation-free here), and `alloc-ok` with a
+// reason registers an explained waiver instead of a violation.
+
+// LINT: hot — steady-state accessor, must stay allocation-free.
+fn peek(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}
+
+fn build(n: usize) -> Vec<u64> {
+    // LINT: alloc-ok(cold construction path; the output buffer is the API contract)
+    let mut v = Vec::with_capacity(n);
+    v.push(1);
+    v
+}

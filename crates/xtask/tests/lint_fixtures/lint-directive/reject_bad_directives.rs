@@ -1,0 +1,10 @@
+//@ expect-line: 6
+//@ expect-line: 9
+// Malformed directives are violations themselves: an unknown directive
+// word, and an `alloc-ok` waiver that carries no reason.
+
+// LINT: frobnicate
+fn a() {}
+
+// LINT: alloc-ok()
+fn b() {}

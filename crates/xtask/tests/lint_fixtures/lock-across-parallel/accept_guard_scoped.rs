@@ -1,0 +1,31 @@
+//@ path: crates/runtime/src/fixture.rs
+// Guards that are scoped, dropped, shadowed, or consumed within their own
+// statement are all dead by the time the parallel region starts. (Linted
+// under a runtime path: the span-coverage pass exempts the runtime crate,
+// so these bare chunked calls exercise only the guard-liveness rule.)
+
+fn scoped(m: &std::sync::Mutex<u32>, plan: Vec<Chunk>) {
+    {
+        let g = m.lock().unwrap();
+        let _ = *g;
+    }
+    run_chunked_plan("s", plan, |c| c.index);
+}
+
+fn dropped(m: &std::sync::Mutex<u32>, plan: Vec<Chunk>) {
+    let g = m.lock().unwrap();
+    drop(g);
+    run_chunked_plan("s", plan, |c| c.index);
+}
+
+fn shadowed(m: &std::sync::Mutex<u32>, plan: Vec<Chunk>) {
+    let g = m.lock().unwrap();
+    let g = 0u32;
+    run_chunked_plan("s", plan, |c| c.index + g);
+}
+
+fn consumed(m: &std::sync::Mutex<Vec<u32>>, plan: Vec<Chunk>) {
+    let len = m.lock().unwrap().len();
+    let copied = *m.lock().unwrap();
+    run_chunked_plan("s", plan, |c| c.index + len + copied.len());
+}

@@ -1,0 +1,18 @@
+//@ path: crates/runtime/src/fixture.rs
+//@ expect-line: 9
+//@ expect-line: 16
+// A lock guard still live at the parallel call — in the same scope and,
+// trickier, bound in an enclosing scope of a nested block.
+
+fn direct(m: &std::sync::Mutex<u32>, plan: Vec<Chunk>) {
+    let g = m.lock().unwrap();
+    run_chunked_plan("s", plan, |c| c.index);
+}
+
+fn from_outer_scope(m: &std::sync::RwLock<u32>, plan: Vec<Chunk>) {
+    let w = m.write().unwrap();
+    if !plan.is_empty() {
+        let inner = 1u32;
+        rayon::join(|| inner, || 2u32);
+    }
+}

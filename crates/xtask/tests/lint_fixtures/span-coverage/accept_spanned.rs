@@ -1,0 +1,21 @@
+// All three covered shapes: the closure form (`with_span(.., || ..)`),
+// the guard form (`let _g = span!(..)` live in the same fn), and a call
+// in a nested block under an `enter_with_args` opener.
+
+fn closure_form(plan: Vec<Chunk>) -> u64 {
+    with_span("stage", || {
+        run_chunked_plan("s", plan, |c| c.index)
+    })
+}
+
+fn guard_form(n: usize) -> u64 {
+    let _g = span!("stage");
+    run_chunked("s", n, |c| c.index)
+}
+
+fn nested_block(plan: Vec<Chunk>) -> u64 {
+    enter_with_args("outer", 1);
+    {
+        run_chunked_plan("s", plan, |c| c.index)
+    }
+}

@@ -1,0 +1,20 @@
+//@ expect-line: 11
+//@ expect-line: 19
+// Uncovered chunked calls: one whose span guard lived in a block that
+// closed before the call, and one in a fn with no span at all (the span
+// in the *previous* fn must not leak across the item boundary).
+
+fn closed_block(plan: Vec<Chunk>) -> u64 {
+    {
+        let _g = enter("setup");
+    }
+    run_chunked_plan("s", plan, |c| c.index)
+}
+
+fn spanned_elsewhere() {
+    let _g = span!("other");
+}
+
+fn bare(n: usize) -> u64 {
+    run_chunked("s", n, |c| c.index)
+}

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Runs the lint fixture-corpus self-test: every lint rule must still fire
+# on its seeded reject fixtures and stay silent on the accept fixtures.
+# Thin wrapper over `cargo xtask lint-fixtures` so CI and pre-commit hooks
+# share one entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo xtask lint-fixtures
