@@ -28,6 +28,7 @@ pub const INF: u64 = u64::MAX;
 pub fn dijkstra(graph: &WeightedCsr, source: NodeId) -> Vec<u64> {
     let n = graph.num_nodes();
     assert!((source as usize) < n, "source {source} out of range");
+    let q = parcsr_obs::serve::query_start();
     let mut dist = vec![INF; n];
     dist[source as usize] = 0;
     // Max-heap of (Reverse(distance), node).
@@ -46,6 +47,9 @@ pub fn dijkstra(graph: &WeightedCsr, source: NodeId) -> Vec<u64> {
             }
         }
     }
+    q.finish(parcsr_obs::serve::QueryKind::Traversal, || {
+        graph.neighbors_weighted(source).0.len()
+    });
     dist
 }
 
@@ -60,6 +64,7 @@ pub fn dijkstra(graph: &WeightedCsr, source: NodeId) -> Vec<u64> {
 pub fn parallel_sssp(graph: &WeightedCsr, source: NodeId) -> Vec<u64> {
     let n = graph.num_nodes();
     assert!((source as usize) < n, "source {source} out of range");
+    let q = parcsr_obs::serve::query_start();
     let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF)).collect();
     dist[source as usize].store(0, Relaxed);
     loop {
@@ -85,6 +90,9 @@ pub fn parallel_sssp(graph: &WeightedCsr, source: NodeId) -> Vec<u64> {
             break;
         }
     }
+    q.finish(parcsr_obs::serve::QueryKind::Traversal, || {
+        graph.neighbors_weighted(source).0.len()
+    });
     dist.into_iter().map(AtomicU64::into_inner).collect()
 }
 

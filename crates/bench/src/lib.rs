@@ -23,6 +23,7 @@
 //! stderr); the JSON output then carries a `stages` breakdown per
 //! (dataset, processor-count) sample.
 
+pub mod closed_loop;
 pub mod experiment;
 pub mod json;
 pub mod options;

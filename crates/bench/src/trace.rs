@@ -78,8 +78,17 @@ pub fn finish(opts: &Options, spans: &[SpanRecord]) {
     parcsr_obs::mem::publish_gauges();
     let metrics = parcsr_obs::metrics::snapshot();
     let mem = parcsr_obs::mem::snapshot();
+    // Serving-telemetry windows, if any query-window rotation ran (the
+    // closed-loop driver's reporter); empty for the build-side binaries.
+    let windows = parcsr_obs::serve::drain_window_log();
     if let Some(path) = &opts.trace {
-        match parcsr_obs::export::write_chrome_trace(Path::new(path), spans, &metrics, mem) {
+        match parcsr_obs::export::write_chrome_trace(
+            Path::new(path),
+            spans,
+            &metrics,
+            mem,
+            &windows,
+        ) {
             Ok(()) => eprintln!("trace: wrote {} spans to {path}", spans.len()),
             Err(e) => {
                 eprintln!("trace: failed to write {path}: {e}");

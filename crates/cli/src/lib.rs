@@ -73,6 +73,7 @@ where
                 &spans,
                 &metrics,
                 mem,
+                &parcsr_obs::serve::drain_window_log(),
             ) {
                 Ok(()) => eprintln!("trace: wrote {} spans to {path}", spans.len()),
                 Err(e) => eprintln!("trace: failed to write {path}: {e}"),

@@ -21,8 +21,17 @@
 //! [`ChunkPolicy`] planner, so a run of hub queries no longer lands in one
 //! processor's chunk. [`ChunkPolicy::Rows`] restores the historical
 //! query-count split.
+//!
+//! Every individual query is additionally accounted into the serving
+//! telemetry slabs (`parcsr_obs::serve`): latency per [`QueryKind`] per
+//! degree class, feeding the sliding-window qps/percentile view the
+//! closed-loop load driver and the future query server report against an
+//! SLO. Like the spans, this compiles to nothing without the obs feature
+//! and allocates nothing on the query path when it is on.
 
 use rayon::prelude::*;
+
+use parcsr_obs::serve::QueryKind;
 
 use parcsr_graph::NodeId;
 use parcsr_scan::chunk_ranges;
@@ -184,12 +193,15 @@ pub fn neighbors_batch_with_chunking<S: NeighborSource>(
         // LINT: alloc-ok(one exactly-sized result container per chunk; the rows it holds are the API output)
         let mut out = Vec::with_capacity(chunk.range.len());
         for &u in &queries[chunk.range.clone()] {
+            let deg = source.degree(u);
+            let q = parcsr_obs::serve::query_start();
             // The result row is the one unavoidable allocation (it is
             // the output); sized exactly from the packed degree so the
             // streaming fill never reallocates.
             // LINT: alloc-ok(the result row is the output, sized exactly from the packed degree so the streaming fill never reallocates)
-            let mut row = Vec::with_capacity(source.degree(u));
+            let mut row = Vec::with_capacity(deg);
             source.for_each_neighbor(u, &mut |v| row.push(v));
+            q.finish(QueryKind::Neighbors, || deg);
             out.push(row);
         }
         out
@@ -221,18 +233,25 @@ pub fn edges_exist_batch_with_chunking<S: NeighborSource>(
     processors: usize,
     policy: ChunkPolicy,
 ) -> Vec<bool> {
-    batch_edge_queries(source, queries, processors, policy, |source, u, v| {
-        let mut found = false;
-        source.for_each_neighbor_while(u, &mut |w| {
-            if w >= v {
-                found = w == v;
-                false
-            } else {
-                true
-            }
-        });
-        found
-    })
+    batch_edge_queries(
+        source,
+        queries,
+        processors,
+        policy,
+        QueryKind::EdgeScan,
+        |source, u, v| {
+            let mut found = false;
+            source.for_each_neighbor_while(u, &mut |w| {
+                if w >= v {
+                    found = w == v;
+                    false
+                } else {
+                    true
+                }
+            });
+            found
+        },
+    )
 }
 
 /// The binary-search refinement of Algorithm 7 ("this could also be extended
@@ -259,9 +278,14 @@ pub fn edges_exist_batch_binary_with_chunking<S: NeighborSource>(
     processors: usize,
     policy: ChunkPolicy,
 ) -> Vec<bool> {
-    batch_edge_queries(source, queries, processors, policy, |source, u, v| {
-        source.has_edge(u, v)
-    })
+    batch_edge_queries(
+        source,
+        queries,
+        processors,
+        policy,
+        QueryKind::EdgeBinary,
+        |source, u, v| source.has_edge(u, v),
+    )
 }
 
 fn batch_edge_queries<S: NeighborSource>(
@@ -269,6 +293,7 @@ fn batch_edge_queries<S: NeighborSource>(
     queries: &[(NodeId, NodeId)],
     processors: usize,
     policy: ChunkPolicy,
+    kind: QueryKind,
     probe: impl Fn(&S, NodeId, NodeId) -> bool + Sync,
 ) -> Vec<bool> {
     let prefix = degree_prefix(source, queries.iter().map(|&(u, _)| u), queries.len());
@@ -280,7 +305,12 @@ fn batch_edge_queries<S: NeighborSource>(
     let chunks: Vec<Vec<bool>> = run_chunked_plan("query.edges.chunk", plan, |chunk| {
         queries[chunk.range.clone()]
             .iter()
-            .map(|&(u, v)| probe(source, u, v))
+            .map(|&(u, v)| {
+                let q = parcsr_obs::serve::query_start();
+                let hit = probe(source, u, v);
+                q.finish(kind, || source.degree(u));
+                hit
+            })
             // LINT: alloc-ok(one exactly-sized bool vector per chunk; flattened below into the API result)
             .collect()
     });
@@ -301,11 +331,14 @@ pub fn edge_exists_split<S: NeighborSource>(
     // Splitting one row across workers needs random access into it, so this
     // is the one query where materialization is unavoidable on a streaming
     // source; the buffer is sized exactly once from the degree.
+    let q = parcsr_obs::serve::query_start();
     // LINT: alloc-ok(row must be materialized for random-access splitting; sized exactly once from the degree)
     let mut row = Vec::with_capacity(source.degree(u));
     source.row_into(u, &mut row);
     let ranges = chunk_ranges(row.len(), processors);
-    ranges.par_iter().any(|r| row[r.clone()].contains(&v))
+    let found = ranges.par_iter().any(|r| row[r.clone()].contains(&v));
+    q.finish(QueryKind::SplitSearch, || row.len());
+    found
 }
 
 /// The binary-search variant of the single-edge query: each processor binary
@@ -316,13 +349,16 @@ pub fn edge_exists_split_binary<S: NeighborSource>(
     v: NodeId,
     processors: usize,
 ) -> bool {
+    let q = parcsr_obs::serve::query_start();
     // LINT: alloc-ok(row must be materialized for random-access splitting; sized exactly once from the degree)
     let mut row = Vec::with_capacity(source.degree(u));
     source.row_into(u, &mut row);
     let ranges = chunk_ranges(row.len(), processors);
-    ranges
+    let found = ranges
         .par_iter()
-        .any(|r| row[r.clone()].binary_search(&v).is_ok())
+        .any(|r| row[r.clone()].binary_search(&v).is_ok());
+    q.finish(QueryKind::SplitSearch, || row.len());
+    found
 }
 
 /// Convenience: run the three parallel query algorithms of Algorithm 9 in

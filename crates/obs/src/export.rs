@@ -14,7 +14,11 @@
 //! each top-level coordinator span (when memory accounting ran), a final
 //! `mem.peak_bytes` point, and one terminal point per metric — counters,
 //! gauges, and the query-latency histograms (`count`/`p50`/`p95`/`p99`) —
-//! so latency and memory land in the same timeline as the spans.
+//! so latency and memory land in the same timeline as the spans. When
+//! serving telemetry ran ([`crate::serve`]), each completed window adds a
+//! `query.win.<kind>.<class>` point (args: `window`, `count`, `p50`, `p95`,
+//! `p99`) at its rotation timestamp plus one `query.win.qps` point per
+//! window with the summed query count and achieved qps.
 //! `cargo xtask check-trace` validates both event kinds.
 //!
 //! The summary exporter renders per-stage and per-(stage, worker) wall-clock
@@ -29,6 +33,7 @@ use std::path::Path;
 use crate::json::Json;
 use crate::mem::MemSnapshot;
 use crate::metrics::MetricsSnapshot;
+use crate::serve::WindowRecord;
 use crate::span::SpanRecord;
 
 fn span_args_json(r: &SpanRecord) -> Json {
@@ -97,12 +102,16 @@ fn counter_event(name: &str, ts_us: f64, args: Vec<(String, Json)>) -> Json {
 /// sampled at each top-level coordinator span end, a per-stage peak series,
 /// and the process peak) and for every metric in `metrics` — counters,
 /// gauges, and the query-latency histograms. Pass `mem = None` when memory
-/// accounting did not run; the memory series are then omitted.
+/// accounting did not run; the memory series are then omitted. `windows`
+/// (from [`crate::serve::drain_window_log`], rotation order) adds the
+/// per-window serving-telemetry series described in the module docs; pass
+/// `&[]` when no window rotation ran.
 #[must_use]
 pub fn chrome_trace_with_counters(
     spans: &[SpanRecord],
     metrics: &MetricsSnapshot,
     mem: Option<MemSnapshot>,
+    windows: &[WindowRecord],
 ) -> Json {
     let Json::Array(mut events) = chrome_trace_json(spans) else {
         unreachable!("chrome_trace_json returns an array");
@@ -161,6 +170,50 @@ pub fn chrome_trace_with_counters(
             ],
         ));
     }
+
+    // Serving-telemetry windows: one point per (window, kind, class) cell at
+    // the window's rotation timestamp, then one qps point per window. The
+    // log is in rotation order, so each counter name's series is
+    // time-ordered (a property `check-trace` enforces).
+    let mut i = 0;
+    while i < windows.len() {
+        let mut queries = 0u64;
+        let mut j = i;
+        while j < windows.len() && windows[j].window == windows[i].window {
+            let w = &windows[j];
+            let ts_us = w.end_ns as f64 / 1_000.0;
+            events.push(counter_event(
+                &format!("query.win.{}.{}", w.kind.name(), w.class.name()),
+                ts_us,
+                vec![
+                    ("window".into(), Json::Int(w.window as i64)),
+                    ("count".into(), Json::Int(w.summary.count as i64)),
+                    ("p50".into(), Json::Int(w.summary.p50 as i64)),
+                    ("p95".into(), Json::Int(w.summary.p95 as i64)),
+                    ("p99".into(), Json::Int(w.summary.p99 as i64)),
+                ],
+            ));
+            queries += w.summary.count;
+            j += 1;
+        }
+        let w = &windows[i];
+        let dur_ns = w.end_ns.saturating_sub(w.start_ns);
+        let qps = if dur_ns > 0 {
+            queries as f64 * 1e9 / dur_ns as f64
+        } else {
+            0.0
+        };
+        events.push(counter_event(
+            "query.win.qps",
+            w.end_ns as f64 / 1_000.0,
+            vec![
+                ("window".into(), Json::Int(w.window as i64)),
+                ("queries".into(), Json::Int(queries as i64)),
+                ("qps".into(), Json::Float(qps)),
+            ],
+        ));
+        i = j;
+    }
     Json::Array(events)
 }
 
@@ -171,10 +224,11 @@ pub fn write_chrome_trace(
     spans: &[SpanRecord],
     metrics: &MetricsSnapshot,
     mem: Option<MemSnapshot>,
+    windows: &[WindowRecord],
 ) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
     file.write_all(
-        chrome_trace_with_counters(spans, metrics, mem)
+        chrome_trace_with_counters(spans, metrics, mem, windows)
             .pretty()
             .as_bytes(),
     )?;
@@ -465,7 +519,7 @@ mod tests {
             live_bytes: 150,
             peak_bytes: 1000,
         });
-        let json = chrome_trace_with_counters(&[a, b], &metrics, mem);
+        let json = chrome_trace_with_counters(&[a, b], &metrics, mem, &[]);
         let events = json.as_array().unwrap();
         // 2 spans + 2×(live,stage_peak) + peak + counter + histogram = 9.
         assert_eq!(events.len(), 9);
@@ -500,11 +554,90 @@ mod tests {
             Some(180)
         );
         // No mem snapshot → no mem series at all.
-        let json = chrome_trace_with_counters(&[span("degree", 0, 1, 0, 0)], &metrics, None);
+        let json = chrome_trace_with_counters(&[span("degree", 0, 1, 0, 0)], &metrics, None, &[]);
         let events = json.as_array().unwrap();
         assert!(events
             .iter()
             .all(|e| e.get("name").unwrap().as_str() != Some("mem.live_bytes")));
+    }
+
+    #[test]
+    fn chrome_trace_window_counter_events() {
+        use crate::metrics::HistogramSummary;
+        use crate::serve::{DegreeClass, QueryKind, WindowRecord};
+        let sum = |count: u64, p99: u64| HistogramSummary {
+            count,
+            sum: count * 100,
+            max: p99,
+            p50: p99 / 2,
+            p95: p99,
+            p99,
+        };
+        let windows = vec![
+            WindowRecord {
+                window: 0,
+                start_ns: 0,
+                end_ns: 1_000_000_000,
+                kind: QueryKind::Neighbors,
+                class: DegreeClass::Low,
+                summary: sum(300, 8_000),
+            },
+            WindowRecord {
+                window: 0,
+                start_ns: 0,
+                end_ns: 1_000_000_000,
+                kind: QueryKind::EdgeScan,
+                class: DegreeClass::Hub,
+                summary: sum(100, 90_000),
+            },
+            WindowRecord {
+                window: 1,
+                start_ns: 1_000_000_000,
+                end_ns: 2_000_000_000,
+                kind: QueryKind::Neighbors,
+                class: DegreeClass::Low,
+                summary: sum(500, 7_000),
+            },
+        ];
+        let json = chrome_trace_with_counters(
+            &[span("serve", 0, 2_000_000_000, 0, 0)],
+            &MetricsSnapshot::default(),
+            None,
+            &windows,
+        );
+        let events = json.as_array().unwrap();
+        // 1 span + 3 window cells + 2 qps points.
+        assert_eq!(events.len(), 6);
+        let cell = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("query.win.edge_scan.hub"))
+            .unwrap();
+        let args = cell.get("args").unwrap();
+        assert_eq!(args.get("window").unwrap().as_i64(), Some(0));
+        assert_eq!(args.get("count").unwrap().as_i64(), Some(100));
+        assert_eq!(args.get("p99").unwrap().as_i64(), Some(90_000));
+        let qps: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("query.win.qps"))
+            .collect();
+        assert_eq!(qps.len(), 2);
+        // Window 0: 400 queries over 1 s → 400 qps.
+        let a0 = qps[0].get("args").unwrap();
+        assert_eq!(a0.get("queries").unwrap().as_i64(), Some(400));
+        assert!((a0.get("qps").unwrap().as_f64().unwrap() - 400.0).abs() < 1e-6);
+        // Same-name series is time-ordered; window arg is non-decreasing.
+        assert!(qps[0].get("ts").unwrap().as_f64() <= qps[1].get("ts").unwrap().as_f64());
+        assert_eq!(
+            qps[1].get("args").unwrap().get("window").unwrap().as_i64(),
+            Some(1)
+        );
+        // The repeated per-cell series is time-ordered too.
+        let neigh: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("query.win.neighbors.low"))
+            .collect();
+        assert_eq!(neigh.len(), 2);
+        assert!(neigh[0].get("ts").unwrap().as_f64() <= neigh[1].get("ts").unwrap().as_f64());
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //! * **Memory** ([`mem`]): a counting global allocator (registered only by
 //!   the bench/CLI binaries) tracking live/peak heap bytes, with per-stage
 //!   peak attribution threaded through the span records.
+//! * **Serving telemetry** ([`serve`]): sharded per-worker latency slabs
+//!   and sliding-window histograms ([`serve::WindowedHistogram`]) with
+//!   per-query accounting by query kind and degree class — the qps /
+//!   percentile-per-window shape a query server reports against an SLO,
+//!   fed by the instrumented batch entry points in `parcsr` and
+//!   `parcsr-algos` and consumed by the `queries_closed_loop` load driver.
 //! * **Exporters** ([`export`]): a human-readable per-stage/per-thread
 //!   summary table (with a memory section) and a Chrome `chrome://tracing`
 //!   JSON trace writer — span events with `args` payloads plus counter
@@ -52,6 +58,7 @@ pub mod export;
 pub mod json;
 pub mod mem;
 pub mod metrics;
+pub mod serve;
 pub mod span;
 
 pub use metrics::{counter, gauge, time_histogram, Counter, Gauge, Histogram, QueryTimer};

@@ -215,6 +215,24 @@ impl Histogram {
         self.max()
     }
 
+    /// Adds this histogram's contents into `dst`, bucket by bucket. Used to
+    /// merge per-shard and per-window histograms into combined views
+    /// (see [`crate::serve`]); merging preserves counts, sums, and the exact
+    /// maximum, and percentiles of the merged histogram are computed from
+    /// the summed buckets — identical to having recorded every observation
+    /// into `dst` directly (bucketing is deterministic).
+    pub fn merge_into(&self, dst: &Histogram) {
+        for (i, c) in self.counts.iter().enumerate() {
+            let n = c.load(Relaxed);
+            if n > 0 {
+                dst.counts[i].fetch_add(n, Relaxed);
+            }
+        }
+        dst.total.fetch_add(self.total.load(Relaxed), Relaxed);
+        dst.sum.fetch_add(self.sum.load(Relaxed), Relaxed);
+        dst.max.fetch_max(self.max.load(Relaxed), Relaxed);
+    }
+
     /// Resets all buckets (tests and per-run collection).
     pub fn reset(&self) {
         for c in &self.counts {

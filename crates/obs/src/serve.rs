@@ -1,0 +1,678 @@
+//! Serving telemetry: sharded per-worker metric slabs and sliding-window
+//! histograms for per-query SLO accounting.
+//!
+//! The build-time obs stack (spans, cumulative histograms) answers "where
+//! did this run spend its time"; a query *server* needs a different shape:
+//! "what were p50/p95/p99 and qps over the last few hundred milliseconds,
+//! per query type, per degree class". This module provides that shape,
+//! mirroring pelikan's metrics layout:
+//!
+//! * [`WindowedHistogram`] — a ring of the existing log-bucketed
+//!   [`Histogram`]s with epoch rotation. Recording always lands in the live
+//!   epoch's histogram; [`WindowedHistogram::rotate`] completes the live
+//!   window and clears the oldest retained one for reuse. Completed windows
+//!   stay readable for `windows - 1` further rotations.
+//! * [`QuerySlabs`] — cache-line-padded per-worker shards, each holding one
+//!   `(overall, windowed)` histogram pair per `(QueryKind, DegreeClass)`
+//!   cell. Workers record into their own shard with no sharing; readers
+//!   merge shards on demand ([`Histogram::merge_into`] — deterministic
+//!   bucketing makes a sharded merge bit-identical to single-slab
+//!   recording).
+//! * A process-global facade ([`query_start`], [`rotate_window`],
+//!   [`drain_window_log`]) gated exactly like the rest of the crate: ZST
+//!   no-ops without the `enabled` feature, one relaxed load when compiled
+//!   in but runtime recording is off.
+//!
+//! # Concurrency contract
+//!
+//! Recording is wait-free (relaxed atomics into the recorder's own shard).
+//! Rotation is expected from a *single* coordinator thread (the window
+//! reporter); concurrent rotators would race on the epoch. A recorder that
+//! reads the epoch right at a rotation boundary may land its sample in the
+//! just-completed window (or, if descheduled for a full ring cycle, in a
+//! cleared one) — a one-sample boundary smear that is acceptable for a
+//! statistical latency view and never corrupts bucket counts.
+
+// ORDERING: Relaxed throughout — slab cells are independent statistical
+// histogram buckets (see metrics.rs), and the window epoch is a coarse
+// phase indicator read at recording time; the boundary smear documented
+// above is accepted, so no acquire/release pairing is needed.
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+#[cfg(feature = "enabled")]
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use crate::metrics::{Histogram, HistogramSummary};
+
+/// Query types the serving path accounts for, matching the paper's
+/// query-algorithm families (Algorithms 6–9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Algorithm 6: neighborhood materialization (`neighbors_batch`).
+    Neighbors,
+    /// Algorithm 7, linear variant: edge-existence row scan
+    /// (`edges_exist_batch`).
+    EdgeScan,
+    /// Algorithm 7, binary variant: edge-existence binary search over the
+    /// decoded row (`edges_exist_batch_binary`).
+    EdgeBinary,
+    /// Algorithm 8/9: split-row search (`edge_exists_split[_binary]`).
+    SplitSearch,
+    /// Whole-graph traversal entry points in `parcsr-algos` (BFS, SSSP).
+    Traversal,
+}
+
+/// Number of [`QueryKind`] variants (slab cell dimension).
+pub const NUM_QUERY_KINDS: usize = 5;
+
+impl QueryKind {
+    /// All kinds, in slab-index order.
+    pub const ALL: [QueryKind; NUM_QUERY_KINDS] = [
+        QueryKind::Neighbors,
+        QueryKind::EdgeScan,
+        QueryKind::EdgeBinary,
+        QueryKind::SplitSearch,
+        QueryKind::Traversal,
+    ];
+
+    /// Stable slab index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name used in event/JSON schemas.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Neighbors => "neighbors",
+            QueryKind::EdgeScan => "edge_scan",
+            QueryKind::EdgeBinary => "edge_binary",
+            QueryKind::SplitSearch => "split",
+            QueryKind::Traversal => "traversal",
+        }
+    }
+}
+
+/// Degree class of a query's subject row. Social-network degree skew means
+/// hub rows behave nothing like the long tail — the paper's split-row
+/// algorithms exist *because* of that — so latency is attributed per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegreeClass {
+    /// Degree < 32: the long tail; rows fit in one or two cache lines.
+    Low,
+    /// Degree 32..1024: mid-size rows.
+    Mid,
+    /// Degree ≥ 1024: hub rows (the imbalance graph's hubs are ~16 k).
+    Hub,
+}
+
+/// Number of [`DegreeClass`] variants (slab cell dimension).
+pub const NUM_DEGREE_CLASSES: usize = 3;
+
+/// `Low`/`Mid` boundary (exclusive upper degree for `Low`).
+pub const LOW_DEGREE_MAX: usize = 32;
+/// `Mid`/`Hub` boundary (exclusive upper degree for `Mid`).
+pub const MID_DEGREE_MAX: usize = 1024;
+
+impl DegreeClass {
+    /// All classes, in slab-index order.
+    pub const ALL: [DegreeClass; NUM_DEGREE_CLASSES] =
+        [DegreeClass::Low, DegreeClass::Mid, DegreeClass::Hub];
+
+    /// Classifies a row degree.
+    #[inline]
+    #[must_use]
+    pub fn classify(degree: usize) -> Self {
+        if degree < LOW_DEGREE_MAX {
+            DegreeClass::Low
+        } else if degree < MID_DEGREE_MAX {
+            DegreeClass::Mid
+        } else {
+            DegreeClass::Hub
+        }
+    }
+
+    /// Stable slab index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name used in event/JSON schemas.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DegreeClass::Low => "low",
+            DegreeClass::Mid => "mid",
+            DegreeClass::Hub => "hub",
+        }
+    }
+}
+
+/// Ring of [`Histogram`]s with epoch rotation: the sliding-window latency
+/// view. Always compiled (plain atomics, unit-testable without features).
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    ring: Box<[Histogram]>,
+    epoch: AtomicU64,
+}
+
+impl WindowedHistogram {
+    /// A ring retaining `windows` epochs (clamped to ≥ 2 so the live window
+    /// is never the one being cleared at rotation).
+    #[must_use]
+    pub fn new(windows: usize) -> Self {
+        let w = windows.max(2);
+        Self {
+            ring: (0..w).map(|_| Histogram::new()).collect(),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity (number of retained epochs, including the live one).
+    #[must_use]
+    pub fn windows(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// The live (currently recording) epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Relaxed)
+    }
+
+    /// Records one observation into the live window.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let e = self.epoch.load(Relaxed);
+        self.ring[(e % self.ring.len() as u64) as usize].record(v);
+    }
+
+    /// Completes the live window and opens the next: clears the oldest
+    /// retained histogram for reuse, then advances the epoch. Returns the
+    /// epoch just completed (readable via [`Self::window`] for another
+    /// `windows - 1` rotations). Single-rotator: call from one coordinator
+    /// thread only.
+    pub fn rotate(&self) -> u64 {
+        let e = self.epoch.load(Relaxed);
+        let next = ((e + 1) % self.ring.len() as u64) as usize;
+        self.ring[next].reset();
+        self.epoch.store(e + 1, Relaxed);
+        e
+    }
+
+    /// The histogram for `epoch`, if still retained: the live epoch or one
+    /// of the `windows - 1` most recently completed ones.
+    #[must_use]
+    pub fn window(&self, epoch: u64) -> Option<&Histogram> {
+        let live = self.epoch.load(Relaxed);
+        if epoch > live || live - epoch >= self.ring.len() as u64 {
+            return None;
+        }
+        Some(&self.ring[(epoch % self.ring.len() as u64) as usize])
+    }
+
+    /// The live window's histogram.
+    #[must_use]
+    pub fn live(&self) -> &Histogram {
+        &self.ring[(self.epoch() % self.ring.len() as u64) as usize]
+    }
+
+    /// Merges every retained window (completed + live) into `dst`: the
+    /// sliding-window aggregate over the last `windows` epochs.
+    pub fn merge_retained_into(&self, dst: &Histogram) {
+        for h in &self.ring {
+            h.merge_into(dst);
+        }
+    }
+}
+
+/// One `(overall, windowed)` histogram pair: lifetime totals plus the
+/// sliding-window view of the same observations.
+#[derive(Debug)]
+struct SlabCell {
+    overall: Histogram,
+    windowed: WindowedHistogram,
+}
+
+impl SlabCell {
+    fn new(windows: usize) -> Self {
+        Self {
+            overall: Histogram::new(),
+            windowed: WindowedHistogram::new(windows),
+        }
+    }
+
+    #[inline]
+    fn record(&self, v: u64) {
+        self.overall.record(v);
+        self.windowed.record(v);
+    }
+}
+
+/// One worker's slab: a `(QueryKind, DegreeClass)` grid of cells, padded to
+/// its own cache-line neighborhood so concurrent recorders never share a
+/// line across shards (pelikan's per-worker metrics shape).
+#[derive(Debug)]
+#[repr(align(128))]
+struct ShardSlab {
+    cells: [[SlabCell; NUM_DEGREE_CLASSES]; NUM_QUERY_KINDS],
+}
+
+impl ShardSlab {
+    fn new(windows: usize) -> Self {
+        Self {
+            cells: std::array::from_fn(|_| std::array::from_fn(|_| SlabCell::new(windows))),
+        }
+    }
+}
+
+/// Per-window summary of one non-empty `(kind, class)` cell, merged across
+/// shards.
+#[derive(Debug, Clone)]
+pub struct WindowCell {
+    /// Query kind.
+    pub kind: QueryKind,
+    /// Degree class.
+    pub class: DegreeClass,
+    /// Merged-across-shards summary for the window.
+    pub summary: HistogramSummary,
+}
+
+/// Sharded per-worker query-latency slabs. Value type — the closed-loop
+/// driver owns one per run (client-observed latencies work without any
+/// feature); the gated global facade below owns another for the
+/// instrumented query path.
+#[derive(Debug)]
+pub struct QuerySlabs {
+    shards: Box<[ShardSlab]>,
+}
+
+impl QuerySlabs {
+    /// `shards` slabs (clamped to ≥ 1), each retaining `windows` epochs.
+    #[must_use]
+    pub fn new(shards: usize, windows: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1))
+                .map(|_| ShardSlab::new(windows))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The live epoch (all cells rotate in lockstep, so any cell's epoch is
+    /// the slab set's epoch).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.shards[0].cells[0][0].windowed.epoch()
+    }
+
+    /// Records one latency observation from `shard` (reduced modulo the
+    /// shard count, so callers can pass a raw worker/client index).
+    #[inline]
+    pub fn record(&self, shard: usize, kind: QueryKind, class: DegreeClass, ns: u64) {
+        self.shards[shard % self.shards.len()].cells[kind.index()][class.index()].record(ns);
+    }
+
+    /// Rotates every cell's window in lockstep; returns the completed
+    /// epoch. Single-rotator, like [`WindowedHistogram::rotate`].
+    pub fn rotate(&self) -> u64 {
+        let mut completed = 0;
+        for shard in self.shards.iter() {
+            for row in &shard.cells {
+                for cell in row {
+                    completed = cell.windowed.rotate();
+                }
+            }
+        }
+        completed
+    }
+
+    /// Merges window `epoch` of every shard's `(kind, class)` cell into
+    /// `dst`. `None` for `kind`/`class` merges across that whole dimension.
+    pub fn merge_window_into(
+        &self,
+        epoch: u64,
+        kind: Option<QueryKind>,
+        class: Option<DegreeClass>,
+        dst: &Histogram,
+    ) {
+        self.for_cells(kind, class, |cell| {
+            if let Some(h) = cell.windowed.window(epoch) {
+                h.merge_into(dst);
+            }
+        });
+    }
+
+    /// Merges the lifetime (overall) histograms of the selected cells into
+    /// `dst`. `None` for `kind`/`class` merges across that whole dimension.
+    pub fn merge_overall_into(
+        &self,
+        kind: Option<QueryKind>,
+        class: Option<DegreeClass>,
+        dst: &Histogram,
+    ) {
+        self.for_cells(kind, class, |cell| cell.overall.merge_into(dst));
+    }
+
+    fn for_cells(
+        &self,
+        kind: Option<QueryKind>,
+        class: Option<DegreeClass>,
+        mut f: impl FnMut(&SlabCell),
+    ) {
+        for shard in self.shards.iter() {
+            for k in QueryKind::ALL {
+                if kind.is_some_and(|want| want != k) {
+                    continue;
+                }
+                for c in DegreeClass::ALL {
+                    if class.is_some_and(|want| want != c) {
+                        continue;
+                    }
+                    f(&shard.cells[k.index()][c.index()]);
+                }
+            }
+        }
+    }
+
+    /// Merged-across-shards summary of window `epoch` for the selected
+    /// cells.
+    #[must_use]
+    pub fn window_summary(
+        &self,
+        epoch: u64,
+        kind: Option<QueryKind>,
+        class: Option<DegreeClass>,
+    ) -> HistogramSummary {
+        let scratch = Histogram::new();
+        self.merge_window_into(epoch, kind, class, &scratch);
+        scratch.summary()
+    }
+
+    /// Merged-across-shards lifetime summary for the selected cells.
+    #[must_use]
+    pub fn overall_summary(
+        &self,
+        kind: Option<QueryKind>,
+        class: Option<DegreeClass>,
+    ) -> HistogramSummary {
+        let scratch = Histogram::new();
+        self.merge_overall_into(kind, class, &scratch);
+        scratch.summary()
+    }
+
+    /// Every non-empty `(kind, class)` cell of window `epoch`, merged across
+    /// shards, in slab-index order.
+    #[must_use]
+    pub fn window_cells(&self, epoch: u64) -> Vec<WindowCell> {
+        let mut out = Vec::new();
+        for kind in QueryKind::ALL {
+            for class in DegreeClass::ALL {
+                let summary = self.window_summary(epoch, Some(kind), Some(class));
+                if summary.count > 0 {
+                    out.push(WindowCell {
+                        kind,
+                        class,
+                        summary,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One completed window of one `(kind, class)` cell from the process-global
+/// slabs, as drained by [`drain_window_log`] and exported as a
+/// `query.win.<kind>.<class>` trace counter event. Always compiled.
+#[derive(Debug, Clone)]
+pub struct WindowRecord {
+    /// The completed epoch.
+    pub window: u64,
+    /// Window open time (ns on the span clock; `0` for the first window,
+    /// meaning "process tracing epoch").
+    pub start_ns: u64,
+    /// Window close (rotation) time, ns on the span clock.
+    pub end_ns: u64,
+    /// Query kind.
+    pub kind: QueryKind,
+    /// Degree class.
+    pub class: DegreeClass,
+    /// Merged-across-shards summary for the window.
+    pub summary: HistogramSummary,
+}
+
+/// Shards in the process-global slab set. Worker `tid`s map to
+/// `1 + index`, reduced modulo this, and off-pool threads share shard 0 —
+/// good enough isolation for the shim pool's widths while bounding memory.
+#[cfg(feature = "enabled")]
+const GLOBAL_SHARDS: usize = 8;
+/// Retained epochs per cell in the process-global slab set.
+#[cfg(feature = "enabled")]
+const GLOBAL_WINDOWS: usize = 4;
+
+#[cfg(feature = "enabled")]
+static GLOBAL_SLABS: OnceLock<QuerySlabs> = OnceLock::new();
+
+#[cfg(feature = "enabled")]
+static WINDOW_LOG: Mutex<Vec<WindowRecord>> = Mutex::new(Vec::new());
+
+/// Span-clock time of the last [`rotate_window`] (0 = none yet), so each
+/// drained window knows when it opened.
+#[cfg(feature = "enabled")]
+static LAST_ROTATE_NS: AtomicU64 = AtomicU64::new(0);
+
+#[cfg(feature = "enabled")]
+fn global_slabs() -> &'static QuerySlabs {
+    GLOBAL_SLABS.get_or_init(|| QuerySlabs::new(GLOBAL_SHARDS, GLOBAL_WINDOWS))
+}
+
+/// In-flight per-query timer from [`query_start`]. Zero-sized when the
+/// `enabled` feature is off.
+pub struct QueryStart {
+    #[cfg(feature = "enabled")]
+    armed: Option<u64>,
+}
+
+impl QueryStart {
+    /// Completes the query: classifies `degree()` (only evaluated when a
+    /// sample will actually be recorded) and records the elapsed
+    /// nanoseconds into the global slabs.
+    #[inline(always)]
+    pub fn finish(self, kind: QueryKind, degree: impl FnOnce() -> usize) {
+        #[cfg(feature = "enabled")]
+        if let Some(start_ns) = self.armed {
+            let ns = crate::span::now_ns().saturating_sub(start_ns);
+            let shard = rayon::current_thread_index().map_or(0, |i| i + 1);
+            global_slabs().record(shard, kind, DegreeClass::classify(degree()), ns);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (kind, degree);
+        }
+    }
+}
+
+/// Starts timing one query against the process-global slabs. Compiles to a
+/// ZST without the `enabled` feature; one relaxed load when compiled in but
+/// runtime recording is off.
+#[inline(always)]
+#[must_use]
+pub fn query_start() -> QueryStart {
+    #[cfg(feature = "enabled")]
+    {
+        QueryStart {
+            armed: crate::is_enabled().then(crate::span::now_ns),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        QueryStart {}
+    }
+}
+
+/// Rotates the process-global slabs (single-rotator) and appends one
+/// [`WindowRecord`] per non-empty `(kind, class)` cell of the completed
+/// window to the window log. Returns the completed epoch, or `None` when
+/// nothing was ever recorded (or the feature is off).
+pub fn rotate_window() -> Option<u64> {
+    #[cfg(feature = "enabled")]
+    {
+        let slabs = GLOBAL_SLABS.get()?;
+        let end_ns = crate::span::now_ns();
+        let start_ns = LAST_ROTATE_NS.swap(end_ns, Relaxed);
+        let completed = slabs.rotate();
+        let cells = slabs.window_cells(completed);
+        let mut log = WINDOW_LOG.lock().unwrap_or_else(PoisonError::into_inner);
+        for cell in cells {
+            log.push(WindowRecord {
+                window: completed,
+                start_ns,
+                end_ns,
+                kind: cell.kind,
+                class: cell.class,
+                summary: cell.summary,
+            });
+        }
+        Some(completed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        None
+    }
+}
+
+/// Takes every [`WindowRecord`] accumulated by [`rotate_window`] since the
+/// last drain, in rotation order. Empty without the `enabled` feature.
+#[must_use]
+pub fn drain_window_log() -> Vec<WindowRecord> {
+    #[cfg(feature = "enabled")]
+    {
+        std::mem::take(&mut *WINDOW_LOG.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_classes_partition_the_degree_axis() {
+        assert_eq!(DegreeClass::classify(0), DegreeClass::Low);
+        assert_eq!(DegreeClass::classify(LOW_DEGREE_MAX - 1), DegreeClass::Low);
+        assert_eq!(DegreeClass::classify(LOW_DEGREE_MAX), DegreeClass::Mid);
+        assert_eq!(DegreeClass::classify(MID_DEGREE_MAX - 1), DegreeClass::Mid);
+        assert_eq!(DegreeClass::classify(MID_DEGREE_MAX), DegreeClass::Hub);
+        assert_eq!(DegreeClass::classify(usize::MAX), DegreeClass::Hub);
+    }
+
+    #[test]
+    fn kind_and_class_indices_are_dense_and_stable() {
+        for (i, k) in QueryKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        for (i, c) in DegreeClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        let names: Vec<_> = QueryKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "neighbors",
+                "edge_scan",
+                "edge_binary",
+                "split",
+                "traversal"
+            ]
+        );
+    }
+
+    #[test]
+    fn windowed_histogram_rotation_retains_and_expires() {
+        let w = WindowedHistogram::new(3);
+        w.record(10);
+        w.record(20);
+        assert_eq!(w.live().count(), 2);
+
+        let completed = w.rotate();
+        assert_eq!(completed, 0);
+        assert_eq!(w.epoch(), 1);
+        assert_eq!(w.window(0).unwrap().count(), 2);
+        assert_eq!(w.live().count(), 0);
+
+        w.record(30);
+        w.rotate(); // completes epoch 1 (count 1)
+        w.rotate(); // completes epoch 2 (empty); epoch 0 now expires
+        assert!(w.window(0).is_none(), "epoch 0 fell out of the ring");
+        assert_eq!(w.window(1).unwrap().count(), 1);
+        assert_eq!(w.window(2).unwrap().count(), 0);
+        assert!(w.window(4).is_none(), "future epoch");
+    }
+
+    #[test]
+    fn windowed_histogram_retained_merge_is_sliding_aggregate() {
+        let w = WindowedHistogram::new(2);
+        w.record(100);
+        w.rotate();
+        w.record(200);
+        let dst = Histogram::new();
+        w.merge_retained_into(&dst);
+        assert_eq!(dst.count(), 2);
+        assert_eq!(dst.max(), 200);
+    }
+
+    #[test]
+    fn slabs_merge_across_shards_matches_single_slab() {
+        let sharded = QuerySlabs::new(4, 2);
+        let single = QuerySlabs::new(1, 2);
+        let samples = [
+            (0usize, QueryKind::Neighbors, DegreeClass::Low, 50u64),
+            (1, QueryKind::Neighbors, DegreeClass::Low, 5_000),
+            (2, QueryKind::EdgeScan, DegreeClass::Hub, 900),
+            (7, QueryKind::Neighbors, DegreeClass::Low, 70), // 7 % 4 == 3
+        ];
+        for &(shard, kind, class, ns) in &samples {
+            sharded.record(shard, kind, class, ns);
+            single.record(0, kind, class, ns);
+        }
+        let a = sharded.window_summary(0, Some(QueryKind::Neighbors), Some(DegreeClass::Low));
+        let b = single.window_summary(0, Some(QueryKind::Neighbors), Some(DegreeClass::Low));
+        assert_eq!(a, b);
+        assert_eq!(a.count, 3);
+        // Merging across every dimension sees all four samples.
+        assert_eq!(sharded.window_summary(0, None, None).count, 4);
+        assert_eq!(sharded.overall_summary(None, None).count, 4);
+    }
+
+    #[test]
+    fn slab_rotation_is_lockstep_and_window_cells_skip_empty() {
+        let slabs = QuerySlabs::new(2, 3);
+        slabs.record(0, QueryKind::Neighbors, DegreeClass::Low, 10);
+        slabs.record(1, QueryKind::SplitSearch, DegreeClass::Hub, 10_000);
+        let completed = slabs.rotate();
+        assert_eq!(completed, 0);
+        assert_eq!(slabs.epoch(), 1);
+        let cells = slabs.window_cells(completed);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].kind, QueryKind::Neighbors);
+        assert_eq!(cells[0].class, DegreeClass::Low);
+        assert_eq!(cells[1].kind, QueryKind::SplitSearch);
+        assert_eq!(cells[1].class, DegreeClass::Hub);
+        // Overall view survives rotation.
+        assert_eq!(slabs.overall_summary(None, None).count, 2);
+        // The new live window is empty.
+        assert!(slabs.window_cells(slabs.epoch()).is_empty());
+    }
+}

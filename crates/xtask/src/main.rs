@@ -18,11 +18,21 @@
 //!   time *shares* and peak heap bytes must stay within the threshold
 //!   (default 0.10) of the baseline. CI diffs the smoke run against a
 //!   committed baseline so a stage silently ballooning fails the build.
+//! * `slo-check RESULT.json [--p99-ns N] [--min-qps F] [--baseline FILE]
+//!   [--slack F]` — gates a `queries_closed_loop --json` artifact (see
+//!   [`xtask::slo_check`]): the overall p99 latency must stay under the
+//!   ceiling and the sustained qps above the floor, with thresholds given
+//!   explicitly and/or derived from a committed baseline result ± slack.
+//!   CI runs it on a serving smoke so a latency-tail or throughput
+//!   regression fails the build.
 //! * `bless-baseline` — reruns the CI obs smoke (same binary, same flags,
 //!   reps 5) and rewrites `results/baselines/table2_smoke.stages.json`
 //!   with the fresh output, after validating that it parses and
-//!   stage-diffs cleanly against itself. Run it after intentionally
-//!   changing the pipeline's stage shape.
+//!   stage-diffs cleanly against itself; then reruns the CI serving smoke
+//!   and rewrites `results/baselines/closed_loop_smoke.json` the same way
+//!   (fresh result must slo-check against itself). Run it after
+//!   intentionally changing the pipeline's stage shape or the serving
+//!   path's performance envelope.
 //! * `lint [--skip-clippy] [--json OUT] [--inventory OUT]` — the
 //!   workspace's static-analysis gate, in two stages:
 //!   1. **source lints** (see [`xtask::lints`]): the line-based rules
@@ -45,10 +55,8 @@
 
 mod stage_diff;
 mod trace_analyze;
-mod trace_check;
-mod trace_read;
 
-use xtask::{fixtures, lints};
+use xtask::{fixtures, lints, slo_check, trace_check, trace_read};
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -107,15 +115,131 @@ fn main() -> ExitCode {
             }
         },
         Some("bless-baseline") => bless_baseline(),
+        Some("slo-check") => match args.get(1) {
+            Some(file) => match parse_slo_args(&args[2..]) {
+                Ok(opts) => run_slo_check(Path::new(file), &opts),
+                Err(e) => {
+                    eprintln!("xtask slo-check: {e}");
+                    ExitCode::from(2)
+                }
+            },
+            None => {
+                eprintln!(
+                    "usage: cargo xtask slo-check <result.json> [--p99-ns N] [--min-qps F] \
+                     [--baseline FILE] [--slack F]"
+                );
+                ExitCode::from(2)
+            }
+        },
         _ => {
             eprintln!(
                 "usage: cargo xtask lint [--skip-clippy] [--json OUT] [--inventory OUT] | \
                  lint-fixtures | check-trace <trace.json> | \
                  trace-analyze <trace.json> [--stage NAME] [--json OUT] [--check] \
                  [--min-util F] | \
-                 stage-diff <base.json> <cur.json> [--threshold F] | bless-baseline"
+                 stage-diff <base.json> <cur.json> [--threshold F] | bless-baseline | \
+                 slo-check <result.json> [--p99-ns N] [--min-qps F] [--baseline FILE] \
+                 [--slack F]"
             );
             ExitCode::from(2)
+        }
+    }
+}
+
+/// Options for `slo-check` after the result-file argument.
+#[derive(Default)]
+struct SloArgs {
+    p99_ns: Option<u64>,
+    min_qps: Option<f64>,
+    baseline: Option<PathBuf>,
+    slack: Option<f64>,
+}
+
+fn parse_slo_args(rest: &[String]) -> Result<SloArgs, String> {
+    let mut opts = SloArgs::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--p99-ns" => {
+                let value = it.next().ok_or("--p99-ns needs a value")?;
+                opts.p99_ns = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("--p99-ns: {e} (got `{value}`)"))?,
+                );
+            }
+            "--min-qps" => {
+                let value = it.next().ok_or("--min-qps needs a value")?;
+                opts.min_qps = match value.parse::<f64>() {
+                    Ok(f) if f.is_finite() && f >= 0.0 => Some(f),
+                    _ => return Err(format!("--min-qps must be non-negative, got `{value}`")),
+                };
+            }
+            "--baseline" => {
+                let path = it.next().ok_or("--baseline needs a file path")?;
+                opts.baseline = Some(PathBuf::from(path));
+            }
+            "--slack" => {
+                let value = it.next().ok_or("--slack needs a value")?;
+                opts.slack = match value.parse::<f64>() {
+                    Ok(f) if f.is_finite() && f >= 0.0 => Some(f),
+                    _ => return Err(format!("--slack must be non-negative, got `{value}`")),
+                };
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if opts.slack.is_some() && opts.baseline.is_none() {
+        return Err("--slack only makes sense with --baseline".into());
+    }
+    Ok(opts)
+}
+
+/// Gates a closed-loop result file on SLO thresholds (explicit flags,
+/// baseline-derived, or both — explicit wins per dimension).
+fn run_slo_check(path: &Path, args: &SloArgs) -> ExitCode {
+    let text = match trace_read::read_file("slo-check", path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut thresholds = slo_check::SloThresholds::default();
+    if let Some(baseline_path) = &args.baseline {
+        let baseline = trace_read::read_file("slo-check", baseline_path)
+            .and_then(|t| slo_check::parse_result("baseline", &t));
+        match baseline {
+            Ok(b) => {
+                thresholds = slo_check::baseline_thresholds(
+                    &b,
+                    args.slack.unwrap_or(slo_check::DEFAULT_SLACK),
+                );
+            }
+            Err(e) => {
+                eprintln!("xtask slo-check: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // Explicit flags override the baseline-derived value for their
+    // dimension.
+    thresholds.p99_ns = args.p99_ns.or(thresholds.p99_ns);
+    thresholds.min_qps = args.min_qps.or(thresholds.min_qps);
+    match slo_check::check_slo_text(&text, &thresholds) {
+        Ok(out) => {
+            eprint!("{}", out.report);
+            if out.failed {
+                eprintln!("xtask slo-check: {} FAILED", path.display());
+                ExitCode::FAILURE
+            } else {
+                eprintln!("xtask slo-check: {} ok", path.display());
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask slo-check: {e}");
+            ExitCode::FAILURE
         }
     }
 }
@@ -348,6 +472,98 @@ fn bless_baseline() -> ExitCode {
     if let Some(dir) = baseline.parent() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("xtask bless-baseline: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = std::fs::write(&baseline, &text) {
+        eprintln!(
+            "xtask bless-baseline: cannot write {}: {e}",
+            baseline.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "xtask bless-baseline: wrote {} ({} bytes); review and commit it",
+        baseline.display(),
+        text.len()
+    );
+    bless_closed_loop_baseline(&root)
+}
+
+/// Reruns the CI serving smoke (`queries_closed_loop`, same flags as the
+/// `slo` CI job) and rewrites `results/baselines/closed_loop_smoke.json`.
+/// The fresh result must parse as a `parcsr.closed_loop.v1` document and
+/// slo-check cleanly against itself before it replaces the baseline.
+fn bless_closed_loop_baseline(root: &Path) -> ExitCode {
+    let baseline = root.join("results/baselines/closed_loop_smoke.json");
+    eprintln!("xtask bless-baseline: running the CI serving smoke (queries_closed_loop)...");
+    // Mirror of the `slo` CI job's smoke step; keep the two in sync or the
+    // blessed baseline will not match what CI measures.
+    let output = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+        .current_dir(root)
+        .args([
+            "run",
+            "-q",
+            "--release",
+            "-p",
+            "parcsr-bench",
+            "--features",
+            "obs",
+            "--bin",
+            "queries_closed_loop",
+            "--",
+            "--graph",
+            "hub",
+            "--scale",
+            "0.02",
+            "--clients",
+            "2",
+            "--duration-ms",
+            "600",
+            "--window-ms",
+            "150",
+            "--seed",
+            "42",
+            "--json",
+        ])
+        .output();
+    let output = match output {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask bless-baseline: could not run cargo: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !output.status.success() {
+        eprintln!("xtask bless-baseline: serving smoke failed:");
+        eprint!("{}", String::from_utf8_lossy(&output.stderr));
+        return ExitCode::FAILURE;
+    }
+    let text = match String::from_utf8(output.stdout) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask bless-baseline: serving smoke output is not UTF-8: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Self-check exercises the full result parser and threshold machinery;
+    // a result that cannot pass against itself must not become the
+    // baseline.
+    let self_thresholds = match slo_check::parse_result("fresh result", &text) {
+        Ok(r) => slo_check::baseline_thresholds(&r, slo_check::DEFAULT_SLACK),
+        Err(e) => {
+            eprintln!("xtask bless-baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match slo_check::check_slo_text(&text, &self_thresholds) {
+        Ok(out) if !out.failed => {}
+        Ok(_) => {
+            eprintln!("xtask bless-baseline: fresh result fails slo-check against itself");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("xtask bless-baseline: {e}");
             return ExitCode::FAILURE;
         }
     }

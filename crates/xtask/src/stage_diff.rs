@@ -21,7 +21,7 @@
 
 use parcsr_obs::json::Json;
 
-use crate::trace_read::parse_json;
+use xtask::trace_read::parse_json;
 
 /// One construction stage of one `(dataset, processors)` sample.
 struct Stage {

@@ -24,7 +24,7 @@ use std::fmt::Write as _;
 
 use parcsr_obs::analyze::{analyze, AnalyzedSpan, StageInstance, TraceAnalysis};
 
-use crate::trace_read::{parse_trace, Phase, TraceEvent};
+use xtask::trace_read::{parse_trace, Phase, TraceEvent};
 
 /// Width of the per-worker timeline bars printed by `--stage`.
 const TIMELINE_COLS: usize = 48;

@@ -1,0 +1,98 @@
+//! Integration tests for the serving-telemetry gates: `slo-check` against
+//! seeded good/bad closed-loop results, and `check-trace`'s `query.win.*`
+//! windowed-counter rules against accept/reject trace fixtures. The
+//! fixtures live in `tests/serving_fixtures/` and pin the artifact shapes
+//! CI consumes, so a schema drift in either producer or gate shows up
+//! here first.
+
+use std::path::PathBuf;
+
+use xtask::slo_check::{self, SloThresholds};
+use xtask::trace_check::check_trace_text;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/serving_fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// The thresholds the CI `slo` job enforces on the serving smoke (loose on
+/// purpose: a laptop-class runner sustains hundreds of kq/s with p99 in
+/// the low microseconds, so 1 ms / 10 kq/s only trips on order-of-magnitude
+/// regressions).
+const CI_THRESHOLDS: SloThresholds = SloThresholds {
+    p99_ns: Some(1_000_000),
+    min_qps: Some(10_000.0),
+};
+
+#[test]
+fn good_result_passes_the_ci_thresholds() {
+    let out = slo_check::check_slo_text(&fixture("closed_loop_good.json"), &CI_THRESHOLDS)
+        .expect("good fixture must parse");
+    assert!(!out.failed, "{}", out.report);
+    assert!(out.report.contains("p99:"), "{}", out.report);
+    assert!(out.report.contains("ok"), "{}", out.report);
+}
+
+#[test]
+fn bad_result_fails_both_dimensions() {
+    let out = slo_check::check_slo_text(&fixture("closed_loop_bad.json"), &CI_THRESHOLDS)
+        .expect("bad fixture is schema-valid; only the numbers are bad");
+    assert!(out.failed);
+    // Both the latency ceiling and the throughput floor are violated.
+    assert_eq!(out.report.matches("VIOLATED").count(), 2, "{}", out.report);
+}
+
+#[test]
+fn baseline_mode_gates_the_bad_result_against_the_good_one() {
+    let base = slo_check::parse_result("baseline", &fixture("closed_loop_good.json")).unwrap();
+    let thresholds = slo_check::baseline_thresholds(&base, slo_check::DEFAULT_SLACK);
+    // The good result passes against itself-with-slack...
+    let out = slo_check::check_slo_text(&fixture("closed_loop_good.json"), &thresholds).unwrap();
+    assert!(!out.failed, "{}", out.report);
+    // ...the bad one (3000× the latency, 0.5% of the throughput) does not.
+    let out = slo_check::check_slo_text(&fixture("closed_loop_bad.json"), &thresholds).unwrap();
+    assert!(out.failed);
+}
+
+#[test]
+fn fixtures_carry_per_kind_and_per_class_rollups() {
+    // The gate only reads windows/overall, but the fixtures double as the
+    // committed example of the full v1 schema — keep the rollups present.
+    for name in ["closed_loop_good.json", "closed_loop_bad.json"] {
+        let doc = parcsr_obs::json::Json::parse(&fixture(name)).unwrap();
+        let overall = doc.get("overall").unwrap();
+        assert!(
+            !overall.get("kinds").unwrap().as_array().unwrap().is_empty(),
+            "{name}: overall.kinds empty"
+        );
+        assert!(
+            !overall
+                .get("classes")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .is_empty(),
+            "{name}: overall.classes empty"
+        );
+        assert_eq!(
+            doc.get("schema").unwrap().as_str(),
+            Some(slo_check::SCHEMA),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn trace_with_windowed_counters_is_accepted() {
+    let n = check_trace_text(&fixture("query_win_accept.trace.json"))
+        .expect("accept fixture must validate");
+    assert_eq!(n, 7);
+}
+
+#[test]
+fn trace_with_backwards_window_ordinal_is_rejected() {
+    let err = check_trace_text(&fixture("query_win_reject.trace.json")).unwrap_err();
+    assert!(err.contains("window ordinal goes backwards"), "{err}");
+}

@@ -45,6 +45,18 @@ echo "== Table II (JSON, per-stage breakdown + memory + imbalance) =="
 cargo run --release -q -p parcsr-bench --features obs --bin table2 -- \
   --json --metrics --mem-metrics --imbalance "$@" > "${OUT}.table2.stages.json"
 
+# Closed-loop serving run: sustained qps + latency percentiles per window,
+# per query kind, and per degree class on the 2M-edge hub graph, archived
+# as a *.slo.json summary (`cargo xtask slo-check <file> --p99-ns/...` to
+# gate a run; compare two runs' overall blocks for serving drift).
+echo "== closed-loop serving (qps + latency percentiles + SLO summary) =="
+for clients in 1 2 8; do
+  cargo run --release -q -p parcsr-bench --features obs --bin queries_closed_loop -- \
+    --graph hub --clients "$clients" --duration-ms 2000 --window-ms 250 --json \
+    2> >(tee "${OUT}.closed_loop.c${clients}.txt" >&2) \
+    > "${OUT}.closed_loop.c${clients}.slo.json"
+done
+
 # Worker-utilization / chunk-imbalance analysis of each Chrome trace
 # (cargo xtask trace-analyze <trace> for the human-readable report).
 echo "== trace analysis (worker utilization + chunk imbalance) =="
@@ -53,4 +65,4 @@ for trace in "${OUT}".*.trace.json; do
     > "${trace%.trace.json}.imbalance.txt"
 done
 
-echo "results written to results/ with prefix ${RUN_ID} (incl. *.trace.json Chrome traces, *.stages.* breakdowns with memory sections, and *.imbalance.json analyzer output)"
+echo "results written to results/ with prefix ${RUN_ID} (incl. *.trace.json Chrome traces, *.stages.* breakdowns with memory sections, *.imbalance.json analyzer output, and *.slo.json serving summaries)"

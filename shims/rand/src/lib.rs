@@ -174,6 +174,73 @@ impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
     }
 }
 
+pub mod distr {
+    //! Non-uniform distributions (the subset of `rand_distr` this workspace
+    //! uses).
+
+    use super::{standard_f64, RngCore};
+
+    /// Zipf (zeta) distribution over ranks `1..=n` with exponent `s ≥ 0`:
+    /// `P(k) ∝ k^-s`. `s = 0` is uniform; social-network access skew is
+    /// typically `s ≈ 1`.
+    ///
+    /// Sampling is inverse-CDF over a precomputed cumulative table: `O(n)`
+    /// setup and memory, `O(log n)` per sample, exactly the target
+    /// distribution. (Upstream `rand_distr` uses `O(1)` rejection-inversion;
+    /// the table is simpler and plenty for the load driver's one-time setup
+    /// over a graph's node count.)
+    #[derive(Debug, Clone)]
+    pub struct Zipf {
+        cdf: Vec<f64>,
+    }
+
+    impl Zipf {
+        /// Builds the distribution.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n == 0` or `s` is negative or non-finite.
+        #[must_use]
+        pub fn new(n: usize, s: f64) -> Self {
+            assert!(n >= 1, "Zipf needs at least one rank");
+            assert!(s.is_finite() && s >= 0.0, "Zipf exponent s={s} invalid");
+            let mut cdf = Vec::with_capacity(n);
+            let mut cum = 0.0f64;
+            for k in 1..=n {
+                cum += (k as f64).powf(-s);
+                cdf.push(cum);
+            }
+            let norm = cum;
+            for c in &mut cdf {
+                *c /= norm;
+            }
+            // Guard against rounding: the last boundary must be exactly 1 so
+            // every u ∈ [0, 1) maps to a rank.
+            *cdf.last_mut().expect("n >= 1") = 1.0;
+            Zipf { cdf }
+        }
+
+        /// Number of ranks.
+        #[must_use]
+        pub fn n(&self) -> usize {
+            self.cdf.len()
+        }
+
+        /// Draws one rank in `1..=n`.
+        pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            let u = standard_f64(rng.next_u64());
+            // First rank whose cumulative probability exceeds u.
+            (self.cdf.partition_point(|&c| c <= u) + 1) as u64
+        }
+
+        /// Like [`Self::sample`] but 0-based (`0..n`), the index form the
+        /// load driver uses against rank-ordered arrays.
+        pub fn sample_index<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            self.sample(rng) as usize - 1
+        }
+    }
+}
+
 pub mod rngs {
     //! Concrete generators.
 
@@ -299,6 +366,95 @@ mod tests {
         for _ in 0..1000 {
             let x: f64 = rng.gen();
             assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    mod zipf {
+        use super::super::distr::Zipf;
+        use super::super::SeedableRng;
+        use super::SmallRng;
+
+        #[test]
+        fn samples_stay_in_rank_range_and_are_deterministic() {
+            let z = Zipf::new(100, 1.1);
+            assert_eq!(z.n(), 100);
+            let mut a = SmallRng::seed_from_u64(5);
+            let mut b = SmallRng::seed_from_u64(5);
+            for _ in 0..2_000 {
+                let ka = z.sample(&mut a);
+                assert!((1..=100).contains(&ka));
+                assert_eq!(ka, z.sample(&mut b));
+                assert_eq!(z.sample_index(&mut a) + 1, z.sample(&mut b) as usize);
+            }
+        }
+
+        #[test]
+        fn single_rank_always_returns_it() {
+            let z = Zipf::new(1, 1.0);
+            let mut rng = SmallRng::seed_from_u64(9);
+            for _ in 0..100 {
+                assert_eq!(z.sample(&mut rng), 1);
+            }
+        }
+
+        #[test]
+        fn zero_exponent_is_uniform() {
+            let z = Zipf::new(10, 0.0);
+            let mut rng = SmallRng::seed_from_u64(21);
+            let mut counts = [0u32; 10];
+            for _ in 0..50_000 {
+                counts[z.sample_index(&mut rng)] += 1;
+            }
+            for (k, &c) in counts.iter().enumerate() {
+                // Each rank expects 5000; allow ±10%.
+                assert!((4_500..=5_500).contains(&c), "rank {k} count {c}");
+            }
+        }
+
+        /// Goodness of fit: on log-log axes, Zipf rank frequencies fall on a
+        /// line of slope `-s`. Fit the empirical slope by least squares over
+        /// the well-populated head ranks and require it within tolerance.
+        #[test]
+        fn rank_frequency_slope_matches_exponent() {
+            for &s in &[0.8f64, 1.0, 1.3] {
+                let n = 1_000;
+                let z = Zipf::new(n, s);
+                let mut rng = SmallRng::seed_from_u64(12_345);
+                let mut counts = vec![0u64; n];
+                let samples = 400_000;
+                for _ in 0..samples {
+                    counts[z.sample_index(&mut rng)] += 1;
+                }
+                // Head ranks only: each has thousands of hits, so sampling
+                // noise on log(count) is small.
+                let head = 30;
+                let points: Vec<(f64, f64)> = (0..head)
+                    .map(|k| (((k + 1) as f64).ln(), (counts[k].max(1) as f64).ln()))
+                    .collect();
+                let m = points.len() as f64;
+                let sx: f64 = points.iter().map(|p| p.0).sum();
+                let sy: f64 = points.iter().map(|p| p.1).sum();
+                let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+                let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+                let slope = (m * sxy - sx * sy) / (m * sxx - sx * sx);
+                assert!(
+                    (slope + s).abs() < 0.05,
+                    "s={s}: fitted slope {slope} (want {})",
+                    -s
+                );
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "at least one rank")]
+        fn zero_ranks_panics() {
+            let _ = Zipf::new(0, 1.0);
+        }
+
+        #[test]
+        #[should_panic(expected = "invalid")]
+        fn negative_exponent_panics() {
+            let _ = Zipf::new(10, -1.0);
         }
     }
 }
