@@ -49,6 +49,12 @@ pub fn execute(command: &Command) -> Result<String, CliError> {
         } => compress(input, out, *gap, resolve_procs(*procs), *chunk_policy),
         Command::Stats { input } => stats(input),
         Command::Info { input } => info(input),
+        Command::Watch {
+            addr,
+            interval_ms,
+            once,
+            out,
+        } => crate::watch::run_watch(addr, *interval_ms, *once, out).map_err(err),
         Command::Query {
             input,
             neighbors,

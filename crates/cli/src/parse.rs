@@ -81,6 +81,18 @@ pub enum Command {
         /// How the event stream splits into parallel chunks.
         chunk_policy: ChunkPolicy,
     },
+    /// Poll a running process's admin plane and render a live per-kind /
+    /// per-degree-class latency table.
+    Watch {
+        /// Admin endpoint address (`host:port`).
+        addr: String,
+        /// Poll interval in milliseconds.
+        interval_ms: u64,
+        /// Scrape once, print the table, and exit (CI mode).
+        once: bool,
+        /// Also write each raw exposition scrape to this path.
+        out: Option<String>,
+    },
     /// Query a `.tcsr` file at a time-frame.
     TemporalQuery {
         /// Input `.tcsr` path.
@@ -111,6 +123,10 @@ pub struct ObsOptions {
     /// Mid-span memory sampling period: every Nth allocation updates the
     /// per-span high-water mark (implies memory accounting).
     pub mem_sample: Option<u64>,
+    /// Serve the live admin plane (metrics/stats/health) on
+    /// `127.0.0.1:<port>` for the duration of the command (`0` picks an
+    /// ephemeral port).
+    pub admin_port: Option<u16>,
 }
 
 impl ObsOptions {
@@ -156,6 +172,14 @@ impl ObsOptions {
                         return Err(invalid("--mem-sample must be at least 1"));
                     }
                     obs.mem_sample = Some(n);
+                }
+                "--admin-port" => {
+                    let p: u16 = it
+                        .next()
+                        .ok_or_else(|| invalid("--admin-port requires a value"))?
+                        .parse()
+                        .map_err(|e| invalid(format!("--admin-port: {e}")))?;
+                    obs.admin_port = Some(p);
                 }
                 _ => rest.push(arg),
             }
@@ -203,10 +227,15 @@ commands:
   temporal-compress INPUT --out FILE [--mode random|gap] [--procs P]
            [--chunk-policy rows|edges]
   temporal-query FILE.tcsr --frame T [--edge u,v] [--neighbors u1,u2] [--count]
+  watch    HOST:PORT [--interval-ms N] [--once] [--out FILE]
 
   --chunk-policy controls how parallel work splits into chunks: `edges`
   (default) weights rows/queries by degree so hub nodes spread across
   processors; `rows` restores the historical near-equal count split.
+
+  watch polls a running process's admin plane (see --admin-port) and
+  renders a refreshing per-kind/per-class latency table; --once scrapes a
+  single time and prints it (CI mode), --out also saves the raw scrape.
 
 global flags (any command):
   --trace FILE    write a Chrome trace (chrome://tracing JSON) of the run
@@ -216,6 +245,8 @@ global flags (any command):
   --mem-metrics   track live/peak heap bytes and per-stage memory peaks
   --mem-sample N  sample the live-heap high-water mark every Nth allocation
                   (default: $PARCSR_MEM_SAMPLE, else off; implies accounting)
+  --admin-port P  serve live metrics/stats/health on 127.0.0.1:P while the
+                  command runs (0 picks an ephemeral port)
                   (all need a binary built with --features obs)";
 
 fn invalid(msg: impl Into<String>) -> ParseError {
@@ -443,6 +474,31 @@ impl Command {
                     edges,
                     neighbors,
                     count,
+                })
+            }
+            "watch" => {
+                let addr = args
+                    .value("watch")
+                    .map_err(|_| invalid("watch requires a host:port address"))?;
+                let (mut interval_ms, mut once, mut out) = (1_000u64, false, None);
+                while let Some(flag) = args.items.next() {
+                    match flag.as_str() {
+                        "--interval-ms" => {
+                            interval_ms = args.parsed("--interval-ms")?;
+                            if interval_ms == 0 {
+                                return Err(invalid("--interval-ms must be at least 1"));
+                            }
+                        }
+                        "--once" => once = true,
+                        "--out" => out = Some(args.value("--out")?),
+                        other => return Err(invalid(format!("unknown flag {other}"))),
+                    }
+                }
+                Ok(Command::Watch {
+                    addr,
+                    interval_ms,
+                    once,
+                    out,
                 })
             }
             other => Err(invalid(format!("unknown command {other}"))),
@@ -739,6 +795,59 @@ mod tests {
             let c = Command::parse(rest).unwrap();
             assert!(matches!(c, Command::Query { .. }), "{args:?}");
         }
+    }
+
+    #[test]
+    fn watch_parses_with_defaults_and_flags() {
+        let c = parse(&["watch", "127.0.0.1:9184"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Watch {
+                addr: "127.0.0.1:9184".into(),
+                interval_ms: 1_000,
+                once: false,
+                out: None,
+            }
+        );
+        let c = parse(&[
+            "watch",
+            "localhost:9184",
+            "--interval-ms",
+            "250",
+            "--once",
+            "--out",
+            "/tmp/scrape.txt",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Watch {
+                addr: "localhost:9184".into(),
+                interval_ms: 250,
+                once: true,
+                out: Some("/tmp/scrape.txt".into()),
+            }
+        );
+        assert!(parse(&["watch"]).is_err());
+        assert!(parse(&["watch", "a:1", "--interval-ms", "0"]).is_err());
+        assert!(parse(&["watch", "a:1", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn admin_port_strips_from_anywhere() {
+        let args = ["stats", "--admin-port", "9184", "g.txt"];
+        let (obs, rest) = ObsOptions::extract(args.iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(obs.admin_port, Some(9184));
+        assert!(
+            !obs.active(),
+            "--admin-port serves live state; it is not a collection switch"
+        );
+        assert_eq!(rest, ["stats", "g.txt"]);
+        assert!(ObsOptions::extract(["--admin-port".to_string()]).is_err());
+        assert!(
+            ObsOptions::extract(["--admin-port".to_string(), "70000".to_string()]).is_err(),
+            "ports are u16"
+        );
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! `parcsr watch`: poll a running process's admin plane and render a
+//! refreshing per-query-kind / per-degree-class latency table — the live
+//! view of the `query.win.*` grid the closed-loop driver (and any future
+//! server) publishes through `--admin-port`.
+//!
+//! The rendering is a pure function from a parsed exposition to a string,
+//! so the table is unit-tested without sockets; only the poll loop talks
+//! to the network (via [`parcsr_server::client`]).
+
+use parcsr_obs::expo::{self, Exposition};
+use std::fmt::Write as _;
+
+/// The windowed summary family name the admin plane exposes.
+const WIN_FAMILY: &str = "parcsr_query_win_ns";
+
+fn gauge(expo: &Exposition, name: &str) -> Option<f64> {
+    expo.samples
+        .iter()
+        .find(|s| s.name == name && s.labels.is_empty())
+        .map(|s| s.value)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// One `(kind, class)` row assembled from the summary family's samples.
+struct Row {
+    kind: String,
+    class: String,
+    count: f64,
+    p50: Option<f64>,
+    p95: Option<f64>,
+    p99: Option<f64>,
+    max: Option<f64>,
+}
+
+fn collect_rows(expo: &Exposition) -> Vec<Row> {
+    let mut rows: Vec<Row> = Vec::new();
+    let cell = |s: &expo::Sample| -> Option<(String, String)> {
+        Some((s.label("kind")?.to_string(), s.label("class")?.to_string()))
+    };
+    // First pass establishes row order from the `_count` series (render
+    // emits cells in slab-grid order, which groups kinds together).
+    for s in &expo.samples {
+        if s.name != format!("{WIN_FAMILY}_count") {
+            continue;
+        }
+        if let Some((kind, class)) = cell(s) {
+            rows.push(Row {
+                kind,
+                class,
+                count: s.value,
+                p50: None,
+                p95: None,
+                p99: None,
+                max: None,
+            });
+        }
+    }
+    for s in &expo.samples {
+        let Some((kind, class)) = cell(s) else {
+            continue;
+        };
+        let Some(row) = rows.iter_mut().find(|r| r.kind == kind && r.class == class) else {
+            continue;
+        };
+        if s.name == WIN_FAMILY {
+            match s.label("quantile") {
+                Some("0.5") => row.p50 = Some(s.value),
+                Some("0.95") => row.p95 = Some(s.value),
+                Some("0.99") => row.p99 = Some(s.value),
+                _ => {}
+            }
+        } else if s.name == format!("{WIN_FAMILY}_max") {
+            row.max = Some(s.value);
+        }
+    }
+    rows
+}
+
+/// Renders the per-kind/per-class table for one scrape. Pure: feed it any
+/// parsed exposition (tests use canned documents).
+#[must_use]
+pub fn render_table(expo: &Exposition, addr: &str) -> String {
+    let mut out = String::new();
+    let epoch = gauge(expo, "parcsr_query_win_epoch");
+    let dur_ns = gauge(expo, "parcsr_query_win_duration_ns").unwrap_or(0.0);
+    let rows = collect_rows(expo);
+    let total: f64 = rows.iter().map(|r| r.count).sum();
+    let qps = if dur_ns > 0.0 {
+        total / (dur_ns / 1e9)
+    } else {
+        0.0
+    };
+
+    let _ = write!(out, "parcsr watch — {addr}");
+    if let Some(epoch) = epoch {
+        let _ = write!(out, " — window {epoch:.0}");
+    }
+    if dur_ns > 0.0 {
+        let _ = write!(out, " ({:.0}ms, {qps:.0} qps)", dur_ns / 1e6);
+    }
+    out.push('\n');
+
+    if rows.is_empty() {
+        out.push_str("  (no windowed series yet — is the target recording?)\n");
+        return out;
+    }
+
+    let _ = writeln!(
+        out,
+        "  {:<12} {:<5} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "kind", "class", "count", "p50", "p95", "p99", "max"
+    );
+    for r in &rows {
+        let cell = |v: Option<f64>| v.map_or_else(|| "-".to_string(), fmt_ns);
+        let _ = writeln!(
+            out,
+            "  {:<12} {:<5} {:>9.0} {:>9} {:>9} {:>9} {:>9}",
+            r.kind,
+            r.class,
+            r.count,
+            cell(r.p50),
+            cell(r.p95),
+            cell(r.p99),
+            cell(r.max),
+        );
+    }
+    out
+}
+
+/// Scrapes `addr` once over the plain protocol and returns `(raw exposition
+/// text, rendered table)`.
+pub fn scrape(addr: &str) -> Result<(String, String), String> {
+    let raw = parcsr_server::client::fetch(addr, "metrics")
+        .map_err(|e| format!("watch: cannot scrape {addr}: {e}"))?;
+    let expo =
+        expo::parse(&raw).map_err(|e| format!("watch: invalid exposition from {addr}: {e}"))?;
+    Ok((raw, render_table(&expo, addr)))
+}
+
+fn save(out: &Option<String>, raw: &str) -> Result<(), String> {
+    if let Some(path) = out {
+        std::fs::write(path, raw).map_err(|e| format!("watch: cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Runs the watch command: `--once` scrapes a single time and returns the
+/// table as the report; otherwise polls every `interval_ms`, redrawing the
+/// terminal until the target goes away (the usual end: the watched run
+/// finished). `--out` saves the latest raw scrape to a file either way.
+pub fn run_watch(
+    addr: &str,
+    interval_ms: u64,
+    once: bool,
+    out: &Option<String>,
+) -> Result<String, String> {
+    if once {
+        let (raw, table) = scrape(addr)?;
+        save(out, &raw)?;
+        return Ok(table);
+    }
+    loop {
+        let (raw, table) = scrape(addr)?;
+        save(out, &raw)?;
+        // Clear screen + home, then the fresh table.
+        print!("\x1b[2J\x1b[H{table}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcsr_obs::metrics::{HistogramSummary, MetricsSnapshot, WindowSeries};
+
+    fn live_expo() -> Exposition {
+        let mut snap = MetricsSnapshot::default();
+        snap.gauges.push(("query.win.epoch".to_string(), 9));
+        snap.gauges
+            .push(("query.win.duration_ns".to_string(), 250_000_000));
+        for (kind, class, count, max) in [
+            ("neighbors", "low", 4000, 900),
+            ("neighbors", "hub", 120, 2_400_000),
+            ("split", "mid", 800, 45_000),
+        ] {
+            snap.windows.push(WindowSeries {
+                name: format!("query.win.{kind}.{class}"),
+                kind,
+                class,
+                window: 9,
+                summary: HistogramSummary {
+                    count,
+                    sum: count * 100,
+                    max,
+                    p50: max / 2,
+                    p95: max,
+                    p99: max,
+                },
+            });
+        }
+        expo::parse(&expo::render(&snap)).unwrap()
+    }
+
+    #[test]
+    fn table_shows_every_cell_with_window_header() {
+        let table = render_table(&live_expo(), "127.0.0.1:9184");
+        assert!(table.starts_with("parcsr watch — 127.0.0.1:9184 — window 9 (250ms, 19680 qps)"));
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 2 + 3, "header + columns + one line per cell");
+        assert!(lines[1].contains("kind") && lines[1].contains("p99"));
+        assert!(table.contains("neighbors    low        4000"));
+        assert!(table.contains("2.40ms"), "hub max renders in ms");
+        assert!(table.contains("45.0µs"), "mid max renders in µs");
+        assert!(table.contains("450ns"), "low p50 renders in ns");
+    }
+
+    #[test]
+    fn empty_exposition_renders_hint_not_panic() {
+        let expo = expo::parse(&expo::render(&MetricsSnapshot::default())).unwrap();
+        let table = render_table(&expo, "x:1");
+        assert!(table.contains("no windowed series yet"));
+    }
+}

@@ -183,7 +183,7 @@ pub fn chrome_trace_with_counters(
             let w = &windows[j];
             let ts_us = w.end_ns as f64 / 1_000.0;
             events.push(counter_event(
-                &format!("query.win.{}.{}", w.kind.name(), w.class.name()),
+                &w.series_name(),
                 ts_us,
                 vec![
                     ("window".into(), Json::Int(w.window as i64)),

@@ -54,6 +54,7 @@
 //! [`set_trace_sample`] period bounds the recording cost of what is.
 
 pub mod analyze;
+pub mod expo;
 pub mod export;
 pub mod json;
 pub mod mem;
@@ -82,6 +83,18 @@ static TRACE_SAMPLE: AtomicU32 = AtomicU32::new(1);
 #[must_use]
 pub const fn compiled() -> bool {
     cfg!(feature = "enabled")
+}
+
+/// The full live-metrics view in one document: the registry snapshot
+/// ([`metrics::snapshot`] — counters, gauges, histograms) merged with the
+/// windowed serving grid ([`serve::serving_snapshot`]). This is the one
+/// merge path the admin plane's exposition and JSON stats endpoints
+/// consume; empty when the `enabled` feature is off.
+#[must_use]
+pub fn snapshot_all() -> metrics::MetricsSnapshot {
+    let mut snap = metrics::snapshot();
+    snap.merge(serve::serving_snapshot());
+    snap
 }
 
 /// Turns runtime recording on or off. A no-op unless the `enabled` feature

@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 #[cfg(feature = "enabled")]
 use std::sync::{Mutex, OnceLock, PoisonError};
 
-use crate::metrics::{Histogram, HistogramSummary};
+use crate::metrics::{Histogram, HistogramSummary, MetricsSnapshot, WindowSeries};
 
 /// Query types the serving path accounts for, matching the paper's
 /// query-algorithm families (Algorithms 6–9).
@@ -428,6 +428,36 @@ impl QuerySlabs {
         }
         out
     }
+
+    /// Snapshot of window `epoch` as [`MetricsSnapshot`] window series: one
+    /// [`WindowSeries`] per non-empty `(kind, class)` cell, named through
+    /// [`window_series_name`] — the same one-definition naming the trace
+    /// exporter uses, so every exporter agrees on `query.win.<kind>.<class>`.
+    #[must_use]
+    pub fn snapshot(&self, epoch: u64) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for cell in self.window_cells(epoch) {
+            snap.windows.push(WindowSeries {
+                name: window_series_name(cell.kind, cell.class),
+                kind: cell.kind.name(),
+                class: cell.class.name(),
+                window: epoch,
+                summary: cell.summary,
+            });
+        }
+        snap
+    }
+}
+
+/// The canonical series name for one `(kind, class)` cell of the windowed
+/// serving grid: `query.win.<kind>.<class>`. The *single* definition of
+/// this naming — the Chrome-trace counter events
+/// ([`crate::export::chrome_trace_with_counters`]), [`QuerySlabs::snapshot`],
+/// and (through it) the exposition and JSON stats renderers all call here,
+/// so the name cannot drift between exporters.
+#[must_use]
+pub fn window_series_name(kind: QueryKind, class: DegreeClass) -> String {
+    format!("query.win.{}.{}", kind.name(), class.name())
 }
 
 /// One completed window of one `(kind, class)` cell from the process-global
@@ -450,6 +480,15 @@ pub struct WindowRecord {
     pub summary: HistogramSummary,
 }
 
+impl WindowRecord {
+    /// The record's canonical `query.win.<kind>.<class>` series name
+    /// (see [`window_series_name`]).
+    #[must_use]
+    pub fn series_name(&self) -> String {
+        window_series_name(self.kind, self.class)
+    }
+}
+
 /// Shards in the process-global slab set. Worker `tid`s map to
 /// `1 + index`, reduced modulo this, and off-pool threads share shard 0 —
 /// good enough isolation for the shim pool's widths while bounding memory.
@@ -469,6 +508,13 @@ static WINDOW_LOG: Mutex<Vec<WindowRecord>> = Mutex::new(Vec::new());
 /// drained window knows when it opened.
 #[cfg(feature = "enabled")]
 static LAST_ROTATE_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Wall-clock length of the most recently completed window, nanoseconds
+/// (0 = no window completed yet). Lets [`serving_snapshot`] report a
+/// `query.win.duration_ns` gauge so scrapers can turn per-window counts
+/// into qps without knowing the reporter's `--window-ms`.
+#[cfg(feature = "enabled")]
+static LAST_WINDOW_DUR_NS: AtomicU64 = AtomicU64::new(0);
 
 #[cfg(feature = "enabled")]
 fn global_slabs() -> &'static QuerySlabs {
@@ -529,6 +575,7 @@ pub fn rotate_window() -> Option<u64> {
         let slabs = GLOBAL_SLABS.get()?;
         let end_ns = crate::span::now_ns();
         let start_ns = LAST_ROTATE_NS.swap(end_ns, Relaxed);
+        LAST_WINDOW_DUR_NS.store(end_ns.saturating_sub(start_ns), Relaxed);
         let completed = slabs.rotate();
         let cells = slabs.window_cells(completed);
         let mut log = WINDOW_LOG.lock().unwrap_or_else(PoisonError::into_inner);
@@ -547,6 +594,39 @@ pub fn rotate_window() -> Option<u64> {
     #[cfg(not(feature = "enabled"))]
     {
         None
+    }
+}
+
+/// Snapshot of the process-global serving slabs for live introspection
+/// (the admin plane's scrape path): the most recently *completed* window's
+/// `(kind, class)` grid as [`WindowSeries`] entries (the live, still-filling
+/// window when nothing has rotated yet), plus `query.win.epoch` (live
+/// epoch) and `query.win.duration_ns` (length of the last completed window)
+/// gauges. Read-only — never rotates, so it is safe to call from any
+/// thread while a reporter owns rotation (a scrape that races a rotation
+/// sees the one-sample boundary smear documented in the module header, no
+/// worse). Empty when the feature is off or nothing was ever recorded.
+#[must_use]
+pub fn serving_snapshot() -> MetricsSnapshot {
+    #[cfg(feature = "enabled")]
+    {
+        let Some(slabs) = GLOBAL_SLABS.get() else {
+            return MetricsSnapshot::default();
+        };
+        let live = slabs.epoch();
+        let shown = live.saturating_sub(1);
+        let mut snap = slabs.snapshot(shown);
+        snap.gauges
+            .push(("query.win.epoch".to_string(), live as i64));
+        snap.gauges.push((
+            "query.win.duration_ns".to_string(),
+            LAST_WINDOW_DUR_NS.load(Relaxed) as i64,
+        ));
+        snap
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        MetricsSnapshot::default()
     }
 }
 
@@ -654,6 +734,33 @@ mod tests {
         // Merging across every dimension sees all four samples.
         assert_eq!(sharded.window_summary(0, None, None).count, 4);
         assert_eq!(sharded.overall_summary(None, None).count, 4);
+    }
+
+    #[test]
+    fn window_series_names_are_canonical_and_snapshot_uses_them() {
+        assert_eq!(
+            window_series_name(QueryKind::EdgeBinary, DegreeClass::Hub),
+            "query.win.edge_binary.hub"
+        );
+        let slabs = QuerySlabs::new(2, 3);
+        slabs.record(0, QueryKind::Neighbors, DegreeClass::Low, 100);
+        slabs.record(1, QueryKind::SplitSearch, DegreeClass::Hub, 9_000);
+        let completed = slabs.rotate();
+        let snap = slabs.snapshot(completed);
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+        let names: Vec<_> = snap.windows.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["query.win.neighbors.low", "query.win.split.hub"],
+            "slab-index order, one definition of the naming"
+        );
+        // Labels mirror the name's components without re-deriving them.
+        assert_eq!(snap.windows[0].kind, "neighbors");
+        assert_eq!(snap.windows[0].class, "low");
+        assert_eq!(snap.windows[1].window, completed);
+        assert_eq!(snap.windows[1].summary.count, 1);
+        // An empty epoch snapshots to an empty series list.
+        assert!(slabs.snapshot(slabs.epoch()).windows.is_empty());
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Growable per-session read buffer (pelikan-style): the socket fills it
+//! incrementally, the framing layer consumes complete lines out the front,
+//! and the consumed prefix is compacted away on the next fill. Nothing here
+//! assumes a frame arrives in one `read` — a request line split across ten
+//! one-byte reads parses identically to one arriving whole.
+
+use std::io::{self, Read};
+
+/// How many bytes each fill attempts to read.
+const FILL_CHUNK: usize = 1024;
+
+/// Error from [`Buffer::take_line`]: the unconsumed data exceeds the caller's
+/// line limit with no newline in sight. The session layer turns this into an
+/// error *response* (then closes), never a panic — a misbehaving client must
+/// not take the admin plane down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineTooLong {
+    /// Bytes buffered without a newline when the limit was hit.
+    pub buffered: usize,
+}
+
+/// Growable read buffer with a consumed-prefix cursor.
+#[derive(Debug, Default)]
+pub struct Buffer {
+    data: Vec<u8>,
+    /// Start of unconsumed data in `data`; everything before it has been
+    /// handed out by `take_line` and is reclaimed on the next fill.
+    start: usize,
+}
+
+impl Buffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Unconsumed byte count.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Drops the consumed prefix so the allocation tracks the unconsumed
+    /// tail, not the session's lifetime traffic.
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Reads once from `src` into the buffer. Returns the byte count from
+    /// the underlying `read` — `Ok(0)` is end-of-stream, errors (including
+    /// read timeouts) pass through untouched with the buffer intact.
+    pub fn fill_from(&mut self, src: &mut impl Read) -> io::Result<usize> {
+        self.compact();
+        let old = self.data.len();
+        self.data.resize(old + FILL_CHUNK, 0);
+        match src.read(&mut self.data[old..]) {
+            Ok(n) => {
+                self.data.truncate(old + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.data.truncate(old);
+                Err(e)
+            }
+        }
+    }
+
+    /// Takes the next complete line (up to and excluding `\n`, with a
+    /// trailing `\r` stripped) out of the buffer. `Ok(None)` means no
+    /// complete line is buffered yet — fill and retry. `Err` means the
+    /// unconsumed data already exceeds `max_line` bytes with no newline,
+    /// so no amount of further reading can produce a legal line.
+    pub fn take_line(&mut self, max_line: usize) -> Result<Option<Vec<u8>>, LineTooLong> {
+        let pending = &self.data[self.start..];
+        match pending.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let mut line = pending[..pos].to_vec();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.start += pos + 1;
+                Ok(Some(line))
+            }
+            None if pending.len() > max_line => Err(LineTooLong {
+                buffered: pending.len(),
+            }),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_assemble_across_single_byte_fills() {
+        let input = b"health\r\nready\n".to_vec();
+        let mut buf = Buffer::new();
+        let mut lines = Vec::new();
+        for byte in input {
+            let mut one = &[byte][..];
+            buf.fill_from(&mut one).unwrap();
+            while let Some(line) = buf.take_line(64).unwrap() {
+                lines.push(String::from_utf8(line).unwrap());
+            }
+        }
+        assert_eq!(lines, ["health", "ready"]);
+        assert_eq!(buf.pending(), 0);
+    }
+
+    #[test]
+    fn pipelined_lines_drain_in_order() {
+        let mut buf = Buffer::new();
+        let mut src = &b"a\nb\nc\n"[..];
+        buf.fill_from(&mut src).unwrap();
+        let mut got = Vec::new();
+        while let Some(line) = buf.take_line(64).unwrap() {
+            got.push(line);
+        }
+        assert_eq!(got, [b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn oversized_line_reports_instead_of_growing_forever() {
+        let mut buf = Buffer::new();
+        let big = vec![b'x'; 5000];
+        let mut src = &big[..];
+        while buf.fill_from(&mut src).unwrap() > 0 {}
+        assert_eq!(buf.take_line(4096), Err(LineTooLong { buffered: 5000 }));
+    }
+
+    #[test]
+    fn under_limit_incomplete_line_is_just_pending() {
+        let mut buf = Buffer::new();
+        let mut src = &b"partial"[..];
+        buf.fill_from(&mut src).unwrap();
+        assert_eq!(buf.take_line(64), Ok(None));
+        assert_eq!(buf.pending(), 7);
+        let mut rest = &b" line\n"[..];
+        buf.fill_from(&mut rest).unwrap();
+        assert_eq!(buf.take_line(64).unwrap().unwrap(), b"partial line");
+    }
+}

@@ -1,0 +1,118 @@
+//! Blocking client for the plain admin protocol, used by `parcsr watch`
+//! and the CI scrape step. One connection per request keeps it stateless —
+//! at watch's poll rates the reconnect cost is noise.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Connect/read/write timeout for one fetch.
+const FETCH_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Refuse `OK <len>` headers claiming more than this many payload bytes —
+/// a corrupt length must not look like an instruction to allocate gigabytes.
+const MAX_PAYLOAD: usize = 16 << 20;
+
+/// Longest accepted response header line (`OK <len>` / `ERR <len>`).
+const MAX_HEADER: usize = 64;
+
+/// Sends one plain-protocol command (e.g. `metrics`, `stats`) to
+/// `addr` (`host:port`) and returns the response payload. `ERR` responses
+/// surface as [`io::ErrorKind::Other`] errors carrying the server's
+/// message.
+pub fn fetch(addr: &str, command: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(FETCH_TIMEOUT))?;
+    stream.set_write_timeout(Some(FETCH_TIMEOUT))?;
+    stream.write_all(command.as_bytes())?;
+    stream.write_all(b"\n")?;
+    read_response(&mut stream)
+}
+
+fn invalid(what: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.into())
+}
+
+/// Reads one `OK <len>\n<payload>` / `ERR <len>\n<payload>` response.
+/// Exposed for tests; [`fetch`] is the normal entry point.
+pub fn read_response(src: &mut impl Read) -> io::Result<String> {
+    let mut header = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        if src.read(&mut byte)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before response header",
+            ));
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        header.push(byte[0]);
+        if header.len() > MAX_HEADER {
+            return Err(invalid("response header too long"));
+        }
+    }
+    let header = String::from_utf8_lossy(&header).into_owned();
+    let (status, len) = header
+        .split_once(' ')
+        .ok_or_else(|| invalid(format!("malformed response header {header:?}")))?;
+    let len: usize = len
+        .trim()
+        .parse()
+        .map_err(|_| invalid(format!("bad payload length in {header:?}")))?;
+    if len > MAX_PAYLOAD {
+        return Err(invalid(format!(
+            "payload length {len} exceeds {MAX_PAYLOAD}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    src.read_exact(&mut payload)?;
+    let payload = String::from_utf8_lossy(&payload).into_owned();
+    match status {
+        "OK" => Ok(payload),
+        "ERR" => Err(io::Error::other(format!(
+            "server error: {}",
+            payload.trim_end()
+        ))),
+        other => Err(invalid(format!("unknown response status {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_response_returns_payload() {
+        let mut src = &b"OK 5\nhello..."[..];
+        assert_eq!(read_response(&mut src).unwrap(), "hello");
+    }
+
+    #[test]
+    fn err_response_becomes_io_error_with_message() {
+        let mut src = &b"ERR 4\nnope"[..];
+        let e = read_response(&mut src).unwrap_err();
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        for bad in [
+            &b"bogus\nx"[..],
+            &b"OK abc\nx"[..],
+            &b"OK 99999999999999\n"[..],
+            &b"WAT 2\nxx"[..],
+            &b""[..],
+        ] {
+            let mut src = bad;
+            assert!(read_response(&mut src).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let mut src = &b"OK 10\nshort"[..];
+        assert!(read_response(&mut src).is_err());
+    }
+}

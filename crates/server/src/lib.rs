@@ -1,0 +1,47 @@
+#![deny(unsafe_op_in_unsafe_fn)]
+
+//! Zero-async, zero-dependency admin plane for parcsr processes, and the
+//! session/buffer networking substrate a future data-plane server reuses.
+//!
+//! Architecture follows the exemplar the ROADMAP names (twitter/pelikan's
+//! `core/server` + `session` + `metrics` split), minus the event loop: the
+//! admin plane is low-traffic, so a blocking `std::net::TcpListener` accept
+//! loop with one short-lived thread per connection is simpler and plenty.
+//! The layering is the part that carries forward:
+//!
+//! * [`buffer`] — a growable read buffer with incremental fills and
+//!   consumed-prefix compaction; framing never assumes a request arrives in
+//!   one `read`.
+//! * [`proto`] — request parsing (single-line commands, plus just enough
+//!   HTTP/1.x to satisfy `curl` and Prometheus scrapers) and response
+//!   framing (`OK <len>` length-prefixed plain responses, `HTTP/1.0`
+//!   responses with `Content-Length`).
+//! * [`session`] — drives one connection: fill buffer → drain complete
+//!   frames → respond, tolerating partial reads and pipelined requests,
+//!   rejecting oversized request lines with an error response instead of a
+//!   panic. Generic over `Read + Write`, so robustness tests run on
+//!   in-memory streams with adversarial chunking.
+//! * [`admin`] — the TCP listener facade binding the above to
+//!   `127.0.0.1:<port>` with [`parcsr_obs::snapshot_all`] as the snapshot
+//!   provider. Only this layer is gated on the `enabled` feature; the
+//!   default build compiles it to an error-returning stub.
+//! * [`client`] — a tiny blocking client for the plain protocol, used by
+//!   `parcsr watch` and the CI scrape step.
+//!
+//! Endpoints (plain command / HTTP path): `metrics` / `/metrics`
+//! (Prometheus-style text exposition, see [`parcsr_obs::expo`]), `stats` /
+//! `/stats` (JSON `parcsr.stats.v1`), `health` / `/health`, `ready` /
+//! `/ready`, and plain `quit` (closes the connection).
+
+pub mod admin;
+pub mod buffer;
+pub mod client;
+pub mod proto;
+pub mod session;
+
+/// Whether the live admin listener was compiled in (the `enabled` feature,
+/// which implies `parcsr-obs/enabled`).
+#[must_use]
+pub const fn compiled() -> bool {
+    cfg!(feature = "enabled")
+}

@@ -1,0 +1,70 @@
+//! End-to-end loopback test of the live admin plane: real TCP, real
+//! listener, real global metrics. Only meaningful with the `enabled`
+//! feature (the listener is a stub otherwise).
+#![cfg(feature = "enabled")]
+
+use parcsr_obs::serve::{self, QueryKind};
+use parcsr_server::admin::AdminServer;
+use parcsr_server::client;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// One server for the whole test binary: the snapshot provider reads
+/// process-global metrics, so tests share state anyway — a single
+/// listener keeps the expectations explicit.
+fn with_live_server(test: impl FnOnce(&str)) {
+    parcsr_obs::set_enabled(true);
+    // Seed the global grid so the exposition has windowed series.
+    for _ in 0..8 {
+        let t = serve::query_start();
+        t.finish(QueryKind::Neighbors, || 3);
+        let t = serve::query_start();
+        t.finish(QueryKind::SplitSearch, || 50_000);
+    }
+    serve::rotate_window().expect("rotation completes a window");
+
+    let mut server = AdminServer::bind(0, parcsr_obs::snapshot_all).expect("bind 127.0.0.1:0");
+    let addr = server.local_addr().to_string();
+    test(&addr);
+    server.shutdown();
+}
+
+#[test]
+fn scrape_stats_and_probes_over_real_sockets() {
+    with_live_server(|addr| {
+        // Plain metrics scrape parses and carries live windowed series.
+        let text = client::fetch(addr, "metrics").expect("metrics fetch");
+        let expo = parcsr_obs::expo::parse(&text).expect("valid exposition");
+        assert!(expo.saw_eof);
+        assert!(
+            expo.samples
+                .iter()
+                .any(|s| s.name == "parcsr_query_win_ns" && s.label("kind") == Some("neighbors")),
+            "live query.win series missing from scrape"
+        );
+
+        // JSON stats parses and reuses the same snapshot names.
+        let stats = client::fetch(addr, "stats").expect("stats fetch");
+        assert!(stats.contains("parcsr.stats.v1"));
+        assert!(parcsr_obs::json::Json::parse(&stats).is_ok());
+
+        // Probes.
+        assert_eq!(client::fetch(addr, "health").unwrap(), "ok\n");
+        assert_eq!(client::fetch(addr, "ready").unwrap(), "ready\n");
+
+        // Unknown commands error without killing the listener.
+        assert!(client::fetch(addr, "bogus").is_err());
+        assert_eq!(client::fetch(addr, "health").unwrap(), "ok\n");
+
+        // HTTP scrape on the same port (curl-style).
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"));
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        assert!(parcsr_obs::expo::parse(body).unwrap().saw_eof);
+    });
+}

@@ -15,7 +15,7 @@ OUT="results/${RUN_ID}"
 
 mkdir -p results
 echo "== building release binaries (obs feature: tracing + metrics + mem) =="
-cargo build --release -p parcsr-bench --features obs
+cargo build --release -p parcsr-bench -p parcsr-cli --features parcsr-bench/obs,parcsr-cli/obs
 
 # Every run records metrics and heap accounting; the stage summaries on
 # stderr (now including the `== mem ==` section) are archived next to the
@@ -50,11 +50,22 @@ cargo run --release -q -p parcsr-bench --features obs --bin table2 -- \
 # as a *.slo.json summary (`cargo xtask slo-check <file> --p99-ns/...` to
 # gate a run; compare two runs' overall blocks for serving drift).
 echo "== closed-loop serving (qps + latency percentiles + SLO summary) =="
+# Each run exposes the admin plane on a per-client-count port; a mid-run
+# `parcsr watch --once` archives a live exposition scrape next to the SLO
+# summary (validate one with `cargo xtask expo-check <scrape>`).
 for clients in 1 2 8; do
+  admin_port=$((9300 + clients))
   cargo run --release -q -p parcsr-bench --features obs --bin queries_closed_loop -- \
     --graph hub --clients "$clients" --duration-ms 2000 --window-ms 250 --json \
+    --admin-port "$admin_port" \
     2> >(tee "${OUT}.closed_loop.c${clients}.txt" >&2) \
-    > "${OUT}.closed_loop.c${clients}.slo.json"
+    > "${OUT}.closed_loop.c${clients}.slo.json" &
+  driver=$!
+  sleep 1
+  ./target/release/parcsr watch "127.0.0.1:${admin_port}" --once \
+    --out "${OUT}.closed_loop.c${clients}.scrape.txt" \
+    || echo "warning: mid-run scrape failed for clients=${clients}" >&2
+  wait "$driver"
 done
 
 # Worker-utilization / chunk-imbalance analysis of each Chrome trace
@@ -65,4 +76,4 @@ for trace in "${OUT}".*.trace.json; do
     > "${trace%.trace.json}.imbalance.txt"
 done
 
-echo "results written to results/ with prefix ${RUN_ID} (incl. *.trace.json Chrome traces, *.stages.* breakdowns with memory sections, *.imbalance.json analyzer output, and *.slo.json serving summaries)"
+echo "results written to results/ with prefix ${RUN_ID} (incl. *.trace.json Chrome traces, *.stages.* breakdowns with memory sections, *.imbalance.json analyzer output, *.slo.json serving summaries, and *.scrape.txt mid-run admin-plane expositions)"
