@@ -17,8 +17,12 @@
 //!
 //! Two measurement paths coexist on purpose:
 //!
-//! * the driver's own slabs time the full client-observed call (plan +
-//!   span + query) with `Instant` — always on, no feature needed;
+//! * the driver's own slabs time the full client-observed request with
+//!   `Instant` — always on, no feature needed — stamping the four phase
+//!   checkpoints (`queued` at query selection, `dispatched` before the
+//!   call, `executed` after it returns, `replied` after bookkeeping), so
+//!   queue-wait vs execute time is a first-class split and each window
+//!   keeps its slowest requests as tail exemplars;
 //! * built `--features obs`, the query internals *also* record into the
 //!   process-global serving slabs, and the reporter rotates those in step,
 //!   so `--trace` exports `query.win.*` counter events for `chrome://tracing`
@@ -45,12 +49,17 @@ use parcsr::query::{
 use parcsr::{with_processors, BitPackedCsr, CsrBuilder, PackedCsrMode};
 use parcsr_graph::{EdgeList, NodeId};
 use parcsr_obs::metrics::HistogramSummary;
-use parcsr_obs::serve::{DegreeClass, QueryKind, QuerySlabs};
+use parcsr_obs::serve::{
+    DegreeClass, Exemplar, PhaseNanos, QueryKind, QueryPhase, QuerySlabs, EXEMPLARS_PER_SHARD,
+};
 
 use crate::json::{Json, ToJson};
 
 /// Result-JSON schema tag; bump when the shape changes incompatibly.
 pub const SCHEMA: &str = "parcsr.closed_loop.v1";
+
+/// Schema tag of the tail-exemplar block inside the result JSON.
+pub const EXEMPLAR_SCHEMA: &str = "parcsr.exemplars.v1";
 
 /// Mix entries, in fixed order: neighbors (Alg 6), edge_scan (Alg 7),
 /// edge_binary (Alg 7 binary), split (Alg 8).
@@ -383,10 +392,13 @@ pub fn build_graph(opts: &DriverOptions) -> (String, EdgeList) {
 /// or of the whole run.
 #[derive(Debug, Clone)]
 pub struct CellReport {
-    /// Cell name (`neighbors`, …, or `low`/`mid`/`hub`).
+    /// Cell name (`neighbors`, …, `low`/`mid`/`hub`, or `queue`/`exec`/`reply`).
     pub name: &'static str,
     /// Observations in the cell.
     pub count: u64,
+    /// Total time spent in the cell, ns (lets consumers compute the share
+    /// of wall time a phase or class accounts for).
+    pub sum_ns: u64,
     /// Latency percentiles, ns.
     pub p50_ns: u64,
     /// 95th percentile, ns.
@@ -402,6 +414,7 @@ impl CellReport {
         CellReport {
             name,
             count: s.count,
+            sum_ns: s.sum,
             p50_ns: s.p50,
             p95_ns: s.p95,
             p99_ns: s.p99,
@@ -415,10 +428,67 @@ impl ToJson for CellReport {
         Json::Object(vec![
             ("name".into(), Json::Str(self.name.into())),
             ("count".into(), Json::Int(self.count as i64)),
+            ("sum_ns".into(), Json::Int(self.sum_ns as i64)),
             ("p50_ns".into(), Json::Int(self.p50_ns as i64)),
             ("p95_ns".into(), Json::Int(self.p95_ns as i64)),
             ("p99_ns".into(), Json::Int(self.p99_ns as i64)),
             ("max_ns".into(), Json::Int(self.max_ns as i64)),
+        ])
+    }
+}
+
+/// The per-phase rollup of one degree class over the whole run — the
+/// "where does hub time go" row of EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct ClassPhases {
+    /// Degree class name (`low`/`mid`/`hub`).
+    pub class: &'static str,
+    /// Non-empty per-phase rollups (`queue`/`exec`/`reply`).
+    pub phases: Vec<CellReport>,
+}
+
+impl ToJson for ClassPhases {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("class".into(), Json::Str(self.class.into())),
+            ("phases".into(), self.phases.as_slice().to_json()),
+        ])
+    }
+}
+
+/// The tail exemplars one reporting window retained: the slowest requests
+/// with their full phase breakdown.
+#[derive(Debug, Clone)]
+pub struct WindowExemplars {
+    /// Window ordinal the exemplars were captured in.
+    pub window: u64,
+    /// Slowest-first exemplars (at most [`EXEMPLARS_PER_SHARD`]).
+    pub exemplars: Vec<Exemplar>,
+}
+
+impl ToJson for WindowExemplars {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("window".into(), Json::Int(self.window as i64)),
+            (
+                "exemplars".into(),
+                Json::Array(
+                    self.exemplars
+                        .iter()
+                        .map(|e| {
+                            Json::Object(vec![
+                                ("kind".into(), Json::Str(e.kind.name().into())),
+                                ("class".into(), Json::Str(e.class.name().into())),
+                                ("source".into(), Json::Int(e.source as i64)),
+                                ("total_ns".into(), Json::Int(e.ns.total_ns as i64)),
+                                ("queue_ns".into(), Json::Int(e.ns.queue_ns as i64)),
+                                ("exec_ns".into(), Json::Int(e.ns.exec_ns as i64)),
+                                ("reply_ns".into(), Json::Int(e.ns.reply_ns as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -447,6 +517,10 @@ pub struct WindowReport {
     pub kinds: Vec<CellReport>,
     /// Non-empty per-degree-class rollups.
     pub classes: Vec<CellReport>,
+    /// Non-empty per-phase rollups (`queue`/`exec`/`reply`); the phases
+    /// partition each request's end-to-end time, so their `sum_ns` values
+    /// add up to the window's total time.
+    pub phases: Vec<CellReport>,
 }
 
 impl ToJson for WindowReport {
@@ -462,6 +536,7 @@ impl ToJson for WindowReport {
             ("p99_ns".into(), Json::Int(self.p99_ns as i64)),
             ("kinds".into(), self.kinds.as_slice().to_json()),
             ("classes".into(), self.classes.as_slice().to_json()),
+            ("phases".into(), self.phases.as_slice().to_json()),
         ])
     }
 }
@@ -526,6 +601,10 @@ pub struct DriverReport {
     pub windows: Vec<WindowReport>,
     /// Lifetime rollup across all windows.
     pub overall: WindowReport,
+    /// Per-degree-class phase decomposition over the whole run.
+    pub class_phases: Vec<ClassPhases>,
+    /// Per-window tail exemplars (windows that retained none are omitted).
+    pub exemplars: Vec<WindowExemplars>,
     /// Achieved-vs-target verdict.
     pub slo: SloReport,
 }
@@ -547,6 +626,18 @@ impl ToJson for DriverReport {
             ("elapsed_ms".into(), Json::Float(self.elapsed_ms)),
             ("windows".into(), self.windows.as_slice().to_json()),
             ("overall".into(), self.overall.to_json()),
+            (
+                "class_phases".into(),
+                self.class_phases.as_slice().to_json(),
+            ),
+            (
+                "exemplars".into(),
+                Json::Object(vec![
+                    ("schema".into(), Json::Str(EXEMPLAR_SCHEMA.into())),
+                    ("per_shard".into(), Json::Int(EXEMPLARS_PER_SHARD as i64)),
+                    ("windows".into(), self.exemplars.as_slice().to_json()),
+                ]),
+            ),
             ("slo".into(), self.slo.to_json()),
         ])
     }
@@ -575,6 +666,13 @@ fn window_report(
             (s.count > 0).then(|| CellReport::from_summary(c.name(), &s))
         })
         .collect();
+    let phases = QueryPhase::ALL
+        .iter()
+        .filter_map(|&p| {
+            let s = slabs.window_phase_summary(epoch, p, None, None);
+            (s.count > 0).then(|| CellReport::from_summary(p.name(), &s))
+        })
+        .collect();
     WindowReport {
         window: ordinal,
         start_ms,
@@ -590,6 +688,7 @@ fn window_report(
         p99_ns: all.p99,
         kinds,
         classes,
+        phases,
     }
 }
 
@@ -623,9 +722,12 @@ pub fn run(opts: &DriverOptions) -> DriverReport {
     let windows_target = opts.duration_ms.div_ceil(opts.window_ms);
     let mut windows: Vec<WindowReport> = Vec::new();
 
+    let mut exemplars: Vec<WindowExemplars> = Vec::new();
+
     std::thread::scope(|scope| {
         for client in 0..opts.clients {
             let (slabs, stop, packed, ranks, zipf) = (&slabs, &stop, &packed, &ranks, &zipf);
+            let run_start = &run_start;
             let opts = opts.clone();
             scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(
@@ -635,6 +737,10 @@ pub fn run(opts: &DriverOptions) -> DriverReport {
                 // this thread, so length-1 batches cost no thread spawn.
                 with_processors(1, || {
                     while !stop.load(Relaxed) {
+                        // Phase checkpoint 1: the request exists from here
+                        // (selection models the enqueue-side work a data
+                        // plane will do before dispatching to a worker).
+                        let queued = Instant::now();
                         let mut pick = rng.gen_range(0..total_weight);
                         let kind = MIX_KINDS
                             .iter()
@@ -653,7 +759,9 @@ pub fn run(opts: &DriverOptions) -> DriverReport {
                             _ => ranks[zipf.sample_index(&mut rng)],
                         };
                         let deg = packed.degree(u);
-                        let t = Instant::now();
+                        // Phase checkpoint 2: dispatch — the query call
+                        // starts now; queued→dispatched is queue-wait.
+                        let dispatched = Instant::now();
                         match kind {
                             QueryKind::Neighbors => {
                                 std::hint::black_box(neighbors_batch(packed, &[u], 1));
@@ -675,8 +783,28 @@ pub fn run(opts: &DriverOptions) -> DriverReport {
                                 std::hint::black_box(edge_exists_split(packed, u, v, 1));
                             }
                         }
-                        let ns = t.elapsed().as_nanos() as u64;
-                        slabs.record(client, kind, DegreeClass::classify(deg), ns);
+                        // Phase checkpoints 3 and 4: the call returned;
+                        // replied closes the request (result teardown and
+                        // any reply-side bookkeeping land in the reply
+                        // phase once the data plane serializes responses).
+                        let executed = Instant::now();
+                        let replied = Instant::now();
+                        let at = |t: Instant| t.duration_since(*run_start).as_nanos() as u64;
+                        let ns = PhaseNanos::from_checkpoints(
+                            at(queued),
+                            at(dispatched),
+                            at(executed),
+                            at(replied),
+                        );
+                        slabs.record_query(
+                            client,
+                            Exemplar {
+                                kind,
+                                class: DegreeClass::classify(deg),
+                                source: u64::from(u),
+                                ns,
+                            },
+                        );
                     }
                 });
             });
@@ -694,6 +822,13 @@ pub fn run(opts: &DriverOptions) -> DriverReport {
             }
             let completed = slabs.rotate();
             parcsr_obs::serve::rotate_window();
+            let exs = slabs.completed_exemplars();
+            if !exs.is_empty() {
+                exemplars.push(WindowExemplars {
+                    window: ordinal,
+                    exemplars: exs,
+                });
+            }
             let now_ms = run_start.elapsed().as_secs_f64() * 1_000.0;
             windows.push(window_report(
                 &slabs,
@@ -712,6 +847,13 @@ pub fn run(opts: &DriverOptions) -> DriverReport {
     let elapsed_ms = run_start.elapsed().as_secs_f64() * 1_000.0;
     let tail_epoch = slabs.rotate();
     parcsr_obs::serve::rotate_window();
+    let tail_exs = slabs.completed_exemplars();
+    if !tail_exs.is_empty() {
+        exemplars.push(WindowExemplars {
+            window: windows.len() as u64,
+            exemplars: tail_exs,
+        });
+    }
     let last_rotate_ms = windows.last().map_or(0.0, |w| w.start_ms + w.dur_ms);
     let tail = window_report(
         &slabs,
@@ -739,6 +881,29 @@ pub fn run(opts: &DriverOptions) -> DriverReport {
             (s.count > 0).then(|| CellReport::from_summary(c.name(), &s))
         })
         .collect();
+    let overall_phases = QueryPhase::ALL
+        .iter()
+        .filter_map(|&p| {
+            let s = slabs.overall_phase_summary(p, None, None);
+            (s.count > 0).then(|| CellReport::from_summary(p.name(), &s))
+        })
+        .collect();
+    let class_phases = DegreeClass::ALL
+        .iter()
+        .filter_map(|&c| {
+            let phases: Vec<CellReport> = QueryPhase::ALL
+                .iter()
+                .filter_map(|&p| {
+                    let s = slabs.overall_phase_summary(p, None, Some(c));
+                    (s.count > 0).then(|| CellReport::from_summary(p.name(), &s))
+                })
+                .collect();
+            (!phases.is_empty()).then_some(ClassPhases {
+                class: c.name(),
+                phases,
+            })
+        })
+        .collect();
     let qps = if elapsed_ms > 0.0 {
         all.count as f64 * 1_000.0 / elapsed_ms
     } else {
@@ -755,6 +920,7 @@ pub fn run(opts: &DriverOptions) -> DriverReport {
         p99_ns: all.p99,
         kinds: overall_kinds,
         classes: overall_classes,
+        phases: overall_phases,
     };
     let met = (opts.p99_ns.is_some() || opts.min_qps.is_some())
         .then(|| opts.p99_ns.is_none_or(|t| all.p99 <= t) && opts.min_qps.is_none_or(|t| qps >= t));
@@ -769,6 +935,8 @@ pub fn run(opts: &DriverOptions) -> DriverReport {
         elapsed_ms,
         windows,
         overall,
+        class_phases,
+        exemplars,
         slo: SloReport {
             target_p99_ns: opts.p99_ns,
             target_min_qps: opts.min_qps,
@@ -832,6 +1000,41 @@ pub fn render_table(report: &DriverReport) -> String {
             us(cell.p95_ns),
             us(cell.p99_ns),
             us(cell.max_ns),
+        );
+    }
+    let phase_total: u64 = o.phases.iter().map(|p| p.sum_ns).sum();
+    for cell in &o.phases {
+        let share = if phase_total > 0 {
+            cell.sum_ns as f64 * 100.0 / phase_total as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  phase {:>5}: {:>4.1}% of time, p50 {:.1} µs, p95 {:.1} µs, p99 {:.1} µs",
+            cell.name,
+            share,
+            us(cell.p50_ns),
+            us(cell.p95_ns),
+            us(cell.p99_ns),
+        );
+    }
+    if let Some(slowest) = report
+        .exemplars
+        .iter()
+        .flat_map(|w| &w.exemplars)
+        .max_by_key(|e| e.ns.total_ns)
+    {
+        let _ = writeln!(
+            out,
+            "slowest query: {} {} source {} — total {:.1} µs (queue {:.1}, exec {:.1}, reply {:.1})",
+            slowest.kind.name(),
+            slowest.class.name(),
+            slowest.source,
+            us(slowest.ns.total_ns),
+            us(slowest.ns.queue_ns),
+            us(slowest.ns.exec_ns),
+            us(slowest.ns.reply_ns),
         );
     }
     let slo = &report.slo;
@@ -967,21 +1170,90 @@ mod tests {
             assert_eq!(w.window, i as u64);
         }
         assert!(report.windows[0].requests > 0);
-        // Lifetime rollup equals the sum of the windows (the tail rotation
-        // runs after every client joined, so nothing is lost).
+        // Lifetime rollup equals the sum of the windows up to boundary
+        // smear: a client mid-record across a rotation may land its sample
+        // in a completed slot after the reporter read it (at most one
+        // in-flight record per client per rotation, per the serve-module
+        // concurrency contract), so the window sum may trail slightly.
         let sum: u64 = report.windows.iter().map(|w| w.requests).sum();
-        assert_eq!(sum, report.overall.requests);
+        assert!(sum <= report.overall.requests);
+        let smear_bound = opts.clients as u64 * (report.windows.len() as u64 + 1);
+        assert!(
+            report.overall.requests - sum <= smear_bound,
+            "lost {} records to rotation smear (bound {smear_bound})",
+            report.overall.requests - sum
+        );
         // Trivial SLO targets are met and echoed.
         assert_eq!(report.slo.met, Some(true));
-        // JSON round-trips and carries the schema tag.
+        // Phase rollups: the three phases partition each request exactly,
+        // so their total time equals the end-to-end total and queue/exec
+        // are both represented.
+        let phase_names: Vec<&str> = report.overall.phases.iter().map(|p| p.name).collect();
+        assert!(phase_names.contains(&"queue"));
+        assert!(phase_names.contains(&"exec"));
+        let phase_sum: u64 = report.overall.phases.iter().map(|p| p.sum_ns).sum();
+        let e2e_sum: u64 = report.overall.classes.iter().map(|c| c.sum_ns).sum();
+        assert_eq!(
+            phase_sum, e2e_sum,
+            "phase sums must partition the end-to-end total exactly"
+        );
+        let all = &report.overall;
+        // exec dominates an inline driver; queue exists but is small.
+        let exec = report
+            .overall
+            .phases
+            .iter()
+            .find(|p| p.name == "exec")
+            .unwrap();
+        assert!(exec.count == all.requests);
+        // Per-class phase decomposition covers every class that saw traffic.
+        assert_eq!(report.class_phases.len(), report.overall.classes.len());
+        // Exemplars: every rotated window that saw traffic kept its slowest
+        // requests, each with an exact phase partition.
+        assert!(!report.exemplars.is_empty());
+        for we in &report.exemplars {
+            assert!(!we.exemplars.is_empty());
+            for e in &we.exemplars {
+                assert_eq!(
+                    e.ns.queue_ns + e.ns.exec_ns + e.ns.reply_ns,
+                    e.ns.total_ns,
+                    "exemplar phases must partition the end-to-end time"
+                );
+            }
+            // Slowest-first ordering.
+            for pair in we.exemplars.windows(2) {
+                assert!(pair[0].ns.total_ns >= pair[1].ns.total_ns);
+            }
+        }
+        // JSON round-trips and carries the schema tags.
         let parsed = Json::parse(&report.to_json().pretty()).expect("valid JSON");
         assert_eq!(parsed.get("schema").and_then(Json::as_str), Some(SCHEMA),);
         let windows = parsed.get("windows").unwrap().as_array().unwrap();
         assert_eq!(windows.len(), report.windows.len());
         assert!(windows[0].get("kinds").unwrap().as_array().unwrap().len() >= 2);
+        assert!(!windows[0]
+            .get("phases")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        let ex = parsed.get("exemplars").unwrap();
+        assert_eq!(
+            ex.get("schema").and_then(Json::as_str),
+            Some(EXEMPLAR_SCHEMA)
+        );
+        assert!(!ex.get("windows").unwrap().as_array().unwrap().is_empty());
+        assert!(!parsed
+            .get("class_phases")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
         // The human table renders every window plus the verdict line.
         let table = render_table(&report);
         assert!(table.contains("overall:"));
+        assert!(table.contains("phase"));
+        assert!(table.contains("slowest query:"));
         assert!(table.contains("slo: MET"));
     }
 }

@@ -194,7 +194,8 @@ pub fn neighbors_batch_with_chunking<S: NeighborSource>(
         let mut out = Vec::with_capacity(chunk.range.len());
         for &u in &queries[chunk.range.clone()] {
             let deg = source.degree(u);
-            let q = parcsr_obs::serve::query_start();
+            let mut q = parcsr_obs::serve::query_start();
+            q.source(u as u64);
             // The result row is the one unavoidable allocation (it is
             // the output); sized exactly from the packed degree so the
             // streaming fill never reallocates.
@@ -306,7 +307,8 @@ fn batch_edge_queries<S: NeighborSource>(
         queries[chunk.range.clone()]
             .iter()
             .map(|&(u, v)| {
-                let q = parcsr_obs::serve::query_start();
+                let mut q = parcsr_obs::serve::query_start();
+                q.source(u as u64);
                 let hit = probe(source, u, v);
                 q.finish(kind, || source.degree(u));
                 hit
@@ -331,7 +333,8 @@ pub fn edge_exists_split<S: NeighborSource>(
     // Splitting one row across workers needs random access into it, so this
     // is the one query where materialization is unavoidable on a streaming
     // source; the buffer is sized exactly once from the degree.
-    let q = parcsr_obs::serve::query_start();
+    let mut q = parcsr_obs::serve::query_start();
+    q.source(u as u64);
     // LINT: alloc-ok(row must be materialized for random-access splitting; sized exactly once from the degree)
     let mut row = Vec::with_capacity(source.degree(u));
     source.row_into(u, &mut row);
@@ -349,7 +352,8 @@ pub fn edge_exists_split_binary<S: NeighborSource>(
     v: NodeId,
     processors: usize,
 ) -> bool {
-    let q = parcsr_obs::serve::query_start();
+    let mut q = parcsr_obs::serve::query_start();
+    q.source(u as u64);
     // LINT: alloc-ok(row must be materialized for random-access splitting; sized exactly once from the degree)
     let mut row = Vec::with_capacity(source.degree(u));
     source.row_into(u, &mut row);

@@ -198,6 +198,89 @@ pub fn render(snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// Renders the rotated-window history ring (the admin plane's `history`
+/// endpoint) in the same text format as [`render`]. The document carries a
+/// `parcsr_history_windows` gauge (always present, so the output is
+/// non-empty even before any rotation), per-window `parcsr_history_qps` /
+/// `parcsr_history_duration_ns` / `parcsr_history_queries` gauges labeled
+/// by window ordinal, and one `parcsr_query_hist_ns{kind,class,window}`
+/// summary family carrying every retained cell summary. The `window` label
+/// keeps series unique across rotations, so a history scrape satisfies the
+/// same `cargo xtask expo-check` rules as a `/metrics` scrape.
+#[must_use]
+pub fn render_history(windows: &[crate::serve::HistoryWindow]) -> String {
+    let mut out = String::new();
+    push_family(
+        &mut out,
+        "parcsr_history_windows",
+        "rotated windows retained in the history ring",
+        "gauge",
+    );
+    let _ = writeln!(out, "parcsr_history_windows {}", windows.len());
+    if !windows.is_empty() {
+        push_family(
+            &mut out,
+            "parcsr_history_qps",
+            "completed queries per second in each retained window",
+            "gauge",
+        );
+        for w in windows {
+            let _ = writeln!(
+                out,
+                "parcsr_history_qps{{window=\"{}\"}} {}",
+                w.window, w.qps
+            );
+        }
+        push_family(
+            &mut out,
+            "parcsr_history_duration_ns",
+            "wall-clock duration (ns) of each retained window",
+            "gauge",
+        );
+        for w in windows {
+            let _ = writeln!(
+                out,
+                "parcsr_history_duration_ns{{window=\"{}\"}} {}",
+                w.window, w.dur_ns
+            );
+        }
+        push_family(
+            &mut out,
+            "parcsr_history_queries",
+            "queries completed in each retained window",
+            "gauge",
+        );
+        for w in windows {
+            let _ = writeln!(
+                out,
+                "parcsr_history_queries{{window=\"{}\"}} {}",
+                w.window, w.queries
+            );
+        }
+        if windows.iter().any(|w| !w.cells.is_empty()) {
+            push_family(
+                &mut out,
+                "parcsr_query_hist_ns",
+                "windowed query latency (ns) by kind and degree class, every retained window",
+                "summary",
+            );
+            for w in windows {
+                for cell in &w.cells {
+                    let labels = format!(
+                        "kind=\"{}\",class=\"{}\",window=\"{}\"",
+                        escape_label(cell.kind.name()),
+                        escape_label(cell.class.name()),
+                        w.window
+                    );
+                    push_summary_samples(&mut out, "parcsr_query_hist_ns", &labels, &cell.summary);
+                }
+            }
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Parser
 // ---------------------------------------------------------------------------
@@ -655,6 +738,56 @@ mod tests {
         let expo = parse(text).unwrap();
         assert_eq!(expo.types[0].kind, FamilyKind::Untyped);
         assert_eq!(expo.samples[0].value, 3.0);
+    }
+
+    #[test]
+    fn render_history_empty_ring_is_still_a_valid_document() {
+        let text = render_history(&[]);
+        assert!(text.contains("\nparcsr_history_windows 0\n"));
+        let expo = parse(&text).unwrap();
+        assert_eq!(expo.samples.len(), 1);
+        assert!(expo.saw_eof);
+    }
+
+    #[test]
+    fn render_history_labels_every_series_with_its_window() {
+        use crate::serve::{DegreeClass, HistoryWindow, QueryKind, WindowCell};
+        let window = |epoch: u64| HistoryWindow {
+            window: epoch,
+            end_ns: epoch * 1_000_000,
+            dur_ns: 1_000_000,
+            queries: 5,
+            qps: 5_000.0,
+            cells: vec![WindowCell {
+                kind: QueryKind::Neighbors,
+                class: DegreeClass::Hub,
+                summary: summary(5, 500, 200),
+            }],
+        };
+        let text = render_history(&[window(3), window(4)]);
+        assert!(text.contains("\nparcsr_history_windows 2\n"));
+        assert!(text.contains("\nparcsr_history_qps{window=\"3\"} 5000\n"));
+        assert!(text.contains("\nparcsr_history_queries{window=\"4\"} 5\n"));
+        assert!(text.contains(
+            "\nparcsr_query_hist_ns{kind=\"neighbors\",class=\"hub\",window=\"3\",quantile=\"0.99\"} 200\n"
+        ));
+        assert!(text.contains(
+            "\nparcsr_query_hist_ns_count{kind=\"neighbors\",class=\"hub\",window=\"4\"} 5\n"
+        ));
+        let expo = parse(&text).unwrap();
+        // windows gauge + 3 gauges x 2 windows + 6 summary series x 2 cells.
+        assert_eq!(expo.samples.len(), 1 + 6 + 12);
+        // Each (name, labels) pair is unique thanks to the window label.
+        let mut seen = BTreeSet::new();
+        for s in &expo.samples {
+            let mut key = format!("{}|", s.name);
+            let mut labels = s.labels.clone();
+            labels.sort();
+            for (k, v) in labels {
+                key.push_str(&format!("{k}={v},"));
+            }
+            assert!(seen.insert(key), "duplicate series in history exposition");
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ use std::path::Path;
 use crate::json::Json;
 use crate::mem::MemSnapshot;
 use crate::metrics::MetricsSnapshot;
-use crate::serve::WindowRecord;
+use crate::serve::{ExemplarRecord, PhaseRecord, WindowRecord};
 use crate::span::SpanRecord;
 
 fn span_args_json(r: &SpanRecord) -> Json {
@@ -104,14 +104,22 @@ fn counter_event(name: &str, ts_us: f64, args: Vec<(String, Json)>) -> Json {
 /// gauges, and the query-latency histograms. Pass `mem = None` when memory
 /// accounting did not run; the memory series are then omitted. `windows`
 /// (from [`crate::serve::drain_window_log`], rotation order) adds the
-/// per-window serving-telemetry series described in the module docs; pass
-/// `&[]` when no window rotation ran.
+/// per-window serving-telemetry series described in the module docs;
+/// `phases` ([`crate::serve::drain_phase_log`]) adds one
+/// `query.phase.<phase>.<kind>.<class>` point per phase of each non-empty
+/// cell (args: `window`, `count`, `sum`, `p50`, `p95`, `p99`), and
+/// `exemplars` ([`crate::serve::drain_exemplar_log`]) one
+/// `query.exemplar.<kind>.<class>` point per captured tail query (args:
+/// `window`, `source`, `total`, `queue`, `exec`, `reply`). Pass `&[]` for
+/// any log that has no entries.
 #[must_use]
 pub fn chrome_trace_with_counters(
     spans: &[SpanRecord],
     metrics: &MetricsSnapshot,
     mem: Option<MemSnapshot>,
     windows: &[WindowRecord],
+    phases: &[PhaseRecord],
+    exemplars: &[ExemplarRecord],
 ) -> Json {
     let Json::Array(mut events) = chrome_trace_json(spans) else {
         unreachable!("chrome_trace_json returns an array");
@@ -188,6 +196,7 @@ pub fn chrome_trace_with_counters(
                 vec![
                     ("window".into(), Json::Int(w.window as i64)),
                     ("count".into(), Json::Int(w.summary.count as i64)),
+                    ("sum".into(), Json::Int(w.summary.sum as i64)),
                     ("p50".into(), Json::Int(w.summary.p50 as i64)),
                     ("p95".into(), Json::Int(w.summary.p95 as i64)),
                     ("p99".into(), Json::Int(w.summary.p99 as i64)),
@@ -214,6 +223,43 @@ pub fn chrome_trace_with_counters(
         ));
         i = j;
     }
+
+    // Per-phase window series: the queue/exec/reply decomposition of each
+    // `query.win.*` cell, same rotation order, so each phase series is
+    // time-ordered and its window ordinals are monotone. `check-trace`
+    // additionally verifies that for each (window, cell) the three phase
+    // sums stay within tolerance of the end-to-end `sum` above.
+    for p in phases {
+        events.push(counter_event(
+            &p.series_name(),
+            p.end_ns as f64 / 1_000.0,
+            vec![
+                ("window".into(), Json::Int(p.window as i64)),
+                ("count".into(), Json::Int(p.summary.count as i64)),
+                ("sum".into(), Json::Int(p.summary.sum as i64)),
+                ("p50".into(), Json::Int(p.summary.p50 as i64)),
+                ("p95".into(), Json::Int(p.summary.p95 as i64)),
+                ("p99".into(), Json::Int(p.summary.p99 as i64)),
+            ],
+        ));
+    }
+
+    // Tail exemplars: one point per captured slow query at its window's
+    // rotation timestamp, carrying the full phase breakdown.
+    for e in exemplars {
+        events.push(counter_event(
+            &e.series_name(),
+            e.end_ns as f64 / 1_000.0,
+            vec![
+                ("window".into(), Json::Int(e.window as i64)),
+                ("source".into(), Json::Int(e.exemplar.source as i64)),
+                ("total".into(), Json::Int(e.exemplar.ns.total_ns as i64)),
+                ("queue".into(), Json::Int(e.exemplar.ns.queue_ns as i64)),
+                ("exec".into(), Json::Int(e.exemplar.ns.exec_ns as i64)),
+                ("reply".into(), Json::Int(e.exemplar.ns.reply_ns as i64)),
+            ],
+        ));
+    }
     Json::Array(events)
 }
 
@@ -225,10 +271,12 @@ pub fn write_chrome_trace(
     metrics: &MetricsSnapshot,
     mem: Option<MemSnapshot>,
     windows: &[WindowRecord],
+    phases: &[PhaseRecord],
+    exemplars: &[ExemplarRecord],
 ) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
     file.write_all(
-        chrome_trace_with_counters(spans, metrics, mem, windows)
+        chrome_trace_with_counters(spans, metrics, mem, windows, phases, exemplars)
             .pretty()
             .as_bytes(),
     )?;
@@ -519,7 +567,7 @@ mod tests {
             live_bytes: 150,
             peak_bytes: 1000,
         });
-        let json = chrome_trace_with_counters(&[a, b], &metrics, mem, &[]);
+        let json = chrome_trace_with_counters(&[a, b], &metrics, mem, &[], &[], &[]);
         let events = json.as_array().unwrap();
         // 2 spans + 2×(live,stage_peak) + peak + counter + histogram = 9.
         assert_eq!(events.len(), 9);
@@ -554,7 +602,14 @@ mod tests {
             Some(180)
         );
         // No mem snapshot → no mem series at all.
-        let json = chrome_trace_with_counters(&[span("degree", 0, 1, 0, 0)], &metrics, None, &[]);
+        let json = chrome_trace_with_counters(
+            &[span("degree", 0, 1, 0, 0)],
+            &metrics,
+            None,
+            &[],
+            &[],
+            &[],
+        );
         let events = json.as_array().unwrap();
         assert!(events
             .iter()
@@ -604,6 +659,8 @@ mod tests {
             &MetricsSnapshot::default(),
             None,
             &windows,
+            &[],
+            &[],
         );
         let events = json.as_array().unwrap();
         // 1 span + 3 window cells + 2 qps points.
@@ -615,6 +672,7 @@ mod tests {
         let args = cell.get("args").unwrap();
         assert_eq!(args.get("window").unwrap().as_i64(), Some(0));
         assert_eq!(args.get("count").unwrap().as_i64(), Some(100));
+        assert_eq!(args.get("sum").unwrap().as_i64(), Some(100 * 100));
         assert_eq!(args.get("p99").unwrap().as_i64(), Some(90_000));
         let qps: Vec<_> = events
             .iter()
@@ -638,6 +696,81 @@ mod tests {
             .collect();
         assert_eq!(neigh.len(), 2);
         assert!(neigh[0].get("ts").unwrap().as_f64() <= neigh[1].get("ts").unwrap().as_f64());
+    }
+
+    #[test]
+    fn chrome_trace_phase_and_exemplar_events() {
+        use crate::metrics::HistogramSummary;
+        use crate::serve::{
+            DegreeClass, Exemplar, ExemplarRecord, PhaseNanos, PhaseRecord, QueryKind, QueryPhase,
+        };
+        let summary = |count: u64, sum: u64| HistogramSummary {
+            count,
+            sum,
+            max: sum,
+            p50: sum / 2,
+            p95: sum,
+            p99: sum,
+        };
+        let phases: Vec<PhaseRecord> = [
+            (QueryPhase::Queue, 4_000u64),
+            (QueryPhase::Exec, 90_000),
+            (QueryPhase::Reply, 1_000),
+        ]
+        .into_iter()
+        .map(|(phase, sum)| PhaseRecord {
+            window: 0,
+            end_ns: 1_000_000_000,
+            phase,
+            kind: QueryKind::SplitSearch,
+            class: DegreeClass::Hub,
+            summary: summary(10, sum),
+        })
+        .collect();
+        let exemplars = vec![ExemplarRecord {
+            window: 0,
+            end_ns: 1_000_000_000,
+            exemplar: Exemplar {
+                kind: QueryKind::SplitSearch,
+                class: DegreeClass::Hub,
+                source: 42,
+                ns: PhaseNanos {
+                    total_ns: 95_000,
+                    queue_ns: 4_000,
+                    exec_ns: 90_000,
+                    reply_ns: 1_000,
+                },
+            },
+        }];
+        let json = chrome_trace_with_counters(
+            &[span("serve", 0, 1_000_000_000, 0, 0)],
+            &MetricsSnapshot::default(),
+            None,
+            &[],
+            &phases,
+            &exemplars,
+        );
+        let events = json.as_array().unwrap();
+        // 1 span + 3 phase points + 1 exemplar point.
+        assert_eq!(events.len(), 5);
+        let queue = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("query.phase.queue.split.hub"))
+            .unwrap();
+        let args = queue.get("args").unwrap();
+        assert_eq!(args.get("window").unwrap().as_i64(), Some(0));
+        assert_eq!(args.get("count").unwrap().as_i64(), Some(10));
+        assert_eq!(args.get("sum").unwrap().as_i64(), Some(4_000));
+        let ex = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("query.exemplar.split.hub"))
+            .unwrap();
+        let args = ex.get("args").unwrap();
+        assert_eq!(args.get("source").unwrap().as_i64(), Some(42));
+        assert_eq!(args.get("total").unwrap().as_i64(), Some(95_000));
+        assert_eq!(args.get("queue").unwrap().as_i64(), Some(4_000));
+        assert_eq!(args.get("exec").unwrap().as_i64(), Some(90_000));
+        assert_eq!(args.get("reply").unwrap().as_i64(), Some(1_000));
     }
 
     #[test]

@@ -18,28 +18,52 @@
 //!   merge shards on demand ([`Histogram::merge_into`] — deterministic
 //!   bucketing makes a sharded merge bit-identical to single-slab
 //!   recording).
+//! * Per-cell **phase decomposition** ([`QueryPhase`]): each cell carries a
+//!   `queue`/`exec`/`reply` triple of `(overall, windowed)` histogram pairs
+//!   next to the end-to-end pair, fed by the phase-timed [`QueryStart`]
+//!   guard (`queued → dispatched → executed → replied` checkpoints). The
+//!   phases partition the end-to-end time exactly, so per-window phase sums
+//!   never exceed the end-to-end sum (`check-trace` enforces this on the
+//!   exported events).
+//! * A per-shard **tail-exemplar reservoir** ([`Exemplar`]): the
+//!   [`EXEMPLARS_PER_SHARD`] slowest queries of the live window with their
+//!   full phase breakdown, rotated with the window. Admission is gated on a
+//!   relaxed floor load, so the common (fast-query) path stays wait-free.
+//! * A **history ring** ([`HistoryRing`]): the last [`HISTORY_WINDOWS`]
+//!   rotated window summaries (per-cell count/percentiles + qps), the data
+//!   behind the admin plane's `history` endpoint and `parcsr watch`'s
+//!   sparklines.
 //! * A process-global facade ([`query_start`], [`rotate_window`],
-//!   [`drain_window_log`]) gated exactly like the rest of the crate: ZST
+//!   [`drain_window_log`], [`drain_phase_log`], [`drain_exemplar_log`],
+//!   [`history_snapshot`]) gated exactly like the rest of the crate: ZST
 //!   no-ops without the `enabled` feature, one relaxed load when compiled
 //!   in but runtime recording is off.
 //!
 //! # Concurrency contract
 //!
-//! Recording is wait-free (relaxed atomics into the recorder's own shard).
-//! Rotation is expected from a *single* coordinator thread (the window
-//! reporter); concurrent rotators would race on the epoch. A recorder that
-//! reads the epoch right at a rotation boundary may land its sample in the
-//! just-completed window (or, if descheduled for a full ring cycle, in a
-//! cleared one) — a one-sample boundary smear that is acceptable for a
-//! statistical latency view and never corrupts bucket counts.
+//! Recording is wait-free (relaxed atomics into the recorder's own shard;
+//! the exemplar reservoir takes its per-shard lock only for queries slower
+//! than the current floor). Rotation is expected from a *single*
+//! coordinator thread (the window reporter); concurrent rotators would race
+//! on the epoch. A recorder that reads the epoch right at a rotation
+//! boundary may land its sample in the just-completed window (or, if
+//! descheduled for a full ring cycle, in a cleared one) — a one-sample
+//! boundary smear that is acceptable for a statistical latency view and
+//! never corrupts bucket counts. The same smear applies across the phase
+//! histograms of one query (total and phases may straddle a rotation), so
+//! consumers of per-window phase sums allow a small tolerance.
 
+use std::collections::VecDeque;
 // ORDERING: Relaxed throughout — slab cells are independent statistical
 // histogram buckets (see metrics.rs), and the window epoch is a coarse
 // phase indicator read at recording time; the boundary smear documented
-// above is accepted, so no acquire/release pairing is needed.
+// above is accepted, so no acquire/release pairing is needed. The exemplar
+// admission floor is likewise a monotone-per-window hint: a stale read only
+// costs one lock round or drops one borderline exemplar.
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 #[cfg(feature = "enabled")]
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::OnceLock;
+use std::sync::{Mutex, PoisonError};
 
 use crate::metrics::{Histogram, HistogramSummary, MetricsSnapshot, WindowSeries};
 
@@ -151,6 +175,109 @@ impl DegreeClass {
     }
 }
 
+/// One phase of a request's lifecycle, as cut by the
+/// `queued → dispatched → executed → replied` checkpoints of the
+/// [`QueryStart`] guard:
+///
+/// ```text
+/// queued ──queue──▶ dispatched ──exec──▶ executed ──reply──▶ replied
+/// ```
+///
+/// The three phases partition the end-to-end time exactly. A guard that
+/// never marks a checkpoint degenerates gracefully: without `dispatched`
+/// the queue phase is 0, without `executed` the reply phase is 0 — so the
+/// in-process query path (which has no queue today) reports everything as
+/// `exec`, and the future data plane inherits the API unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryPhase {
+    /// `queued → dispatched`: time spent waiting for a worker.
+    Queue,
+    /// `dispatched → executed`: time spent executing the query.
+    Exec,
+    /// `executed → replied`: time spent delivering the result.
+    Reply,
+}
+
+/// Number of [`QueryPhase`] variants (phase-slot dimension).
+pub const NUM_QUERY_PHASES: usize = 3;
+
+impl QueryPhase {
+    /// All phases, in lifecycle (and slot-index) order.
+    pub const ALL: [QueryPhase; NUM_QUERY_PHASES] =
+        [QueryPhase::Queue, QueryPhase::Exec, QueryPhase::Reply];
+
+    /// Stable slot index.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name used in event/JSON schemas.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryPhase::Queue => "queue",
+            QueryPhase::Exec => "exec",
+            QueryPhase::Reply => "reply",
+        }
+    }
+}
+
+/// One query's phase-decomposed timing, nanoseconds. The phases partition
+/// `total_ns` (up to clock-saturation rounding), so
+/// `queue_ns + exec_ns + reply_ns ≤ total_ns` always holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// End-to-end `queued → replied` time.
+    pub total_ns: u64,
+    /// `queued → dispatched` wait.
+    pub queue_ns: u64,
+    /// `dispatched → executed` service time.
+    pub exec_ns: u64,
+    /// `executed → replied` delivery time.
+    pub reply_ns: u64,
+}
+
+impl PhaseNanos {
+    /// Phase decomposition from the four checkpoint timestamps (span-clock
+    /// ns). Checkpoints are clamped monotone, so a descheduled guard never
+    /// produces phases that sum past the end-to-end time.
+    #[must_use]
+    pub fn from_checkpoints(queued: u64, dispatched: u64, executed: u64, replied: u64) -> Self {
+        let dispatched = dispatched.clamp(queued, replied);
+        let executed = executed.clamp(dispatched, replied);
+        Self {
+            total_ns: replied.saturating_sub(queued),
+            queue_ns: dispatched.saturating_sub(queued),
+            exec_ns: executed.saturating_sub(dispatched),
+            reply_ns: replied.saturating_sub(executed),
+        }
+    }
+
+    /// A sample with only a total (no checkpoints): everything counts as
+    /// `exec`, matching the degenerate guard documented on [`QueryPhase`].
+    #[must_use]
+    pub fn all_exec(total_ns: u64) -> Self {
+        Self {
+            total_ns,
+            queue_ns: 0,
+            exec_ns: total_ns,
+            reply_ns: 0,
+        }
+    }
+
+    /// The named phase's nanoseconds.
+    #[must_use]
+    pub fn phase(self, phase: QueryPhase) -> u64 {
+        match phase {
+            QueryPhase::Queue => self.queue_ns,
+            QueryPhase::Exec => self.exec_ns,
+            QueryPhase::Reply => self.reply_ns,
+        }
+    }
+}
+
 /// Ring of [`Histogram`]s with epoch rotation: the sliding-window latency
 /// view. Always compiled (plain atomics, unit-testable without features).
 #[derive(Debug)]
@@ -229,12 +356,23 @@ impl WindowedHistogram {
     }
 }
 
-/// One `(overall, windowed)` histogram pair: lifetime totals plus the
-/// sliding-window view of the same observations.
+/// One phase's `(overall, windowed)` histogram pair inside a cell. Boxed
+/// behind [`SlabCell::phases`] so the 15 KiB overall histogram stays off
+/// the `ShardSlab` inline footprint.
+#[derive(Debug)]
+struct PhaseSlot {
+    overall: Histogram,
+    windowed: WindowedHistogram,
+}
+
+/// One `(overall, windowed)` histogram pair for the end-to-end latency,
+/// plus one pair per [`QueryPhase`]: lifetime totals and the
+/// sliding-window view of the same observations, phase-decomposed.
 #[derive(Debug)]
 struct SlabCell {
     overall: Histogram,
     windowed: WindowedHistogram,
+    phases: Box<[PhaseSlot]>,
 }
 
 impl SlabCell {
@@ -242,29 +380,155 @@ impl SlabCell {
         Self {
             overall: Histogram::new(),
             windowed: WindowedHistogram::new(windows),
+            phases: (0..NUM_QUERY_PHASES)
+                .map(|_| PhaseSlot {
+                    overall: Histogram::new(),
+                    windowed: WindowedHistogram::new(windows),
+                })
+                .collect(),
         }
     }
 
+    /// Records an end-to-end observation only; the phase slots are left
+    /// untouched (phase counts are then ≤ the end-to-end count, which the
+    /// phase-sum invariant tolerates).
     #[inline]
     fn record(&self, v: u64) {
         self.overall.record(v);
         self.windowed.record(v);
     }
+
+    /// Records one phase-decomposed observation: the total into the
+    /// end-to-end pair and each phase into its slot.
+    #[inline]
+    fn record_phases(&self, ns: PhaseNanos) {
+        self.record(ns.total_ns);
+        for phase in QueryPhase::ALL {
+            let slot = &self.phases[phase.index()];
+            let v = ns.phase(phase);
+            slot.overall.record(v);
+            slot.windowed.record(v);
+        }
+    }
 }
 
-/// One worker's slab: a `(QueryKind, DegreeClass)` grid of cells, padded to
-/// its own cache-line neighborhood so concurrent recorders never share a
-/// line across shards (pelikan's per-worker metrics shape).
+/// The number of tail exemplars each shard retains per window: the K in
+/// "K slowest queries". Readers merge shards and keep the global top K,
+/// so the per-process bound is `shards × K` live + as many completed.
+pub const EXEMPLARS_PER_SHARD: usize = 8;
+
+/// One captured tail query: the full phase breakdown of one of the window's
+/// slowest requests, with enough identity (kind, class, source vertex) to
+/// re-run it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Query kind.
+    pub kind: QueryKind,
+    /// Degree class of the source row.
+    pub class: DegreeClass,
+    /// Source vertex the query addressed.
+    pub source: u64,
+    /// Phase-decomposed timing.
+    pub ns: PhaseNanos,
+}
+
+/// Bounded per-shard reservoir of the live window's slowest queries.
+///
+/// The admission test is one relaxed load of the floor (the smallest total
+/// currently retained once the reservoir is full): queries at or below it
+/// return without touching the lock, so the common path stays wait-free
+/// and only genuine tail candidates pay for the mutex. `rotate` publishes
+/// the live set as the completed window's exemplars and resets the floor.
+#[derive(Debug)]
+struct ExemplarReservoir {
+    /// Admission floor: 0 while the live set is not full, else the smallest
+    /// retained `total_ns`. A stale read only costs one lock round or drops
+    /// one borderline exemplar (the boundary smear the module header
+    /// documents).
+    floor_ns: AtomicU64,
+    live: Mutex<Vec<Exemplar>>,
+    completed: Mutex<Vec<Exemplar>>,
+}
+
+impl ExemplarReservoir {
+    fn new() -> Self {
+        Self {
+            floor_ns: AtomicU64::new(0),
+            live: Mutex::new(Vec::new()),
+            completed: Mutex::new(Vec::new()),
+        }
+    }
+
+    #[inline]
+    fn offer(&self, ex: Exemplar) {
+        if ex.ns.total_ns < self.floor_ns.load(Relaxed) {
+            return;
+        }
+        let mut live = self.live.lock().unwrap_or_else(PoisonError::into_inner);
+        if live.len() < EXEMPLARS_PER_SHARD {
+            live.push(ex);
+            if live.len() == EXEMPLARS_PER_SHARD {
+                let min = live.iter().map(|e| e.ns.total_ns).min().unwrap_or(0);
+                self.floor_ns.store(min, Relaxed);
+            }
+            return;
+        }
+        // Full: replace the current minimum if this query is slower.
+        let (slot, min) = live
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.ns.total_ns)
+            .map(|(i, e)| (i, e.ns.total_ns))
+            .unwrap_or((0, 0));
+        if ex.ns.total_ns > min {
+            live[slot] = ex;
+            let new_min = live.iter().map(|e| e.ns.total_ns).min().unwrap_or(0);
+            self.floor_ns.store(new_min, Relaxed);
+        }
+    }
+
+    /// Publishes the live set as the completed window and opens a fresh
+    /// one. Single-rotator, like [`WindowedHistogram::rotate`].
+    fn rotate(&self) {
+        let taken = {
+            let mut live = self.live.lock().unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *live)
+        };
+        self.floor_ns.store(0, Relaxed);
+        *self
+            .completed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = taken;
+    }
+
+    /// The completed window's exemplars, slowest first.
+    fn completed(&self) -> Vec<Exemplar> {
+        let mut out = self
+            .completed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        out.sort_by_key(|b| std::cmp::Reverse(b.ns.total_ns));
+        out
+    }
+}
+
+/// One worker's slab: a `(QueryKind, DegreeClass)` grid of cells plus the
+/// shard's tail-exemplar reservoir, padded to its own cache-line
+/// neighborhood so concurrent recorders never share a line across shards
+/// (pelikan's per-worker metrics shape).
 #[derive(Debug)]
 #[repr(align(128))]
 struct ShardSlab {
     cells: [[SlabCell; NUM_DEGREE_CLASSES]; NUM_QUERY_KINDS],
+    exemplars: ExemplarReservoir,
 }
 
 impl ShardSlab {
     fn new(windows: usize) -> Self {
         Self {
             cells: std::array::from_fn(|_| std::array::from_fn(|_| SlabCell::new(windows))),
+            exemplars: ExemplarReservoir::new(),
         }
     }
 }
@@ -315,13 +579,26 @@ impl QuerySlabs {
     }
 
     /// Records one latency observation from `shard` (reduced modulo the
-    /// shard count, so callers can pass a raw worker/client index).
+    /// shard count, so callers can pass a raw worker/client index). The
+    /// end-to-end view only — see [`Self::record_query`] for the
+    /// phase-decomposed, exemplar-capturing path.
     #[inline]
     pub fn record(&self, shard: usize, kind: QueryKind, class: DegreeClass, ns: u64) {
         self.shards[shard % self.shards.len()].cells[kind.index()][class.index()].record(ns);
     }
 
-    /// Rotates every cell's window in lockstep; returns the completed
+    /// Records one phase-decomposed query from `shard`: the total into the
+    /// end-to-end histograms, each phase into its phase slot, and the whole
+    /// exemplar into the shard's tail reservoir.
+    #[inline]
+    pub fn record_query(&self, shard: usize, ex: Exemplar) {
+        let slab = &self.shards[shard % self.shards.len()];
+        slab.cells[ex.kind.index()][ex.class.index()].record_phases(ex.ns);
+        slab.exemplars.offer(ex);
+    }
+
+    /// Rotates every cell's window (end-to-end and phase slots) and every
+    /// shard's exemplar reservoir in lockstep; returns the completed
     /// epoch. Single-rotator, like [`WindowedHistogram::rotate`].
     pub fn rotate(&self) -> u64 {
         let mut completed = 0;
@@ -329,10 +606,28 @@ impl QuerySlabs {
             for row in &shard.cells {
                 for cell in row {
                     completed = cell.windowed.rotate();
+                    for slot in cell.phases.iter() {
+                        slot.windowed.rotate();
+                    }
                 }
             }
+            shard.exemplars.rotate();
         }
         completed
+    }
+
+    /// The completed window's tail exemplars, merged across shards, slowest
+    /// first, truncated to the global top [`EXEMPLARS_PER_SHARD`].
+    #[must_use]
+    pub fn completed_exemplars(&self) -> Vec<Exemplar> {
+        let mut out: Vec<Exemplar> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.exemplars.completed())
+            .collect();
+        out.sort_by_key(|b| std::cmp::Reverse(b.ns.total_ns));
+        out.truncate(EXEMPLARS_PER_SHARD);
+        out
     }
 
     /// Merges window `epoch` of every shard's `(kind, class)` cell into
@@ -409,6 +704,41 @@ impl QuerySlabs {
         scratch.summary()
     }
 
+    /// Merged-across-shards summary of one phase of window `epoch` for the
+    /// selected cells.
+    #[must_use]
+    pub fn window_phase_summary(
+        &self,
+        epoch: u64,
+        phase: QueryPhase,
+        kind: Option<QueryKind>,
+        class: Option<DegreeClass>,
+    ) -> HistogramSummary {
+        let scratch = Histogram::new();
+        self.for_cells(kind, class, |cell| {
+            if let Some(h) = cell.phases[phase.index()].windowed.window(epoch) {
+                h.merge_into(&scratch);
+            }
+        });
+        scratch.summary()
+    }
+
+    /// Merged-across-shards lifetime summary of one phase for the selected
+    /// cells.
+    #[must_use]
+    pub fn overall_phase_summary(
+        &self,
+        phase: QueryPhase,
+        kind: Option<QueryKind>,
+        class: Option<DegreeClass>,
+    ) -> HistogramSummary {
+        let scratch = Histogram::new();
+        self.for_cells(kind, class, |cell| {
+            cell.phases[phase.index()].overall.merge_into(&scratch);
+        });
+        scratch.summary()
+    }
+
     /// Every non-empty `(kind, class)` cell of window `epoch`, merged across
     /// shards, in slab-index order.
     #[must_use]
@@ -460,6 +790,27 @@ pub fn window_series_name(kind: QueryKind, class: DegreeClass) -> String {
     format!("query.win.{}.{}", kind.name(), class.name())
 }
 
+/// The canonical series name for one phase of one `(kind, class)` cell:
+/// `query.phase.<phase>.<kind>.<class>`. Single definition, like
+/// [`window_series_name`].
+#[must_use]
+pub fn phase_series_name(phase: QueryPhase, kind: QueryKind, class: DegreeClass) -> String {
+    format!(
+        "query.phase.{}.{}.{}",
+        phase.name(),
+        kind.name(),
+        class.name()
+    )
+}
+
+/// The canonical series name for a tail exemplar of one `(kind, class)`
+/// cell: `query.exemplar.<kind>.<class>`. Single definition, like
+/// [`window_series_name`].
+#[must_use]
+pub fn exemplar_series_name(kind: QueryKind, class: DegreeClass) -> String {
+    format!("query.exemplar.{}.{}", kind.name(), class.name())
+}
+
 /// One completed window of one `(kind, class)` cell from the process-global
 /// slabs, as drained by [`drain_window_log`] and exported as a
 /// `query.win.<kind>.<class>` trace counter event. Always compiled.
@@ -489,6 +840,152 @@ impl WindowRecord {
     }
 }
 
+/// One completed window of one phase of one `(kind, class)` cell from the
+/// process-global slabs, as drained by [`drain_phase_log`] and exported as
+/// a `query.phase.<phase>.<kind>.<class>` trace counter event. Always
+/// compiled.
+#[derive(Debug, Clone)]
+pub struct PhaseRecord {
+    /// The completed epoch.
+    pub window: u64,
+    /// Window close (rotation) time, ns on the span clock.
+    pub end_ns: u64,
+    /// Lifecycle phase.
+    pub phase: QueryPhase,
+    /// Query kind.
+    pub kind: QueryKind,
+    /// Degree class.
+    pub class: DegreeClass,
+    /// Merged-across-shards summary of the phase for the window.
+    pub summary: HistogramSummary,
+}
+
+impl PhaseRecord {
+    /// The record's canonical `query.phase.<phase>.<kind>.<class>` series
+    /// name (see [`phase_series_name`]).
+    #[must_use]
+    pub fn series_name(&self) -> String {
+        phase_series_name(self.phase, self.kind, self.class)
+    }
+}
+
+/// One tail exemplar of one completed window from the process-global
+/// slabs, as drained by [`drain_exemplar_log`] and exported as a
+/// `query.exemplar.<kind>.<class>` trace counter event. Always compiled.
+#[derive(Debug, Clone)]
+pub struct ExemplarRecord {
+    /// The completed epoch.
+    pub window: u64,
+    /// Window close (rotation) time, ns on the span clock.
+    pub end_ns: u64,
+    /// The captured tail query.
+    pub exemplar: Exemplar,
+}
+
+impl ExemplarRecord {
+    /// The record's canonical `query.exemplar.<kind>.<class>` series name
+    /// (see [`exemplar_series_name`]).
+    #[must_use]
+    pub fn series_name(&self) -> String {
+        exemplar_series_name(self.exemplar.kind, self.exemplar.class)
+    }
+}
+
+/// One rotated window's summary as retained by the history ring: the
+/// non-empty `(kind, class)` cells plus the window-level throughput.
+#[derive(Debug, Clone)]
+pub struct HistoryWindow {
+    /// The completed epoch.
+    pub window: u64,
+    /// Window close (rotation) time, ns on the span clock.
+    pub end_ns: u64,
+    /// Window length, nanoseconds (0 for the first window, whose open time
+    /// is the process tracing epoch).
+    pub dur_ns: u64,
+    /// Total queries across all cells.
+    pub queries: u64,
+    /// Achieved throughput over the window (0 when `dur_ns` is 0).
+    pub qps: f64,
+    /// Per-cell summaries, slab-index order, empty cells skipped.
+    pub cells: Vec<WindowCell>,
+}
+
+/// Fixed-capacity ring of rotated window summaries: the time-series view
+/// behind the admin plane's `history` endpoint. Pushing past capacity
+/// evicts oldest-first, and [`HistoryRing::window`] returns `None` for
+/// evicted (or never-pushed) epochs — the same retention semantics as
+/// [`WindowedHistogram`], which the property tests pin.
+#[derive(Debug)]
+pub struct HistoryRing {
+    cap: usize,
+    ring: Mutex<VecDeque<HistoryWindow>>,
+}
+
+impl HistoryRing {
+    /// A ring retaining the last `cap` windows (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            cap,
+            ring: Mutex::new(VecDeque::with_capacity(cap)),
+        }
+    }
+
+    /// Ring capacity (maximum retained windows).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of currently retained windows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when nothing has been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one rotated window, evicting the oldest when full.
+    pub fn push(&self, window: HistoryWindow) {
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(window);
+    }
+
+    /// The retained summary for `epoch`, or `None` once it has been
+    /// evicted (or was never pushed).
+    #[must_use]
+    pub fn window(&self, epoch: u64) -> Option<HistoryWindow> {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .find(|w| w.window == epoch)
+            .cloned()
+    }
+
+    /// Every retained window, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<HistoryWindow> {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
 /// Shards in the process-global slab set. Worker `tid`s map to
 /// `1 + index`, reduced modulo this, and off-pool threads share shard 0 —
 /// good enough isolation for the shim pool's widths while bounding memory.
@@ -498,11 +995,25 @@ const GLOBAL_SHARDS: usize = 8;
 #[cfg(feature = "enabled")]
 const GLOBAL_WINDOWS: usize = 4;
 
+/// Windows the process-global history ring retains. Sized so a default
+/// watch cadence (250 ms windows) keeps ~16 s of history on screen — and
+/// comfortably above the 30 sparkline columns `parcsr watch` renders.
+pub const HISTORY_WINDOWS: usize = 64;
+
 #[cfg(feature = "enabled")]
 static GLOBAL_SLABS: OnceLock<QuerySlabs> = OnceLock::new();
 
 #[cfg(feature = "enabled")]
+static GLOBAL_HISTORY: OnceLock<HistoryRing> = OnceLock::new();
+
+#[cfg(feature = "enabled")]
 static WINDOW_LOG: Mutex<Vec<WindowRecord>> = Mutex::new(Vec::new());
+
+#[cfg(feature = "enabled")]
+static PHASE_LOG: Mutex<Vec<PhaseRecord>> = Mutex::new(Vec::new());
+
+#[cfg(feature = "enabled")]
+static EXEMPLAR_LOG: Mutex<Vec<ExemplarRecord>> = Mutex::new(Vec::new());
 
 /// Span-clock time of the last [`rotate_window`] (0 = none yet), so each
 /// drained window knows when it opened.
@@ -521,24 +1032,87 @@ fn global_slabs() -> &'static QuerySlabs {
     GLOBAL_SLABS.get_or_init(|| QuerySlabs::new(GLOBAL_SHARDS, GLOBAL_WINDOWS))
 }
 
-/// In-flight per-query timer from [`query_start`]. Zero-sized when the
-/// `enabled` feature is off.
+/// In-flight phase-timed guard from [`query_start`]. Construction stamps
+/// the `queued` checkpoint; [`dispatched`](Self::dispatched) and
+/// [`executed`](Self::executed) stamp the intermediate checkpoints;
+/// [`finish`](Self::finish) stamps `replied` and records the
+/// phase-decomposed sample. Checkpoints are optional — an unmarked
+/// `dispatched` means no queue phase, an unmarked `executed` means no
+/// reply phase (see [`QueryPhase`]) — so today's in-process query path and
+/// the future data plane share one API. Zero-sized when the `enabled`
+/// feature is off.
 pub struct QueryStart {
     #[cfg(feature = "enabled")]
-    armed: Option<u64>,
+    armed: Option<PhaseClock>,
+}
+
+/// The checkpoint timestamps of one armed [`QueryStart`].
+#[cfg(feature = "enabled")]
+#[derive(Clone, Copy)]
+struct PhaseClock {
+    queued_ns: u64,
+    dispatched_ns: Option<u64>,
+    executed_ns: Option<u64>,
+    source: u64,
 }
 
 impl QueryStart {
-    /// Completes the query: classifies `degree()` (only evaluated when a
-    /// sample will actually be recorded) and records the elapsed
-    /// nanoseconds into the global slabs.
+    /// Marks the `dispatched` checkpoint: the query left the queue and
+    /// began executing. Queue time is 0 if never called.
+    #[inline(always)]
+    pub fn dispatched(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some(clock) = self.armed.as_mut() {
+            clock.dispatched_ns = Some(crate::span::now_ns());
+        }
+    }
+
+    /// Marks the `executed` checkpoint: the query's work finished and the
+    /// reply phase began. Reply time is 0 if never called.
+    #[inline(always)]
+    pub fn executed(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some(clock) = self.armed.as_mut() {
+            clock.executed_ns = Some(crate::span::now_ns());
+        }
+    }
+
+    /// Labels the source vertex for tail-exemplar capture (0, the default,
+    /// when the caller never labels one).
+    #[inline(always)]
+    pub fn source(&mut self, vertex: u64) {
+        #[cfg(feature = "enabled")]
+        if let Some(clock) = self.armed.as_mut() {
+            clock.source = vertex;
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = vertex;
+        }
+    }
+
+    /// Completes the query: stamps the `replied` checkpoint, classifies
+    /// `degree()` (only evaluated when a sample will actually be recorded),
+    /// and records the phase-decomposed sample — histograms plus the tail
+    /// exemplar reservoir — into the global slabs.
     #[inline(always)]
     pub fn finish(self, kind: QueryKind, degree: impl FnOnce() -> usize) {
         #[cfg(feature = "enabled")]
-        if let Some(start_ns) = self.armed {
-            let ns = crate::span::now_ns().saturating_sub(start_ns);
+        if let Some(clock) = self.armed {
+            let replied = crate::span::now_ns();
+            let dispatched = clock.dispatched_ns.unwrap_or(clock.queued_ns);
+            let executed = clock.executed_ns.unwrap_or(replied);
+            let ns = PhaseNanos::from_checkpoints(clock.queued_ns, dispatched, executed, replied);
             let shard = rayon::current_thread_index().map_or(0, |i| i + 1);
-            global_slabs().record(shard, kind, DegreeClass::classify(degree()), ns);
+            global_slabs().record_query(
+                shard,
+                Exemplar {
+                    kind,
+                    class: DegreeClass::classify(degree()),
+                    source: clock.source,
+                    ns,
+                },
+            );
         }
         #[cfg(not(feature = "enabled"))]
         {
@@ -556,7 +1130,12 @@ pub fn query_start() -> QueryStart {
     #[cfg(feature = "enabled")]
     {
         QueryStart {
-            armed: crate::is_enabled().then(crate::span::now_ns),
+            armed: crate::is_enabled().then(|| PhaseClock {
+                queued_ns: crate::span::now_ns(),
+                dispatched_ns: None,
+                executed_ns: None,
+                source: 0,
+            }),
         }
     }
     #[cfg(not(feature = "enabled"))]
@@ -565,19 +1144,76 @@ pub fn query_start() -> QueryStart {
     }
 }
 
-/// Rotates the process-global slabs (single-rotator) and appends one
-/// [`WindowRecord`] per non-empty `(kind, class)` cell of the completed
-/// window to the window log. Returns the completed epoch, or `None` when
-/// nothing was ever recorded (or the feature is off).
+/// Rotates the process-global slabs (single-rotator) and, for the
+/// completed window: appends one [`WindowRecord`] per non-empty
+/// `(kind, class)` cell to the window log, one [`PhaseRecord`] per phase of
+/// each such cell to the phase log, the window's tail exemplars to the
+/// exemplar log, and the window's summary to the history ring. Returns the
+/// completed epoch, or `None` when nothing was ever recorded (or the
+/// feature is off).
 pub fn rotate_window() -> Option<u64> {
     #[cfg(feature = "enabled")]
     {
         let slabs = GLOBAL_SLABS.get()?;
         let end_ns = crate::span::now_ns();
         let start_ns = LAST_ROTATE_NS.swap(end_ns, Relaxed);
-        LAST_WINDOW_DUR_NS.store(end_ns.saturating_sub(start_ns), Relaxed);
+        let dur_ns = end_ns.saturating_sub(start_ns);
+        LAST_WINDOW_DUR_NS.store(dur_ns, Relaxed);
         let completed = slabs.rotate();
         let cells = slabs.window_cells(completed);
+
+        {
+            let mut phases = PHASE_LOG.lock().unwrap_or_else(PoisonError::into_inner);
+            for cell in &cells {
+                for phase in QueryPhase::ALL {
+                    let summary = slabs.window_phase_summary(
+                        completed,
+                        phase,
+                        Some(cell.kind),
+                        Some(cell.class),
+                    );
+                    if summary.count > 0 {
+                        phases.push(PhaseRecord {
+                            window: completed,
+                            end_ns,
+                            phase,
+                            kind: cell.kind,
+                            class: cell.class,
+                            summary,
+                        });
+                    }
+                }
+            }
+        }
+
+        {
+            let mut log = EXEMPLAR_LOG.lock().unwrap_or_else(PoisonError::into_inner);
+            for exemplar in slabs.completed_exemplars() {
+                log.push(ExemplarRecord {
+                    window: completed,
+                    end_ns,
+                    exemplar,
+                });
+            }
+        }
+
+        let queries: u64 = cells.iter().map(|c| c.summary.count).sum();
+        let qps = if dur_ns > 0 {
+            queries as f64 * 1e9 / dur_ns as f64
+        } else {
+            0.0
+        };
+        GLOBAL_HISTORY
+            .get_or_init(|| HistoryRing::new(HISTORY_WINDOWS))
+            .push(HistoryWindow {
+                window: completed,
+                end_ns,
+                dur_ns,
+                queries,
+                qps,
+                cells: cells.clone(),
+            });
+
         let mut log = WINDOW_LOG.lock().unwrap_or_else(PoisonError::into_inner);
         for cell in cells {
             log.push(WindowRecord {
@@ -594,6 +1230,25 @@ pub fn rotate_window() -> Option<u64> {
     #[cfg(not(feature = "enabled"))]
     {
         None
+    }
+}
+
+/// Every retained window of the process-global history ring, oldest
+/// first — the payload behind the admin plane's `history` endpoint.
+/// Read-only and safe from any thread, like [`serving_snapshot`]. Empty
+/// when the feature is off or no window ever rotated.
+#[must_use]
+pub fn history_snapshot() -> Vec<HistoryWindow> {
+    #[cfg(feature = "enabled")]
+    {
+        GLOBAL_HISTORY
+            .get()
+            .map(HistoryRing::snapshot)
+            .unwrap_or_default()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
     }
 }
 
@@ -637,6 +1292,34 @@ pub fn drain_window_log() -> Vec<WindowRecord> {
     #[cfg(feature = "enabled")]
     {
         std::mem::take(&mut *WINDOW_LOG.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Takes every [`PhaseRecord`] accumulated by [`rotate_window`] since the
+/// last drain, in rotation order. Empty without the `enabled` feature.
+#[must_use]
+pub fn drain_phase_log() -> Vec<PhaseRecord> {
+    #[cfg(feature = "enabled")]
+    {
+        std::mem::take(&mut *PHASE_LOG.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Takes every [`ExemplarRecord`] accumulated by [`rotate_window`] since
+/// the last drain, in rotation order. Empty without the `enabled` feature.
+#[must_use]
+pub fn drain_exemplar_log() -> Vec<ExemplarRecord> {
+    #[cfg(feature = "enabled")]
+    {
+        std::mem::take(&mut *EXEMPLAR_LOG.lock().unwrap_or_else(PoisonError::into_inner))
     }
     #[cfg(not(feature = "enabled"))]
     {
@@ -781,5 +1464,176 @@ mod tests {
         assert_eq!(slabs.overall_summary(None, None).count, 2);
         // The new live window is empty.
         assert!(slabs.window_cells(slabs.epoch()).is_empty());
+    }
+
+    #[test]
+    fn phase_indices_and_names_are_dense_and_stable() {
+        for (i, p) in QueryPhase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        let names: Vec<_> = QueryPhase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["queue", "exec", "reply"]);
+        assert_eq!(
+            phase_series_name(QueryPhase::Queue, QueryKind::SplitSearch, DegreeClass::Hub),
+            "query.phase.queue.split.hub"
+        );
+        assert_eq!(
+            exemplar_series_name(QueryKind::Neighbors, DegreeClass::Low),
+            "query.exemplar.neighbors.low"
+        );
+    }
+
+    #[test]
+    fn phase_nanos_partition_the_end_to_end_time() {
+        let ns = PhaseNanos::from_checkpoints(100, 150, 900, 1_000);
+        assert_eq!(ns.total_ns, 900);
+        assert_eq!(ns.queue_ns, 50);
+        assert_eq!(ns.exec_ns, 750);
+        assert_eq!(ns.reply_ns, 100);
+        assert_eq!(ns.queue_ns + ns.exec_ns + ns.reply_ns, ns.total_ns);
+        // Non-monotone checkpoints (clock smear) are clamped, never summing
+        // past the end-to-end time.
+        let ns = PhaseNanos::from_checkpoints(100, 90, 2_000, 1_000);
+        assert!(ns.queue_ns + ns.exec_ns + ns.reply_ns <= ns.total_ns);
+        // Degenerate guard: everything is exec.
+        let ns = PhaseNanos::all_exec(777);
+        assert_eq!((ns.queue_ns, ns.exec_ns, ns.reply_ns), (0, 777, 0));
+    }
+
+    #[test]
+    fn record_query_feeds_phase_histograms_in_the_same_grid() {
+        let slabs = QuerySlabs::new(2, 3);
+        for (shard, source, queue, exec) in [(0usize, 7u64, 100u64, 900u64), (1, 9, 300, 1_700)] {
+            slabs.record_query(
+                shard,
+                Exemplar {
+                    kind: QueryKind::Neighbors,
+                    class: DegreeClass::Hub,
+                    source,
+                    ns: PhaseNanos {
+                        total_ns: queue + exec,
+                        queue_ns: queue,
+                        exec_ns: exec,
+                        reply_ns: 0,
+                    },
+                },
+            );
+        }
+        let epoch = slabs.epoch();
+        let total = slabs.window_summary(epoch, Some(QueryKind::Neighbors), Some(DegreeClass::Hub));
+        assert_eq!(total.count, 2);
+        let queue = slabs.window_phase_summary(epoch, QueryPhase::Queue, None, None);
+        let exec = slabs.window_phase_summary(epoch, QueryPhase::Exec, None, None);
+        let reply = slabs.window_phase_summary(epoch, QueryPhase::Reply, None, None);
+        assert_eq!(queue.count, 2);
+        assert_eq!(exec.count, 2);
+        assert_eq!(reply.count, 2);
+        // The phase sums partition the end-to-end sum exactly.
+        assert_eq!(queue.sum + exec.sum + reply.sum, total.sum);
+        assert_eq!(queue.sum, 400);
+        // Overall phase view matches while the window is live; both survive
+        // rotation on the overall side only.
+        assert_eq!(
+            slabs
+                .overall_phase_summary(QueryPhase::Exec, Some(QueryKind::Neighbors), None)
+                .sum,
+            2_600
+        );
+        slabs.rotate();
+        slabs.rotate();
+        slabs.rotate();
+        assert_eq!(
+            slabs
+                .window_phase_summary(epoch, QueryPhase::Queue, None, None)
+                .count,
+            0,
+            "phase windows rotate in lockstep with the end-to-end windows"
+        );
+        assert_eq!(
+            slabs
+                .overall_phase_summary(QueryPhase::Queue, None, None)
+                .sum,
+            400
+        );
+    }
+
+    fn exemplar(total_ns: u64, source: u64) -> Exemplar {
+        Exemplar {
+            kind: QueryKind::EdgeScan,
+            class: DegreeClass::Mid,
+            source,
+            ns: PhaseNanos::all_exec(total_ns),
+        }
+    }
+
+    #[test]
+    fn exemplar_reservoir_keeps_the_k_slowest_per_window() {
+        let slabs = QuerySlabs::new(1, 2);
+        // 2×K queries with distinct totals: only the slowest K survive.
+        let n = 2 * EXEMPLARS_PER_SHARD as u64;
+        for i in 0..n {
+            slabs.record_query(0, exemplar(1_000 + i, i));
+        }
+        assert!(
+            slabs.completed_exemplars().is_empty(),
+            "live exemplars publish only at rotation"
+        );
+        slabs.rotate();
+        let kept = slabs.completed_exemplars();
+        assert_eq!(kept.len(), EXEMPLARS_PER_SHARD);
+        // Slowest first, and exactly the top half by total.
+        let totals: Vec<_> = kept.iter().map(|e| e.ns.total_ns).collect();
+        let want: Vec<_> = (0..EXEMPLARS_PER_SHARD as u64)
+            .map(|i| 1_000 + n - 1 - i)
+            .collect();
+        assert_eq!(totals, want);
+        // The next rotation replaces the completed set (empty this time).
+        slabs.rotate();
+        assert!(slabs.completed_exemplars().is_empty());
+    }
+
+    #[test]
+    fn exemplars_merge_across_shards_to_the_global_top_k() {
+        let slabs = QuerySlabs::new(4, 2);
+        for shard in 0..4usize {
+            for i in 0..EXEMPLARS_PER_SHARD as u64 {
+                slabs.record_query(shard, exemplar(1_000 * (shard as u64 + 1) + i, i));
+            }
+        }
+        slabs.rotate();
+        let kept = slabs.completed_exemplars();
+        assert_eq!(kept.len(), EXEMPLARS_PER_SHARD);
+        // All survivors come from the slowest shard's range.
+        assert!(kept.iter().all(|e| e.ns.total_ns >= 4_000));
+    }
+
+    fn history_window(epoch: u64) -> HistoryWindow {
+        HistoryWindow {
+            window: epoch,
+            end_ns: (epoch + 1) * 1_000,
+            dur_ns: 1_000,
+            queries: 10,
+            qps: 10.0,
+            cells: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn history_ring_evicts_oldest_first_like_the_windowed_histogram() {
+        let ring = HistoryRing::new(3);
+        assert!(ring.is_empty());
+        assert!(ring.window(0).is_none(), "never pushed");
+        for epoch in 0..5 {
+            ring.push(history_window(epoch));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert!(ring.window(0).is_none(), "evicted");
+        assert!(ring.window(1).is_none(), "evicted");
+        for epoch in 2..5 {
+            assert_eq!(ring.window(epoch).unwrap().window, epoch);
+        }
+        let ordinals: Vec<_> = ring.snapshot().iter().map(|w| w.window).collect();
+        assert_eq!(ordinals, [2, 3, 4], "oldest first");
     }
 }

@@ -7,7 +7,9 @@
 //! facade is gated.
 
 use parcsr_obs::metrics::Histogram;
-use parcsr_obs::serve::{DegreeClass, QueryKind, QuerySlabs, WindowedHistogram};
+use parcsr_obs::serve::{
+    DegreeClass, HistoryRing, HistoryWindow, QueryKind, QuerySlabs, WindowedHistogram,
+};
 use proptest::prelude::*;
 
 /// One recorded observation: shard picked by the caller, a `(kind, class)`
@@ -111,6 +113,86 @@ proptest! {
         h.merge_retained_into(&merged);
         let total: usize = batches.iter().map(Vec::len).sum::<usize>() + tail.len();
         prop_assert_eq!(merged.count(), total as u64);
+    }
+
+    /// Epoch wrap-around: rotating more times than the ring holds evicts
+    /// oldest-first and only oldest — every epoch within the retention
+    /// horizon still serves exactly its own batch, every epoch past it
+    /// reads back as `None`, and the slot a new live window reuses starts
+    /// empty (rotation reset it).
+    #[test]
+    fn wrap_around_evicts_oldest_first(
+        batch_sizes in prop::collection::vec(1usize..20, 4..16),
+        windows in 2usize..6,
+    ) {
+        let h = WindowedHistogram::new(windows);
+        for (i, &n) in batch_sizes.iter().enumerate() {
+            for _ in 0..n {
+                h.record(i as u64 + 1);
+            }
+            let completed = h.rotate();
+            prop_assert_eq!(completed, i as u64);
+            // The freshly opened live window reuses a cleared slot.
+            prop_assert_eq!(h.live().count(), 0);
+        }
+
+        let live = h.epoch();
+        prop_assert_eq!(live, batch_sizes.len() as u64);
+        for (e, &n) in batch_sizes.iter().enumerate() {
+            let e = e as u64;
+            match h.window(e) {
+                Some(win) => {
+                    // Within the horizon: the batch survived intact.
+                    prop_assert!(live - e < windows as u64, "epoch {e} should be evicted");
+                    prop_assert_eq!(win.count(), n as u64);
+                    prop_assert_eq!(win.sum(), n as u64 * (e + 1));
+                }
+                None => {
+                    // Past the horizon: evicted, and only because of age.
+                    prop_assert!(live - e >= windows as u64, "epoch {e} evicted too early");
+                }
+            }
+        }
+        // Epochs that never happened are not retained either.
+        prop_assert!(h.window(live + 1).is_none());
+    }
+
+    /// The history ring mirrors the windowed histogram's retention
+    /// semantics at the summary level: the newest `cap` pushes survive in
+    /// push order, everything older is gone, and lookup by epoch agrees
+    /// with the snapshot.
+    #[test]
+    fn history_ring_keeps_the_newest_cap_windows(
+        pushes in 1usize..40,
+        cap in 1usize..8,
+    ) {
+        let ring = HistoryRing::new(cap);
+        for i in 0..pushes {
+            ring.push(HistoryWindow {
+                window: i as u64,
+                end_ns: (i as u64 + 1) * 1_000_000,
+                dur_ns: 1_000_000,
+                queries: i as u64 * 10,
+                qps: i as f64,
+                cells: Vec::new(),
+            });
+        }
+        prop_assert_eq!(ring.len(), pushes.min(cap));
+
+        let snap = ring.snapshot();
+        let oldest_retained = pushes - pushes.min(cap);
+        for (slot, w) in snap.iter().enumerate() {
+            // Oldest-first, dense, ending at the newest push.
+            prop_assert_eq!(w.window, (oldest_retained + slot) as u64);
+        }
+        for i in 0..pushes as u64 {
+            let hit = ring.window(i);
+            if i >= oldest_retained as u64 {
+                prop_assert_eq!(hit.map(|w| w.queries), Some(i * 10));
+            } else {
+                prop_assert!(hit.is_none(), "window {i} should have been evicted");
+            }
+        }
     }
 
     /// Percentile extraction stays internally ordered no matter how many

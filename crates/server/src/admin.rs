@@ -47,8 +47,13 @@ pub struct AdminServer {
 impl AdminServer {
     /// Binds `127.0.0.1:port` (`0` picks an ephemeral port — read it back
     /// with [`local_addr`](Self::local_addr)) and starts accepting, with
-    /// `provider` supplying the snapshot behind every endpoint.
-    pub fn bind(port: u16, provider: crate::session::SnapshotFn) -> io::Result<Self> {
+    /// `provider` supplying the snapshot behind the point-in-time endpoints
+    /// and `history` supplying the rotated-window ring behind `history`.
+    pub fn bind(
+        port: u16,
+        provider: crate::session::SnapshotFn,
+        history: crate::session::HistoryFn,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -65,7 +70,7 @@ impl AdminServer {
                     let _ = thread::Builder::new()
                         .name("parcsr-admin-session".to_string())
                         .spawn(move || {
-                            if let Err(e) = Session::new(stream, provider).run() {
+                            if let Err(e) = Session::new(stream, provider, history).run() {
                                 eprintln!("parcsr-admin: session error: {e}");
                             }
                         });
@@ -123,14 +128,19 @@ impl AdminServer {
 }
 
 /// Starts the admin plane on `127.0.0.1:port` serving
-/// [`parcsr_obs::snapshot_all`]. Without the `enabled` feature this
+/// [`parcsr_obs::snapshot_all`] and
+/// [`parcsr_obs::serve::history_snapshot`]. Without the `enabled` feature this
 /// returns [`io::ErrorKind::Unsupported`] — callers print the error and
 /// carry on, so `--admin-port` on a default build degrades to a warning
 /// rather than a hard failure.
 pub fn spawn(port: u16) -> io::Result<AdminServer> {
     #[cfg(feature = "enabled")]
     {
-        AdminServer::bind(port, parcsr_obs::snapshot_all)
+        AdminServer::bind(
+            port,
+            parcsr_obs::snapshot_all,
+            parcsr_obs::serve::history_snapshot,
+        )
     }
     #[cfg(not(feature = "enabled"))]
     {

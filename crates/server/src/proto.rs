@@ -3,7 +3,7 @@
 //! Two request syntaxes share one endpoint set:
 //!
 //! * **Plain**: a single lowercase command per line (`metrics`, `stats`,
-//!   `health`, `ready`, `quit`). Responses are length-prefixed —
+//!   `health`, `ready`, `history`, `quit`). Responses are length-prefixed —
 //!   `OK <len>\n<len bytes>` or `ERR <len>\n<len bytes>` — so clients can
 //!   pipeline commands and split concatenated responses without sniffing
 //!   payload contents.
@@ -28,6 +28,8 @@ pub enum Endpoint {
     Health,
     /// Readiness probe.
     Ready,
+    /// Text exposition of the rotated-window history ring.
+    History,
 }
 
 impl Endpoint {
@@ -39,6 +41,7 @@ impl Endpoint {
             Endpoint::Stats => "/stats",
             Endpoint::Health => "/health",
             Endpoint::Ready => "/ready",
+            Endpoint::History => "/history",
         }
     }
 
@@ -48,6 +51,7 @@ impl Endpoint {
             "/stats" => Some(Endpoint::Stats),
             "/health" | "/" => Some(Endpoint::Health),
             "/ready" => Some(Endpoint::Ready),
+            "/history" => Some(Endpoint::History),
             _ => None,
         }
     }
@@ -86,6 +90,7 @@ pub fn parse_request(line: &[u8]) -> Request {
         "stats" => return Request::Plain(Endpoint::Stats),
         "health" => return Request::Plain(Endpoint::Health),
         "ready" => return Request::Plain(Endpoint::Ready),
+        "history" => return Request::Plain(Endpoint::History),
         "quit" => return Request::Quit,
         _ => {}
     }
@@ -133,6 +138,7 @@ mod tests {
         assert_eq!(parse_request(b"stats"), Request::Plain(Endpoint::Stats));
         assert_eq!(parse_request(b"health"), Request::Plain(Endpoint::Health));
         assert_eq!(parse_request(b"ready"), Request::Plain(Endpoint::Ready));
+        assert_eq!(parse_request(b"history"), Request::Plain(Endpoint::History));
         assert_eq!(parse_request(b"quit"), Request::Quit);
         assert_eq!(
             parse_request(b"  health  "),
@@ -167,6 +173,13 @@ mod tests {
             parse_request(b"GET / HTTP/1.1"),
             Request::Http {
                 endpoint: Some(Endpoint::Health),
+                has_headers: true
+            }
+        );
+        assert_eq!(
+            parse_request(b"GET /history HTTP/1.1"),
+            Request::Http {
+                endpoint: Some(Endpoint::History),
                 has_headers: true
             }
         );

@@ -13,11 +13,16 @@ use crate::proto::{
 };
 use parcsr_obs::expo;
 use parcsr_obs::metrics::MetricsSnapshot;
+use parcsr_obs::serve::HistoryWindow;
 use std::io::{self, Read, Write};
 
 /// Snapshot provider: the admin listener passes
 /// [`parcsr_obs::snapshot_all`]; tests inject fixed snapshots.
 pub type SnapshotFn = fn() -> MetricsSnapshot;
+
+/// History provider for the `history` endpoint: the admin listener passes
+/// [`parcsr_obs::serve::history_snapshot`]; tests inject fixed rings.
+pub type HistoryFn = fn() -> Vec<HistoryWindow>;
 
 /// Why a session ended (all are orderly; I/O errors surface as `Err` from
 /// [`Session::run`] instead).
@@ -47,10 +52,11 @@ pub struct Session<S> {
     stream: S,
     buf: Buffer,
     provider: SnapshotFn,
+    history: HistoryFn,
     pending_http: Option<PendingHttp>,
 }
 
-fn endpoint_payload(endpoint: Endpoint, provider: SnapshotFn) -> String {
+fn endpoint_payload(endpoint: Endpoint, provider: SnapshotFn, history: HistoryFn) -> String {
     match endpoint {
         Endpoint::Metrics => expo::render(&provider()),
         Endpoint::Stats => {
@@ -60,25 +66,28 @@ fn endpoint_payload(endpoint: Endpoint, provider: SnapshotFn) -> String {
         }
         Endpoint::Health => "ok\n".to_string(),
         Endpoint::Ready => "ready\n".to_string(),
+        Endpoint::History => expo::render_history(&history()),
     }
 }
 
 fn content_type(endpoint: Endpoint) -> &'static str {
     match endpoint {
         Endpoint::Stats => "application/json",
-        // The Prometheus text format's conventional content type.
-        Endpoint::Metrics => "text/plain; version=0.0.4",
+        // The Prometheus text format's conventional content type; the
+        // history exposition uses the same grammar.
+        Endpoint::Metrics | Endpoint::History => "text/plain; version=0.0.4",
         Endpoint::Health | Endpoint::Ready => "text/plain",
     }
 }
 
 impl<S: Read + Write> Session<S> {
     /// Wraps a connected stream.
-    pub fn new(stream: S, provider: SnapshotFn) -> Self {
+    pub fn new(stream: S, provider: SnapshotFn, history: HistoryFn) -> Self {
         Session {
             stream,
             buf: Buffer::new(),
             provider,
+            history,
             pending_http: None,
         }
     }
@@ -118,7 +127,7 @@ impl<S: Read + Write> Session<S> {
 
                 match parse_request(&line) {
                     Request::Plain(endpoint) => {
-                        let payload = endpoint_payload(endpoint, self.provider);
+                        let payload = endpoint_payload(endpoint, self.provider, self.history);
                         self.respond(&plain_ok(&payload))?;
                     }
                     Request::Quit => {
@@ -167,7 +176,7 @@ impl<S: Read + Write> Session<S> {
                 200,
                 "OK",
                 content_type(endpoint),
-                &endpoint_payload(endpoint, self.provider),
+                &endpoint_payload(endpoint, self.provider, self.history),
             ),
             None => http_response(404, "Not Found", "text/plain", "not found\n"),
         };
@@ -254,8 +263,31 @@ mod tests {
         snap
     }
 
+    fn test_history() -> Vec<HistoryWindow> {
+        use parcsr_obs::serve::{DegreeClass, QueryKind, WindowCell};
+        vec![HistoryWindow {
+            window: 9,
+            end_ns: 2_000_000,
+            dur_ns: 1_000_000,
+            queries: 4,
+            qps: 4_000.0,
+            cells: vec![WindowCell {
+                kind: QueryKind::Neighbors,
+                class: DegreeClass::Hub,
+                summary: HistogramSummary {
+                    count: 4,
+                    sum: 400,
+                    max: 200,
+                    p50: 90,
+                    p95: 200,
+                    p99: 200,
+                },
+            }],
+        }]
+    }
+
     fn run_session(stream: ChunkedStream) -> (Exit, String) {
-        let mut session = Session::new(stream, test_snapshot);
+        let mut session = Session::new(stream, test_snapshot, test_history);
         let exit = session.run().unwrap();
         (exit, session.stream.output())
     }
@@ -349,6 +381,39 @@ mod tests {
     }
 
     #[test]
+    fn history_command_serves_the_ring_as_valid_exposition() {
+        let (exit, out) = run_session(ChunkedStream::bytes(b"history\n", 3));
+        assert_eq!(exit, Exit::Eof);
+        let responses = split_plain(&out);
+        assert_eq!(responses.len(), 1);
+        let (ok, payload) = &responses[0];
+        assert!(ok);
+        let expo = expo::parse(payload).unwrap();
+        assert!(expo.saw_eof);
+        assert!(expo
+            .samples
+            .iter()
+            .any(|s| s.name == "parcsr_history_windows" && s.value == 1.0));
+        assert!(expo.samples.iter().any(|s| {
+            s.name == "parcsr_query_hist_ns"
+                && s.label("window") == Some("9")
+                && s.label("class") == Some("hub")
+        }));
+    }
+
+    #[test]
+    fn http_history_scrape_uses_the_exposition_content_type() {
+        let req = b"GET /history HTTP/1.1\r\nHost: localhost\r\n\r\n";
+        let (exit, out) = run_session(ChunkedStream::bytes(req, 8));
+        assert_eq!(exit, Exit::HttpServed);
+        assert!(out.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(out.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        let body = out.split("\r\n\r\n").nth(1).unwrap();
+        assert!(expo::parse(body).unwrap().saw_eof);
+        assert!(body.contains("parcsr_history_qps{window=\"9\"} 4000\n"));
+    }
+
+    #[test]
     fn http_unknown_path_is_404() {
         let (exit, out) = run_session(ChunkedStream::bytes(b"GET /nope HTTP/1.0\r\n\r\n", 64));
         assert_eq!(exit, Exit::HttpServed);
@@ -383,7 +448,7 @@ mod tests {
             }
         }
         let stream = TimeoutAfter(ChunkedStream::bytes(b"health\n", 64));
-        let mut session = Session::new(stream, test_snapshot);
+        let mut session = Session::new(stream, test_snapshot, test_history);
         assert_eq!(session.run().unwrap(), Exit::TimedOut);
         assert_eq!(
             split_plain(&session.stream.0.output()),

@@ -23,7 +23,8 @@ fn with_live_server(test: impl FnOnce(&str)) {
     }
     serve::rotate_window().expect("rotation completes a window");
 
-    let mut server = AdminServer::bind(0, parcsr_obs::snapshot_all).expect("bind 127.0.0.1:0");
+    let mut server = AdminServer::bind(0, parcsr_obs::snapshot_all, serve::history_snapshot)
+        .expect("bind 127.0.0.1:0");
     let addr = server.local_addr().to_string();
     test(&addr);
     server.shutdown();
@@ -51,6 +52,23 @@ fn scrape_stats_and_probes_over_real_sockets() {
         // Probes.
         assert_eq!(client::fetch(addr, "health").unwrap(), "ok\n");
         assert_eq!(client::fetch(addr, "ready").unwrap(), "ready\n");
+
+        // History scrape: the rotated window landed in the ring and the
+        // exposition view of it parses like a /metrics scrape.
+        let hist = client::fetch(addr, "history").expect("history fetch");
+        let expo = parcsr_obs::expo::parse(&hist).expect("valid history exposition");
+        assert!(
+            expo.samples
+                .iter()
+                .any(|s| s.name == "parcsr_history_windows" && s.value >= 1.0),
+            "history ring empty after rotation"
+        );
+        assert!(
+            expo.samples.iter().any(|s| s.name == "parcsr_query_hist_ns"
+                && s.label("kind") == Some("neighbors")
+                && s.label("window").is_some()),
+            "per-cell history series missing"
+        );
 
         // Unknown commands error without killing the listener.
         assert!(client::fetch(addr, "bogus").is_err());

@@ -23,13 +23,14 @@
 //!   time *shares* and peak heap bytes must stay within the threshold
 //!   (default 0.10) of the baseline. CI diffs the smoke run against a
 //!   committed baseline so a stage silently ballooning fails the build.
-//! * `slo-check RESULT.json [--p99-ns N] [--min-qps F] [--baseline FILE]
-//!   [--slack F]` — gates a `queries_closed_loop --json` artifact (see
-//!   [`xtask::slo_check`]): the overall p99 latency must stay under the
-//!   ceiling and the sustained qps above the floor, with thresholds given
-//!   explicitly and/or derived from a committed baseline result ± slack.
-//!   CI runs it on a serving smoke so a latency-tail or throughput
-//!   regression fails the build.
+//! * `slo-check RESULT.json [--p99-ns N] [--min-qps F] [--p99-queue-ns N]
+//!   [--p99-exec-ns N] [--baseline FILE] [--slack F]` — gates a
+//!   `queries_closed_loop --json` artifact (see [`xtask::slo_check`]): the
+//!   overall p99 latency must stay under the ceiling, the sustained qps
+//!   above the floor, and the queue/exec phase p99s under their own
+//!   ceilings, with thresholds given explicitly and/or derived from a
+//!   committed baseline result ± slack. CI runs it on a serving smoke so a
+//!   latency-tail, throughput, or queueing regression fails the build.
 //! * `bless-baseline` — reruns the CI obs smoke (same binary, same flags,
 //!   reps 5) and rewrites `results/baselines/table2_smoke.stages.json`
 //!   with the fresh output, after validating that it parses and
@@ -138,7 +139,7 @@ fn main() -> ExitCode {
             None => {
                 eprintln!(
                     "usage: cargo xtask slo-check <result.json> [--p99-ns N] [--min-qps F] \
-                     [--baseline FILE] [--slack F]"
+                     [--p99-queue-ns N] [--p99-exec-ns N] [--baseline FILE] [--slack F]"
                 );
                 ExitCode::from(2)
             }
@@ -150,8 +151,8 @@ fn main() -> ExitCode {
                  trace-analyze <trace.json> [--stage NAME] [--json OUT] [--check] \
                  [--min-util F] | \
                  stage-diff <base.json> <cur.json> [--threshold F] | bless-baseline | \
-                 slo-check <result.json> [--p99-ns N] [--min-qps F] [--baseline FILE] \
-                 [--slack F]"
+                 slo-check <result.json> [--p99-ns N] [--min-qps F] [--p99-queue-ns N] \
+                 [--p99-exec-ns N] [--baseline FILE] [--slack F]"
             );
             ExitCode::from(2)
         }
@@ -163,6 +164,8 @@ fn main() -> ExitCode {
 struct SloArgs {
     p99_ns: Option<u64>,
     min_qps: Option<f64>,
+    p99_queue_ns: Option<u64>,
+    p99_exec_ns: Option<u64>,
     baseline: Option<PathBuf>,
     slack: Option<f64>,
 }
@@ -186,6 +189,22 @@ fn parse_slo_args(rest: &[String]) -> Result<SloArgs, String> {
                     Ok(f) if f.is_finite() && f >= 0.0 => Some(f),
                     _ => return Err(format!("--min-qps must be non-negative, got `{value}`")),
                 };
+            }
+            "--p99-queue-ns" => {
+                let value = it.next().ok_or("--p99-queue-ns needs a value")?;
+                opts.p99_queue_ns = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("--p99-queue-ns: {e} (got `{value}`)"))?,
+                );
+            }
+            "--p99-exec-ns" => {
+                let value = it.next().ok_or("--p99-exec-ns needs a value")?;
+                opts.p99_exec_ns = Some(
+                    value
+                        .parse()
+                        .map_err(|e| format!("--p99-exec-ns: {e} (got `{value}`)"))?,
+                );
             }
             "--baseline" => {
                 let path = it.next().ok_or("--baseline needs a file path")?;
@@ -238,6 +257,8 @@ fn run_slo_check(path: &Path, args: &SloArgs) -> ExitCode {
     // dimension.
     thresholds.p99_ns = args.p99_ns.or(thresholds.p99_ns);
     thresholds.min_qps = args.min_qps.or(thresholds.min_qps);
+    thresholds.p99_queue_ns = args.p99_queue_ns.or(thresholds.p99_queue_ns);
+    thresholds.p99_exec_ns = args.p99_exec_ns.or(thresholds.p99_exec_ns);
     match slo_check::check_slo_text(&text, &thresholds) {
         Ok(out) => {
             eprint!("{}", out.report);

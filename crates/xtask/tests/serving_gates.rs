@@ -20,10 +20,14 @@ fn fixture(name: &str) -> String {
 /// The thresholds the CI `slo` job enforces on the serving smoke (loose on
 /// purpose: a laptop-class runner sustains hundreds of kq/s with p99 in
 /// the low microseconds, so 1 ms / 10 kq/s only trips on order-of-magnitude
-/// regressions).
+/// regressions). The phase ceilings gate the queue/exec decomposition the
+/// same way: sub-millisecond phases on a healthy run, so only a collapsed
+/// dispatch path or a saturated pool trips them.
 const CI_THRESHOLDS: SloThresholds = SloThresholds {
     p99_ns: Some(1_000_000),
     min_qps: Some(10_000.0),
+    p99_queue_ns: Some(500_000),
+    p99_exec_ns: Some(1_000_000),
 };
 
 #[test]
@@ -36,12 +40,15 @@ fn good_result_passes_the_ci_thresholds() {
 }
 
 #[test]
-fn bad_result_fails_both_dimensions() {
+fn bad_result_fails_every_dimension() {
     let out = slo_check::check_slo_text(&fixture("closed_loop_bad.json"), &CI_THRESHOLDS)
         .expect("bad fixture is schema-valid; only the numbers are bad");
     assert!(out.failed);
-    // Both the latency ceiling and the throughput floor are violated.
-    assert_eq!(out.report.matches("VIOLATED").count(), 2, "{}", out.report);
+    // The latency ceiling, the throughput floor, and both phase ceilings
+    // are violated.
+    assert_eq!(out.report.matches("VIOLATED").count(), 4, "{}", out.report);
+    assert!(out.report.contains("queue p99"), "{}", out.report);
+    assert!(out.report.contains("exec p99"), "{}", out.report);
 }
 
 #[test]
@@ -85,14 +92,70 @@ fn fixtures_carry_per_kind_and_per_class_rollups() {
 }
 
 #[test]
+fn fixtures_carry_phase_rollups_and_exemplars() {
+    // The phase-decomposed schema additions: per-window and overall
+    // `phases`, the per-class rollup, and the tail-exemplar block.
+    for name in ["closed_loop_good.json", "closed_loop_bad.json"] {
+        let doc = parcsr_obs::json::Json::parse(&fixture(name)).unwrap();
+        let result = slo_check::parse_result("fixture", &fixture(name)).unwrap();
+        for phase in ["queue", "exec", "reply"] {
+            assert!(
+                result.phase(phase).is_some(),
+                "{name}: overall.phases missing `{phase}`"
+            );
+        }
+        for w in doc.get("windows").unwrap().as_array().unwrap() {
+            assert!(
+                !w.get("phases").unwrap().as_array().unwrap().is_empty(),
+                "{name}: window phases empty"
+            );
+        }
+        assert!(
+            !doc.get("class_phases")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .is_empty(),
+            "{name}: class_phases empty"
+        );
+        let ex = doc.get("exemplars").unwrap();
+        assert_eq!(
+            ex.get("schema").unwrap().as_str(),
+            Some("parcsr.exemplars.v1"),
+            "{name}"
+        );
+        for win in ex.get("windows").unwrap().as_array().unwrap() {
+            for e in win.get("exemplars").unwrap().as_array().unwrap() {
+                let ns = |k: &str| e.get(k).unwrap().as_i64().unwrap();
+                assert_eq!(
+                    ns("queue_ns") + ns("exec_ns") + ns("reply_ns"),
+                    ns("total_ns"),
+                    "{name}: exemplar phases must partition the total"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn trace_with_windowed_counters_is_accepted() {
+    // 2 spans, 4 query.win points, 2 qps points, 3 phase points, 1
+    // exemplar — and the phase sums reconcile with their cell.
     let n = check_trace_text(&fixture("query_win_accept.trace.json"))
         .expect("accept fixture must validate");
-    assert_eq!(n, 7);
+    assert_eq!(n, 11);
 }
 
 #[test]
 fn trace_with_backwards_window_ordinal_is_rejected() {
     let err = check_trace_text(&fixture("query_win_reject.trace.json")).unwrap_err();
     assert!(err.contains("window ordinal goes backwards"), "{err}");
+}
+
+#[test]
+fn trace_with_unreconciled_phase_sums_is_rejected() {
+    // queue 300000 + exec 330000 against a 400000 ns cell: the phases
+    // claim 57% more time than the end-to-end measurement.
+    let err = check_trace_text(&fixture("query_phase_reject.trace.json")).unwrap_err();
+    assert!(err.contains("more than 10%"), "{err}");
 }

@@ -46,13 +46,17 @@ cargo run --release -q -p parcsr-bench --features obs --bin table2 -- \
   --json --metrics --mem-metrics --imbalance "$@" > "${OUT}.table2.stages.json"
 
 # Closed-loop serving run: sustained qps + latency percentiles per window,
-# per query kind, and per degree class on the 2M-edge hub graph, archived
-# as a *.slo.json summary (`cargo xtask slo-check <file> --p99-ns/...` to
-# gate a run; compare two runs' overall blocks for serving drift).
+# per query kind, and per degree class on the 2M-edge hub graph — plus the
+# queue/exec/reply phase decomposition and per-window tail exemplars —
+# archived as a *.slo.json summary (`cargo xtask slo-check <file>
+# --p99-ns/--p99-queue-ns/...` to gate a run; compare two runs' overall
+# blocks for serving drift).
 echo "== closed-loop serving (qps + latency percentiles + SLO summary) =="
 # Each run exposes the admin plane on a per-client-count port; a mid-run
 # `parcsr watch --once` archives a live exposition scrape next to the SLO
-# summary (validate one with `cargo xtask expo-check <scrape>`).
+# summary, and the raw /history scrape (the rotated-window ring `watch`
+# renders as sparklines) lands beside it as *.scrape.txt.history
+# (validate either with `cargo xtask expo-check <scrape>`).
 for clients in 1 2 8; do
   admin_port=$((9300 + clients))
   cargo run --release -q -p parcsr-bench --features obs --bin queries_closed_loop -- \
@@ -76,4 +80,4 @@ for trace in "${OUT}".*.trace.json; do
     > "${trace%.trace.json}.imbalance.txt"
 done
 
-echo "results written to results/ with prefix ${RUN_ID} (incl. *.trace.json Chrome traces, *.stages.* breakdowns with memory sections, *.imbalance.json analyzer output, *.slo.json serving summaries, and *.scrape.txt mid-run admin-plane expositions)"
+echo "results written to results/ with prefix ${RUN_ID} (incl. *.trace.json Chrome traces, *.stages.* breakdowns with memory sections, *.imbalance.json analyzer output, *.slo.json serving summaries with phase/exemplar blocks, *.scrape.txt mid-run admin-plane expositions, and *.scrape.txt.history window-ring scrapes)"
